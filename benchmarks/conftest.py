@@ -1,0 +1,18 @@
+"""Shared benchmark settings.
+
+All figure benches use the same request scale and seed so the memoized
+run cache in :mod:`repro.experiments.figures` is shared across figures
+that sweep the same configurations (9/10/11/12 reuse one YCSB sweep).
+"""
+
+#: Requests per pair for the bench-scale runs.  EXPERIMENTS.md records the
+#: full-scale numbers; benches use a scale that keeps the whole suite in
+#: minutes while preserving every headline shape.
+BENCH_REQUESTS = 2000
+BENCH_RATE = 1500.0
+BENCH_SEED = 42
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

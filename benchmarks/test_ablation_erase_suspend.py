@@ -1,0 +1,62 @@
+"""Ablation: erase suspend/resume vs coordinated GC.
+
+Within-device GC mitigation (suspend the erase when host reads queue) is
+the prior-work alternative RackBlox's related work discusses (e.g.
+TinyTail [88]).  It shortens the *per-command* stall but keeps reads on
+the GC-ing device; RackBlox removes them from it entirely.  Expectation:
+suspension helps VDC's read tail, but coordinated redirection still wins.
+"""
+
+from conftest import BENCH_RATE, BENCH_SEED, run_once
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.experiments.runner import run_rack_experiment
+from repro.workloads import ycsb
+
+
+def sweep_suspend():
+    rows = []
+    for label, system, suspend in (
+        ("VDC", SystemType.VDC, False),
+        ("VDC+suspend", SystemType.VDC, True),
+        ("RackBlox", SystemType.RACKBLOX, False),
+        ("RackBlox+suspend", SystemType.RACKBLOX, True),
+    ):
+        config = RackConfig(system=system, erase_suspend=suspend,
+                            seed=BENCH_SEED)
+        result = run_rack_experiment(
+            config, ycsb(0.6), requests_per_pair=2000,
+            rate_iops_per_pair=BENCH_RATE,
+        )
+        rows.append({
+            "config": label,
+            "read_p99": result.metrics.read_total.p99(),
+            "read_p999": result.metrics.read_total.p999(),
+        })
+    return rows
+
+
+def test_ablation_erase_suspend(benchmark):
+    rows = run_once(benchmark, sweep_suspend)
+    print()
+    for row in rows:
+        print(row)
+    by_config = {row["config"]: row for row in rows}
+    # Suspension is a big within-device win for the GC-blind baseline.
+    assert (
+        by_config["VDC+suspend"]["read_p99"]
+        < by_config["VDC"]["read_p99"] / 2
+    )
+    # At P99 the two approaches tie (the worst stall is one erase slice
+    # either way); at P99.9 coordinated redirection still wins, because
+    # suspension keeps reads on the GC-ing device and the stretched erase
+    # queues them up.
+    assert (
+        by_config["RackBlox"]["read_p999"]
+        < by_config["VDC+suspend"]["read_p999"]
+    )
+    # And the two mechanisms compose: suspend under RackBlox is best.
+    assert (
+        by_config["RackBlox+suspend"]["read_p999"]
+        <= by_config["RackBlox"]["read_p999"]
+    )

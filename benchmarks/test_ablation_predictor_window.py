@@ -1,0 +1,52 @@
+"""Ablation: the return-latency predictor's window size (§3.4).
+
+The paper picks 100 packets as "small enough to quickly detect changes
+... but large enough to smoothen outlier requests".  A tiny window chases
+stragglers; a huge window lags congestion onset.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.net.latency import MEDIUM_NETWORK, LatencyProcess
+from repro.server.predictor import ReturnLatencyPredictor
+
+
+def sweep_window(windows=(5, 100, 2000), samples=6000, seed=17):
+    rows = []
+    for window in windows:
+        process = LatencyProcess(MEDIUM_NETWORK, random.Random(seed))
+        predictor = ReturnLatencyPredictor(window=window)
+        now, errors = 0.0, []
+        for _ in range(samples):
+            now += 200.0
+            incoming = process.sample(now)
+            if predictor.window_fill(1, "read") >= min(window, 100):
+                prediction = predictor.predict(1, "read")
+                actual = process.sample(now)
+                errors.append(abs(prediction - actual))
+            predictor.observe(1, "read", incoming)
+        errors.sort()
+        rows.append({
+            "window": window,
+            "median_error_us": errors[len(errors) // 2],
+            "p95_error_us": errors[int(len(errors) * 0.95)],
+        })
+    return rows
+
+
+def test_ablation_predictor_window(benchmark):
+    rows = run_once(benchmark, sweep_window)
+    print()
+    for row in rows:
+        print(row)
+    by_window = {row["window"]: row for row in rows}
+    # The paper's 100-packet window is the balanced choice: it tracks the
+    # median far better than the lagging huge window, and smooths the
+    # error tail better than the straggler-chasing tiny window.
+    assert (
+        by_window[100]["median_error_us"]
+        < by_window[2000]["median_error_us"] * 0.6
+    )
+    assert by_window[100]["p95_error_us"] <= by_window[5]["p95_error_us"]

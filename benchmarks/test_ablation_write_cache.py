@@ -1,0 +1,44 @@
+"""Ablation: DRAM write-cache sizing (§3.5.1).
+
+The cache is why "writes are hardly affected by GC": a too-small cache
+fills during GC bursts and write admission stalls, putting flash
+latencies back on the write path.
+"""
+
+from conftest import BENCH_RATE, BENCH_SEED, run_once
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.experiments.runner import run_rack_experiment
+from repro.workloads import ycsb
+
+
+def sweep_cache_size():
+    rows = []
+    for pages in (8, 128, 1024):
+        config = RackConfig(
+            system=SystemType.RACKBLOX,
+            write_cache_pages=pages,
+            seed=BENCH_SEED,
+        )
+        result = run_rack_experiment(
+            config, ycsb(0.8), requests_per_pair=2000,
+            rate_iops_per_pair=BENCH_RATE,
+        )
+        rows.append({
+            "cache_pages": pages,
+            "write_p999": result.metrics.write_total.p999(),
+            "write_avg": result.metrics.write_total.mean(),
+        })
+    return rows
+
+
+def test_ablation_write_cache(benchmark):
+    rows = run_once(benchmark, sweep_cache_size)
+    print()
+    for row in rows:
+        print(row)
+    by_size = {row["cache_pages"]: row for row in rows}
+    # A starved cache pushes the write tail up by a large factor.
+    assert by_size[8]["write_p999"] > by_size[1024]["write_p999"] * 1.5
+    # Average write latency degrades too when admission stalls dominate.
+    assert by_size[8]["write_avg"] > by_size[1024]["write_avg"]

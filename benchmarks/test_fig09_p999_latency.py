@@ -1,0 +1,32 @@
+"""Figure 9: P99.9 end-to-end latency, YCSB write-ratio sweep."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig9_p999_latency
+
+
+def test_fig09_p999_latency(benchmark):
+    result = run_once(
+        benchmark, fig9_p999_latency,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    # Shape: at every write ratio with GC pressure (>= 40%), RackBlox's
+    # read tail beats VDC's, and never loses anywhere.
+    for row in result.rows:
+        vdc = row["VDC read P99.9"]
+        rb = row["RackBlox read P99.9"]
+        if vdc is None or rb is None:
+            continue
+        assert rb <= vdc * 1.05
+    heavy = [
+        row for row in result.rows
+        if row["write_ratio"] in ("40%", "60%", "80%")
+    ]
+    improvements = [
+        row["VDC read P99.9"] / row["RackBlox read P99.9"] for row in heavy
+    ]
+    assert max(improvements) > 2.0, (
+        f"expected a multi-x read-tail win under GC pressure, got {improvements}"
+    )

@@ -1,0 +1,20 @@
+"""Figure 10: P99 end-to-end latency (same sweep, lower tail)."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig10_p99_latency
+
+
+def test_fig10_p99_latency(benchmark):
+    result = run_once(
+        benchmark, fig10_p99_latency,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    # Shape: benefits persist at the lower tail under GC pressure.
+    heavy = [r for r in result.rows if r["write_ratio"] in ("40%", "60%", "80%")]
+    improvements = [
+        row["VDC read P99"] / row["RackBlox read P99"] for row in heavy
+    ]
+    assert max(improvements) > 1.5, improvements

@@ -1,0 +1,22 @@
+"""Figure 11: average latency -- RackBlox must not hurt the mean."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig11_avg_latency
+
+
+def test_fig11_avg_latency(benchmark):
+    result = run_once(
+        benchmark, fig11_avg_latency,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        vdc = row["VDC read avg"]
+        rb = row["RackBlox read avg"]
+        if vdc is None or rb is None:
+            continue
+        # Never worse than the baseline (paper: "does not negatively
+        # affect the average latency").
+        assert rb <= vdc * 1.1, row

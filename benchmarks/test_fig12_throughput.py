@@ -1,0 +1,20 @@
+"""Figure 12: throughput parity across systems."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig12_throughput
+
+
+def test_fig12_throughput(benchmark):
+    result = run_once(
+        benchmark, fig12_throughput,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    # Shape: open-loop throughput tracks the offered load for every
+    # system; RackBlox costs nothing (within 10% of VDC everywhere).
+    for row in result.rows:
+        vdc = row["VDC kIOPS"]
+        rb = row["RackBlox kIOPS"]
+        assert rb >= vdc * 0.9, row

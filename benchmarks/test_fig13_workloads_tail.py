@@ -1,0 +1,27 @@
+"""Figure 13: tail latency across the BenchBase workloads (Table 2)."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig13_workloads_tail
+
+
+def test_fig13_workloads_tail(benchmark):
+    result = run_once(
+        benchmark, fig13_workloads_tail,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    by_name = {row["workload"]: row for row in result.rows}
+    # Write-heavy workloads (TPC-C, Twitter) see the big read-tail wins;
+    # read-dominant TPC-H's benefit is coordination-only (smaller).
+    for name in ("tpcc",):
+        row = by_name[name]
+        assert (
+            row["RackBlox read P99.9"] < row["VDC read P99.9"]
+        ), row
+    # RackBlox never loses on any workload's reads.
+    for row in result.rows:
+        if row["VDC read P99.9"] is None:
+            continue
+        assert row["RackBlox read P99.9"] <= row["VDC read P99.9"] * 1.1, row

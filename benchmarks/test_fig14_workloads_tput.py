@@ -1,0 +1,16 @@
+"""Figure 14: throughput across the BenchBase workloads."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig14_workloads_tput
+
+
+def test_fig14_workloads_tput(benchmark):
+    result = run_once(
+        benchmark, fig14_workloads_tput,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["RackBlox kIOPS"] >= row["VDC kIOPS"] * 0.9, row

@@ -1,0 +1,24 @@
+"""Figure 16: cumulative distribution of read latency."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig16_read_cdf
+
+
+def test_fig16_read_cdf(benchmark):
+    result = run_once(
+        benchmark, fig16_read_cdf,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    # Shape: the curves agree at the median (network/device dominated)
+    # and separate in the tail, where VDC's GC knee appears.
+    p50 = next(row for row in result.rows if row["percentile"] == "P50.0")
+    p999 = next(row for row in result.rows if row["percentile"] == "P99.9")
+    assert p50["RackBlox"] <= p50["VDC"] * 1.3
+    assert p999["RackBlox"] < p999["VDC"], p999
+    # Each system's CDF is monotone in the quantile.
+    for system in ("VDC", "RackBlox"):
+        series = [row[system] for row in result.rows]
+        assert series == sorted(series)

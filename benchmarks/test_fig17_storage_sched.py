@@ -1,0 +1,21 @@
+"""Figure 17: sensitivity to the storage I/O scheduler."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig17_storage_schedulers
+
+
+def test_fig17_storage_schedulers(benchmark):
+    result = run_once(
+        benchmark, fig17_storage_schedulers,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    speedups = {row["scheduler"]: row["speedup"] for row in result.rows}
+    # Coordination wins under every scheduler (paper: always outperforms
+    # its baseline), and plain FIFO -- with no latency machinery of its
+    # own -- gains at least as much as Kyber.
+    for scheduler, speedup in speedups.items():
+        assert speedup > 1.0, (scheduler, speedup)
+    assert speedups["fifo"] >= speedups["kyber"] * 0.9

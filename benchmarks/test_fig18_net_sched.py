@@ -1,0 +1,17 @@
+"""Figure 18: sensitivity to the network scheduling policy."""
+
+from conftest import BENCH_RATE, BENCH_REQUESTS, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig18_network_schedulers
+
+
+def test_fig18_network_schedulers(benchmark):
+    result = run_once(
+        benchmark, fig18_network_schedulers,
+        requests=BENCH_REQUESTS, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    # Coordination benefits every underlying network scheduler.
+    for row in result.rows:
+        assert row["speedup"] > 1.0, row

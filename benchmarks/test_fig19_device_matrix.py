@@ -1,0 +1,35 @@
+"""Figure 19: latency distributions across SSD x network pairings."""
+
+from conftest import BENCH_RATE, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig19_device_network_matrix
+
+
+def test_fig19_device_network_matrix(benchmark):
+    result = run_once(
+        benchmark, fig19_device_network_matrix,
+        requests=1500, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    cells = {(row["ssd"], row["network"]): row for row in result.rows}
+    # Device ordering holds when the network is fixed: faster SSDs give
+    # lower medians.
+    for network in ("fast", "medium", "slow"):
+        assert (
+            cells[("optane", network)]["P50"]
+            < cells[("pssd", network)]["P50"]
+        ), network
+    # Network ordering holds when the SSD is fixed.
+    for ssd in ("optane", "intel-dc", "pssd"):
+        assert cells[(ssd, "fast")]["P50"] < cells[(ssd, "slow")]["P50"], ssd
+    # Upgrading the SSD under a slow network barely moves the median
+    # (paper: "upgrading the SSD from Intel DC to Optane under Slow
+    # network brings little benefit").
+    slow_gain = (
+        cells[("intel-dc", "slow")]["P50"] / cells[("optane", "slow")]["P50"]
+    )
+    fast_gain = (
+        cells[("intel-dc", "fast")]["P50"] / cells[("optane", "fast")]["P50"]
+    )
+    assert fast_gain > slow_gain

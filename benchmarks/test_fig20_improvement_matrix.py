@@ -1,0 +1,30 @@
+"""Figure 20: P99.9 improvement of RackBlox over VDC per SSD/network pair."""
+
+from conftest import BENCH_RATE, BENCH_SEED, run_once
+
+from repro.experiments.figures import fig20_improvement_matrix
+
+
+def test_fig20_improvement_matrix(benchmark):
+    result = run_once(
+        benchmark, fig20_improvement_matrix,
+        requests=1500, rate=BENCH_RATE, seed=BENCH_SEED,
+    )
+    print()
+    print(result.to_table())
+    cells = {
+        (row["ssd"], row["network"]): row["P99.9 improvement"]
+        for row in result.rows
+    }
+    # RackBlox helps (or is tail-noise neutral) in every pairing; cells
+    # where GC never lifts the tail above the network floor (Optane rows,
+    # slow-network columns) hover around 1.0 with straggler noise of up
+    # to +-40% at P99.9.
+    for key, improvement in cells.items():
+        assert improvement > 0.55, (key, improvement)
+    # Somewhere in the matrix the improvement is a multi-x win.
+    assert max(cells.values()) > 1.5
+    # And that win sits where the device's GC tail dominates a fast
+    # network -- not in the slow-network column (§4.5.3's pairing story).
+    best = max(cells, key=cells.get)
+    assert best[1] != "slow", cells

@@ -1,0 +1,20 @@
+"""Figure 22: per-server wear balance with the local balancer."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig22_local_wear
+
+
+def test_fig22_local_wear(benchmark):
+    result = run_once(benchmark, fig22_local_wear, days=1095)
+    print()
+    print(result.to_table())
+    rows = {row["policy"]: row for row in result.rows}
+    noswap = rows["No Swap"]
+    balanced = rows["RackBlox (local)"]
+    assert balanced["swaps"] > 0
+    # The local balancer keeps servers far closer to uniform wear.
+    assert (
+        balanced["mean server lambda"] < noswap["mean server lambda"] * 0.8
+    )
+    assert balanced["worst server lambda"] < noswap["worst server lambda"]

@@ -1,0 +1,21 @@
+"""§3.4: the sliding-window return-latency predictor's accuracy."""
+
+from conftest import run_once
+
+from repro.experiments.figures import predictor_accuracy
+
+
+def test_predictor_accuracy(benchmark):
+    result = run_once(benchmark, predictor_accuracy, samples=5000)
+    print()
+    print(result.to_table())
+    by_net = {row["network"]: row for row in result.rows}
+    # On the fast fabric the paper's "within 25 us most of the time"
+    # claim holds for the median; our per-packet jitter is heavier than
+    # the paper's traces, so P95 is looser (see EXPERIMENTS.md).
+    assert by_net["fast"]["median abs error (us)"] < 25.0
+    # Errors scale with the regime's base latency, not explode.
+    assert (
+        by_net["slow"]["median rel error (%)"]
+        < by_net["slow"]["median abs error (us)"]
+    )

@@ -1,0 +1,30 @@
+"""§3.7: validate the SSD emulator against first-principles expectations."""
+
+from conftest import run_once
+
+from repro.experiments.validation import validate_device, validation_table
+from repro.flash.timing import INTEL_DC, OPTANE, PSSD
+
+
+def test_validation_emulator(benchmark):
+    rows = run_once(benchmark, validate_device, PSSD)
+    print()
+    print(validation_table(rows))
+    # Latency and throughput checks must land within 10% of the analytic
+    # value; write amplification within the (looser) greedy-GC band.
+    for row in rows:
+        if "amplification" in row.check:
+            assert 0.5 * row.expected <= row.measured <= 2.0 * row.expected, row
+        else:
+            assert row.ok, row
+
+
+def test_validation_all_profiles(benchmark):
+    def all_profiles():
+        return {p.name: validate_device(p) for p in (OPTANE, INTEL_DC, PSSD)}
+
+    results = run_once(benchmark, all_profiles)
+    for name, rows in results.items():
+        for row in rows:
+            if "amplification" not in row.check:
+                assert row.ok, (name, row)

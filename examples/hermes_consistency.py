@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Hermes replication walk-through (§3.5.1's consistency substrate).
+
+RackBlox redirects reads between replicas, which is only safe because the
+replication protocol (Hermes) makes *every* replica serve linearizable
+reads.  This example drives the protocol directly:
+
+  1. a write broadcasts INV, commits on all ACKs, then broadcasts VAL;
+  2. a read that lands on an INValid copy waits for the VAL;
+  3. two concurrent writes to the same key converge by timestamp;
+  4. a coordinator dies between INV and VAL, and a survivor replays.
+
+Run:
+    python examples/hermes_consistency.py
+"""
+
+from repro.cluster.consistency import HermesCluster, Timestamp
+from repro.sim import Simulator, Timeout
+
+
+def main() -> None:
+    sim = Simulator()
+    hermes = HermesCluster(sim, num_replicas=3, delay_fn=lambda: 50.0)
+    print("3 replicas, 50 us one-way messages\n")
+
+    print("[1] write 'blue' via replica 0")
+    log = []
+
+    def writer():
+        ts = yield sim.spawn(hermes.write("color", "blue", coordinator_id=0))
+        log.append((sim.now, ts))
+
+    sim.spawn(writer())
+    sim.run()
+    t, ts = log[0]
+    print(f"    committed at t={t:.0f}us with ts={ts} "
+          "(one INV round-trip: all replicas hold the DRAM copy)")
+
+    print("\n[2] a read during the next write blocks until VAL")
+    events = []
+
+    def slow_writer():
+        yield sim.spawn(hermes.write("color", "green", coordinator_id=1))
+        events.append(("write done", sim.now))
+
+    def eager_reader():
+        yield Timeout(sim, 60.0)  # lands between INV arrival and VAL
+        value = yield sim.spawn(hermes.read("color", 2))
+        events.append((f"read -> {value}", sim.now))
+
+    start = sim.now
+    sim.spawn(slow_writer())
+    sim.spawn(eager_reader())
+    sim.run()
+    for what, when in sorted(events, key=lambda e: e[1]):
+        print(f"    t=+{when - start:.0f}us  {what}")
+
+    print("\n[3] concurrent writes converge everywhere")
+
+    def conc(coordinator, value):
+        yield sim.spawn(hermes.write("color", value, coordinator_id=coordinator))
+
+    sim.spawn(conc(0, "red"))
+    sim.spawn(conc(2, "gold"))
+    sim.run()
+    finals = []
+    for rid in range(3):
+        hit, value = hermes.replicas[rid].try_read("color")
+        finals.append(value)
+    print(f"    final values per replica: {finals} (single winner by timestamp)")
+
+    print("\n[4] coordinator dies mid-write; a survivor replays")
+    orphan_ts = Timestamp(99, 0)
+    hermes.replicas[1].handle_inv("color", orphan_ts, "orphaned-write")
+    hermes.replicas[2].handle_inv("color", orphan_ts, "orphaned-write")
+    hermes.replicas[0].alive = False
+    print("    replica 0 (the coordinator) crashed before VAL;")
+    print("    replicas 1 and 2 hold an INV they cannot read past")
+
+    def replay():
+        ok = yield sim.spawn(hermes.replay_write("color", surviving_id=1))
+        return ok
+
+    proc = sim.spawn(replay())
+    sim.run()
+    print(f"    replica 1 replayed the write: {proc.value}")
+    for rid in (1, 2):
+        hit, value = hermes.replicas[rid].try_read("color")
+        print(f"    replica {rid}: valid={hit} value={value!r}")
+
+
+if __name__ == "__main__":
+    main()

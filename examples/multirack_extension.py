@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The multi-rack extension: GC state consistent among switches (§3.7).
+
+The paper's future work: "extend it to multiple racks by modifying
+Algorithm 1 to keep GC states consistent among switches."  This example
+drives that extension:
+
+  1. two racks whose ToR switches mirror each other's GC state
+     (propagated with an inter-switch delay);
+  2. a read arriving at the *peer* rack routes using its synced view;
+  3. when BOTH in-rack replicas are collecting, the read fails over to
+     the third, cross-rack replica instead of queueing behind GC.
+
+Run:
+    python examples/multirack_extension.py
+"""
+
+from repro.cluster.multirack import CrossRackEntry, MultiRackFabric
+from repro.net.packet import GcKind, OpType, Packet, gc_op
+from repro.sim import Simulator
+
+PRIMARY, REPLICA, REMOTE = 201, 202, 203
+IP_P, IP_R, IP_X = "10.0.0.16", "10.0.0.20", "10.1.0.16"
+
+
+def route(fabric, rack_id, vssd_id):
+    action = fabric.process_read(rack_id, Packet(op=OpType.READ, vssd_id=vssd_id))
+    tag = "REDIRECTED ->" if action.redirected else "forwarded  ->"
+    print(f"    rack {rack_id} read for vSSD {vssd_id}: {tag} {action.dst_ip}")
+    return action
+
+
+def main() -> None:
+    sim = Simulator()
+    fabric = MultiRackFabric(sim, num_racks=2, sync_delay_us=40.0)
+    fabric.register_vssd(
+        PRIMARY, home_rack=0, server_ip=IP_P,
+        in_rack_replica_id=REPLICA, in_rack_replica_ip=IP_R,
+        cross_rack=CrossRackEntry(REMOTE, rack_id=1, server_ip=IP_X),
+    )
+    fabric.register_vssd(
+        REPLICA, home_rack=0, server_ip=IP_R,
+        in_rack_replica_id=PRIMARY, in_rack_replica_ip=IP_P,
+    )
+    print(f"two racks; inter-switch sync delay {fabric.sync_delay_us:.0f}us")
+    print(f"vSSD {PRIMARY} lives in rack 0; its cross-rack replica "
+          f"{REMOTE} in rack 1\n")
+
+    print("[1] vSSD", PRIMARY, "starts GC at its home switch")
+    fabric.process_gc_op(0, gc_op(PRIMARY, GcKind.REGULAR, src=IP_P))
+    print(f"    switch views of its GC bit right now: "
+          f"{fabric.gc_status_views(PRIMARY)} (peer is stale)")
+    route(fabric, 1, PRIMARY)
+    print("    -- the peer switch still forwards to the busy server")
+
+    sim.run(until=50.0)
+    print(f"\n[2] after the sync delay: views = "
+          f"{fabric.gc_status_views(PRIMARY)}, consistent = "
+          f"{fabric.consistent(PRIMARY)}")
+    route(fabric, 1, PRIMARY)
+    print("    -- now the peer redirects to the in-rack replica too")
+
+    print(f"\n[3] the in-rack replica {REPLICA} also hits its hard threshold")
+    fabric.process_gc_op(0, gc_op(REPLICA, GcKind.REGULAR, src=IP_R))
+    action = route(fabric, 0, PRIMARY)
+    assert action.dst_ip == IP_X
+    print(f"    -- both in-rack copies busy: the read crossed racks "
+          f"({fabric.cross_rack_redirects} cross-rack redirects)")
+
+    print(f"\n[4] GC finishes; everything clears")
+    fabric.process_gc_op(0, gc_op(PRIMARY, GcKind.FINISH, src=IP_P))
+    fabric.process_gc_op(0, gc_op(REPLICA, GcKind.FINISH, src=IP_R))
+    sim.run(until=sim.now + 50.0)
+    route(fabric, 0, PRIMARY)
+    print(f"    switches synced {fabric.syncs_sent} state updates in total")
+
+
+if __name__ == "__main__":
+    main()

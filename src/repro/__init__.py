@@ -1,0 +1,20 @@
+"""RackBlox reproduction: software-defined rack-scale storage.
+
+This package reproduces the system described in "RackBlox: A
+Software-Defined Rack-Scale Storage System with Network-Storage Co-Design"
+(Reidys et al., SOSP 2023).  The physical testbed (Tofino switch,
+open-channel SSDs) is replaced by a discrete-event simulation that executes
+the same control logic: Algorithm 1 in the switch data plane, Algorithm 2 on
+the storage servers, coordinated I/O scheduling, coordinated GC, and
+two-level rack-scale wear leveling.
+
+Public entry points:
+
+* :class:`repro.cluster.rack.Rack` -- assemble a simulated rack.
+* :mod:`repro.experiments` -- runners reproducing every figure in the paper.
+* :mod:`repro.workloads` -- YCSB and BenchBase-style workload generators.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``run`` -- one rack experiment with chosen system/workload parameters;
+* ``figures`` -- reproduce paper figures (same as
+  ``python -m repro.experiments.report``);
+* ``wear`` -- the long-horizon wear-leveling campaign;
+* ``list`` -- enumerate available systems, workloads, and figures.
+"""
+
+import argparse
+from typing import List, Optional
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import run_figures
+from repro.experiments.runner import run_rack_experiment
+from repro.flash.timing import DEVICE_PROFILES, profile_by_name
+from repro.net.latency import NETWORK_PROFILES
+from repro.net.latency import profile_by_name as net_profile_by_name
+from repro.wear.simulate import WearSimulation
+from repro.workloads.spec import TABLE2_WORKLOADS, ycsb
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RackBlox (SOSP 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one rack experiment")
+    run_p.add_argument("--system", default="rackblox",
+                       choices=[s.value for s in SystemType])
+    run_p.add_argument("--workload", default="ycsb-50",
+                       help="'ycsb-<write%%>' or a Table 2 name "
+                            f"({', '.join(sorted(TABLE2_WORKLOADS))})")
+    run_p.add_argument("--requests", type=int, default=2000)
+    run_p.add_argument("--rate", type=float, default=1500.0)
+    run_p.add_argument("--servers", type=int, default=4)
+    run_p.add_argument("--pairs", type=int, default=4)
+    run_p.add_argument("--device", default="pssd", choices=sorted(DEVICE_PROFILES))
+    run_p.add_argument("--network", default="medium",
+                       choices=sorted(NETWORK_PROFILES))
+    run_p.add_argument("--seed", type=int, default=42)
+
+    figures_p = sub.add_parser("figures", help="reproduce paper figures")
+    figures_p.add_argument("names", nargs="*",
+                           help=f"subset of {sorted(ALL_FIGURES)} (default all)")
+    figures_p.add_argument("--quick", action="store_true")
+
+    wear_p = sub.add_parser("wear", help="run the wear-leveling campaign")
+    wear_p.add_argument("--servers", type=int, default=8)
+    wear_p.add_argument("--ssds", type=int, default=16)
+    wear_p.add_argument("--days", type=int, default=1095)
+    wear_p.add_argument("--no-local", action="store_true")
+    wear_p.add_argument("--no-global", action="store_true")
+    wear_p.add_argument("--seed", type=int, default=3)
+
+    compare_p = sub.add_parser(
+        "compare", help="diff two saved figure runs (regression check)"
+    )
+    compare_p.add_argument("baseline", help="directory of baseline JSON figures")
+    compare_p.add_argument("candidate", help="directory of candidate JSON figures")
+    compare_p.add_argument("--tolerance", type=float, default=0.25,
+                           help="allowed relative drift (default 0.25)")
+
+    sub.add_parser("list", help="list systems, workloads, and figures")
+    return parser
+
+
+def _resolve_workload(name: str):
+    if name in TABLE2_WORKLOADS:
+        return TABLE2_WORKLOADS[name]
+    if name.startswith("ycsb-"):
+        try:
+            ratio = float(name.split("-", 1)[1]) / 100.0
+        except ValueError:
+            raise SystemExit(f"bad YCSB spec {name!r}; use e.g. ycsb-50")
+        return ycsb(ratio)
+    raise SystemExit(
+        f"unknown workload {name!r}; use ycsb-<write%> or one of "
+        f"{sorted(TABLE2_WORKLOADS)}"
+    )
+
+
+def _cmd_run(args) -> int:
+    workload = _resolve_workload(args.workload)
+    config = RackConfig(
+        system=SystemType(args.system),
+        num_servers=args.servers,
+        num_pairs=args.pairs,
+        device_profile=profile_by_name(args.device),
+        network_profile=net_profile_by_name(args.network),
+        seed=args.seed,
+    )
+    result = run_rack_experiment(
+        config, workload, requests_per_pair=args.requests,
+        rate_iops_per_pair=args.rate,
+    )
+    print(f"system={args.system} workload={workload.name} "
+          f"device={args.device} network={args.network}")
+    for key, value in sorted(result.summary().items()):
+        print(f"  {key:24s} {value:12.1f}")
+    for key, value in sorted(result.switch_counters.items()):
+        print(f"  switch.{key:17s} {value:12d}")
+    return 0
+
+
+def _cmd_wear(args) -> int:
+    sim = WearSimulation(
+        num_servers=args.servers,
+        ssds_per_server=args.ssds,
+        enable_local=not args.no_local,
+        enable_global=not args.no_global,
+        seed=args.seed,
+    )
+    result = sim.run(days=args.days)
+    print(f"{args.servers} servers x {args.ssds} SSDs over {args.days} days")
+    print(f"  worst server lambda   {result.final_server_imbalance():10.2f}")
+    print(f"  mean server lambda    {result.mean_final_server_imbalance():10.2f}")
+    print(f"  rack wear variance    {result.final_rack_variance():10.1f}")
+    print(f"  local / global swaps  {result.local_swaps:6d} / "
+          f"{result.global_swaps}")
+    return 0
+
+
+def _cmd_list() -> int:
+    print("systems:   " + ", ".join(s.value for s in SystemType))
+    print("workloads: ycsb-<write%>, " + ", ".join(sorted(TABLE2_WORKLOADS)))
+    print("devices:   " + ", ".join(sorted(DEVICE_PROFILES)))
+    print("networks:  " + ", ".join(sorted(NETWORK_PROFILES)))
+    print("figures:   " + ", ".join(sorted(ALL_FIGURES)))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.regression import compare_runs
+    from repro.experiments.results_io import load_figures
+
+    report = compare_runs(
+        load_figures(args.baseline),
+        load_figures(args.candidate),
+        tolerance=args.tolerance,
+    )
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to a subcommand."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figures":
+        run_figures(args.names or None, quick=args.quick)
+        return 0
+    if args.command == "wear":
+        return _cmd_wear(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

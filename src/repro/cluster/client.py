@@ -1,0 +1,119 @@
+"""Workload clients.
+
+One client drives one replica pair, open-loop (Poisson arrivals): reads go
+to the primary vSSD (the switch may redirect them), writes fan out to both
+in-rack replicas and complete when *all* replicas hold a DRAM copy
+(§3.5.1's durability semantics).
+"""
+
+from typing import Generator, Optional
+
+from repro.cluster.rack import Rack
+from repro.cluster.replication import ReplicaPair
+from repro.errors import ConfigError
+from repro.metrics.collector import ExperimentMetrics
+from repro.net.packet import read_request, write_request
+from repro.sim import AllOf, Event, Timeout
+from repro.workloads.generator import OpenLoopGenerator, Request
+
+
+class Client:
+    """An open-loop client bound to one replica pair."""
+
+    def __init__(
+        self,
+        rack: Rack,
+        name: str,
+        pair: ReplicaPair,
+        generator: OpenLoopGenerator,
+        metrics: ExperimentMetrics,
+        working_set_fraction: float = 0.5,
+    ) -> None:
+        self.rack = rack
+        self.sim = rack.sim
+        self.name = name
+        self.pair = pair
+        self.generator = generator
+        self.metrics = metrics
+        self.key_space = rack.working_set_pages(pair, working_set_fraction)
+        self.issued = 0
+        self.completed = 0
+        self._drained: Optional[Event] = None
+
+    def run(self, num_requests: int) -> Generator:
+        """Process: issue ``num_requests`` and wait for every response."""
+        if num_requests <= 0:
+            raise ConfigError(f"num_requests must be positive, got {num_requests}")
+        for request in self.generator.requests(num_requests):
+            yield Timeout(self.sim, request.gap_us)
+            self.issued += 1
+            self.sim.spawn(self._issue(request))
+        while self.completed < self.issued:
+            self._drained = Event(self.sim)
+            yield self._drained
+        return self.completed
+
+    def _note_done(self) -> None:
+        self.completed += 1
+        if self._drained is not None and not self._drained.triggered:
+            self._drained.succeed()
+
+    def _issue(self, request: Request) -> Generator:
+        lpn = request.lpn % self.key_space
+        if request.kind == "read":
+            yield self.sim.spawn(self._issue_read(lpn))
+        else:
+            yield self.sim.spawn(self._issue_write(lpn))
+
+    def _issue_read(self, lpn: int) -> Generator:
+        t0 = self.sim.now
+        pkt = read_request(self.pair.primary.vssd_id, self.name, "", t0)
+        rid = self.rack.new_request_id()
+        pkt.payload.update(lpn=lpn, rid=rid)
+        done = self.rack.register_pending(rid)
+        self.rack.send_from_client(pkt, flow_id=self.name)
+        response = yield done
+        storage_us = response.payload.get("storage_us")
+        self.metrics.record(
+            "read", self.sim.now - t0, at=self.sim.now, storage_us=storage_us
+        )
+        self._note_done()
+
+    def _issue_write(self, lpn: int) -> Generator:
+        # Writes are issued to all replicas and complete when every replica
+        # has the DRAM copy (the write-cache admission ack).  Replicas the
+        # failure detector has declared dead are skipped -- the membership
+        # view clients get from the heartbeat machinery.
+        t0 = self.sim.now
+        targets = [
+            (vssd, ip)
+            for vssd, ip in (
+                (self.pair.primary, self.pair.primary_server_ip),
+                (self.pair.replica, self.pair.replica_server_ip),
+            )
+            if self.rack.is_server_alive(ip)
+        ]
+        if not targets:
+            # Both in-rack replicas are down; the out-of-rack replica (out
+            # of scope here) would take over.  Count the op as done so the
+            # client can drain.
+            self._note_done()
+            return
+        events = []
+        responses = []
+        for vssd, _server_ip in targets:
+            pkt = write_request(vssd.vssd_id, self.name, "", t0)
+            rid = self.rack.new_request_id()
+            pkt.payload.update(lpn=lpn, rid=rid)
+            done = self.rack.register_pending(rid)
+            done.add_callback(lambda ev: responses.append(ev.value))
+            events.append(done)
+            self.rack.send_from_client(pkt, flow_id=self.name)
+        yield AllOf(self.sim, events)
+        storage_us = max(
+            (r.payload.get("storage_us", 0.0) for r in responses), default=None
+        )
+        self.metrics.record(
+            "write", self.sim.now - t0, at=self.sim.now, storage_us=storage_us
+        )
+        self._note_done()

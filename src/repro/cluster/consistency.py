@@ -1,0 +1,238 @@
+"""Hermes-style replication (§3.5.1).
+
+RackBlox "uses Hermes [37] to ensure strong consistency between replicas
+and correctness when redirecting requests".  Hermes is a broadcast,
+invalidation-based protocol:
+
+* a **write** at any replica (the coordinator for that write) stamps the
+  key with a logical timestamp ``(version, node_id)``, broadcasts an
+  *INV* (invalidate + new value) to all replicas, waits for all ACKs, then
+  broadcasts *VAL* (validate); the write commits once every replica has
+  ACKed the INV -- which is exactly the paper's "writes are considered
+  complete when all replicas have a DRAM copy";
+* a **read** is served locally by any replica whose copy is *Valid*; a
+  read hitting an *Invalid* copy waits for the VAL.  This is what makes
+  switch-side read redirection safe: every replica serves linearizable
+  reads.
+* concurrent writes to the same key resolve by timestamp order (higher
+  wins), and any replica holding an INV can *replay* it if the
+  coordinator dies, so writes never block forever.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim import AllOf, Event, Simulator, Timeout
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """Hermes logical timestamp: lexicographic (version, node)."""
+
+    version: int
+    node_id: int
+
+
+class KeyState(enum.Enum):
+    VALID = "valid"
+    INVALID = "invalid"  # INV received, VAL pending
+
+
+@dataclass
+class _KeyEntry:
+    value: Any
+    ts: Timestamp
+    state: KeyState
+    #: Readers blocked until this copy becomes valid again.
+    waiters: List[Event] = field(default_factory=list)
+
+
+class HermesReplica:
+    """One replica's key store and protocol handlers."""
+
+    def __init__(self, sim: Simulator, node_id: int) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self._store: Dict[Any, _KeyEntry] = {}
+        self.alive = True
+        self.invs_received = 0
+        self.vals_received = 0
+        self.stale_invs_ignored = 0
+
+    # ------------------------------------------------------------ handlers
+
+    def handle_inv(self, key: Any, ts: Timestamp, value: Any) -> bool:
+        """INV: invalidate and adopt the new value if the TS is newer.
+
+        Returns True (ACK) unless this replica is dead.  Hermes ACKs even
+        stale INVs -- the coordinator only needs to know the message
+        arrived; timestamp order decides the winner.
+        """
+        if not self.alive:
+            return False
+        self.invs_received += 1
+        entry = self._store.get(key)
+        if entry is not None and ts <= entry.ts:
+            # A newer (or same) write already touched this key; this INV
+            # lost the race.  ACK without downgrading local state.
+            self.stale_invs_ignored += 1
+            return True
+        if entry is None:
+            self._store[key] = _KeyEntry(value=value, ts=ts, state=KeyState.INVALID)
+        else:
+            entry.value = value
+            entry.ts = ts
+            entry.state = KeyState.INVALID
+        return True
+
+    def handle_val(self, key: Any, ts: Timestamp) -> None:
+        """VAL: the write at ``ts`` committed; reads may resume."""
+        if not self.alive:
+            return
+        self.vals_received += 1
+        entry = self._store.get(key)
+        if entry is None or entry.ts != ts:
+            # Superseded by a newer write; its own VAL will arrive.
+            return
+        entry.state = KeyState.VALID
+        waiters, entry.waiters = entry.waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed(entry.value)
+
+    # --------------------------------------------------------------- reads
+
+    def try_read(self, key: Any) -> Tuple[bool, Any]:
+        """Local read: (hit, value).  A miss means unknown key."""
+        entry = self._store.get(key)
+        if entry is None:
+            return False, None
+        if entry.state is KeyState.VALID:
+            return True, entry.value
+        return False, None
+
+    def read_when_valid(self, key: Any) -> Generator:
+        """Process: read the key, waiting out any in-flight write."""
+        entry = self._store.get(key)
+        if entry is None:
+            return None
+        if entry.state is KeyState.VALID:
+            return entry.value
+        waiter = Event(self.sim)
+        entry.waiters.append(waiter)
+        value = yield waiter
+        return value
+
+    def highest_ts(self, key: Any) -> Optional[Timestamp]:
+        entry = self._store.get(key)
+        return entry.ts if entry is not None else None
+
+    def pending_inv(self, key: Any) -> Optional[Tuple[Timestamp, Any]]:
+        """The INV this replica could replay if the coordinator died."""
+        entry = self._store.get(key)
+        if entry is not None and entry.state is KeyState.INVALID:
+            return entry.ts, entry.value
+        return None
+
+
+class HermesCluster:
+    """A replication group running Hermes over simulated message delays."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_replicas: int,
+        delay_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ConfigError("need at least one replica")
+        self.sim = sim
+        self.replicas = [HermesReplica(sim, node_id) for node_id in range(num_replicas)]
+        #: One-way message latency; constant 10 us by default.
+        self.delay_fn = delay_fn if delay_fn is not None else (lambda: 10.0)
+        self._versions: Dict[Any, int] = {}
+        self.writes_committed = 0
+        self.writes_replayed = 0
+
+    def _next_ts(self, key: Any, node_id: int) -> Timestamp:
+        # Version derived from the highest timestamp visible locally, so
+        # concurrent coordinators may produce equal versions -- broken by
+        # node id, as in Hermes.
+        highest = max(
+            (r.highest_ts(key) for r in self.replicas if r.highest_ts(key)),
+            default=None,
+        )
+        version = (highest.version + 1) if highest is not None else 1
+        self._versions[key] = version
+        return Timestamp(version=version, node_id=node_id)
+
+    def write(self, key: Any, value: Any, coordinator_id: int) -> Generator:
+        """Process: one Hermes write; returns its timestamp at commit.
+
+        Validation happens eagerly (before the generator is scheduled), so
+        a dead coordinator fails fast at the call site.
+        """
+        coordinator = self.replicas[coordinator_id]
+        if not coordinator.alive:
+            raise ConfigError(f"coordinator {coordinator_id} is dead")
+        ts = self._next_ts(key, coordinator_id)
+
+        def proc() -> Generator:
+            yield self.sim.spawn(self._run_write(key, value, ts))
+            self.writes_committed += 1
+            return ts
+
+        return proc()
+
+    def _run_write(self, key: Any, value: Any, ts: Timestamp) -> Generator:
+        # Broadcast INV to every replica (including the coordinator's own
+        # store, applied locally without delay).
+        acks = []
+        for replica in self.replicas:
+            acks.append(self.sim.spawn(self._send_inv(replica, key, ts, value)))
+        yield AllOf(self.sim, acks)
+        # Commit point: all live replicas hold the DRAM copy.  Broadcast
+        # VAL (one-way; no ack needed).
+        for replica in self.replicas:
+            self.sim.spawn(self._send_val(replica, key, ts))
+
+    def _send_inv(self, replica: HermesReplica, key, ts, value) -> Generator:
+        yield Timeout(self.sim, self.delay_fn())
+        replica.handle_inv(key, ts, value)
+
+    def _send_val(self, replica: HermesReplica, key, ts) -> Generator:
+        yield Timeout(self.sim, self.delay_fn())
+        replica.handle_val(key, ts)
+
+    def read(self, key: Any, replica_id: int) -> Generator:
+        """Process: linearizable read at any replica."""
+        replica = self.replicas[replica_id]
+        value = yield self.sim.spawn(replica.read_when_valid(key))
+        return value
+
+    def replay_write(self, key: Any, surviving_id: int) -> Generator:
+        """Process: a survivor replays an interrupted write (§ Hermes).
+
+        If the coordinator died between INV and VAL, any replica holding
+        the INV re-broadcasts it with the *same* timestamp, then VALs.
+        """
+        survivor = self.replicas[surviving_id]
+        pending = survivor.pending_inv(key)
+        if pending is None:
+            return False
+        ts, value = pending
+        yield self.sim.spawn(self._run_write_replay(key, value, ts))
+        self.writes_replayed += 1
+        return True
+
+    def _run_write_replay(self, key, value, ts) -> Generator:
+        acks = []
+        for replica in self.replicas:
+            if replica.alive:
+                acks.append(self.sim.spawn(self._send_inv(replica, key, ts, value)))
+        yield AllOf(self.sim, acks)
+        for replica in self.replicas:
+            if replica.alive:
+                self.sim.spawn(self._send_val(replica, key, ts))

@@ -1,0 +1,122 @@
+"""The VDC controller (§4.1).
+
+VDC runs "a logically centralized controller that allocates resources to
+each tenant's VDC as well as each tenant's I/O flows", enforcing isolation
+with multi-resource token-bucket rate limiting.  The controller lives on a
+separate server, so every interaction costs an in-rack round trip plus
+host software overhead.
+
+For RackBlox (Software) the controller is additionally made **GC-aware**:
+it mirrors the switch's admission logic (accept / delay) in software and,
+when granting GC, returns the location of a replica that is *not*
+collecting so the server can redirect reads itself.
+"""
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim import Simulator, Timeout
+from repro.sim.core import MSEC
+
+
+class VdcController:
+    """Centralized flow/GC controller running on its own server."""
+
+    #: One-way latency to reach the controller: two in-rack wire hops
+    #: (server -> ToR -> controller server) plus kernel/IPC overhead.
+    ONE_WAY_US = 60.0
+    #: Controller-side processing per request.
+    PROCESSING_US = 15.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        epoch_us: float = 100 * MSEC,
+        gc_aware: bool = False,
+        latency_fn=None,
+    ) -> None:
+        if epoch_us <= 0:
+            raise ConfigError("epoch must be positive")
+        self.sim = sim
+        self.epoch_us = epoch_us
+        self.gc_aware = gc_aware
+        #: One-way network latency sampler; defaults to the fixed in-rack
+        #: constant when the controller is used standalone in tests.
+        self.latency_fn = latency_fn
+        #: Software mirror of the switch's GC state: vssd_id -> collecting?
+        self._gc_state: Dict[int, bool] = {}
+        #: vssd_id -> (replica_vssd_id, replica_server_ip)
+        self._replicas: Dict[int, Tuple[int, str]] = {}
+        #: Flow demand counters, refreshed each epoch into rate allocations.
+        self._demand: Dict[str, int] = {}
+        self.allocations: Dict[str, float] = {}
+        self.epochs = 0
+        self.gc_requests = 0
+        self.gc_delays = 0
+        sim.spawn(self._epoch_loop())
+
+    # ----------------------------------------------------------- flow side
+
+    def note_demand(self, flow_id: str, ops: int = 1) -> None:
+        """Servers report per-flow demand; folded in at the next epoch."""
+        self._demand[flow_id] = self._demand.get(flow_id, 0) + ops
+
+    def _epoch_loop(self) -> Generator:
+        while True:
+            yield Timeout(self.sim, self.epoch_us)
+            self.epochs += 1
+            total = sum(self._demand.values())
+            if total > 0:
+                self.allocations = {
+                    flow: ops / total for flow, ops in self._demand.items()
+                }
+            self._demand.clear()
+
+    # ------------------------------------------------------------- GC side
+
+    def register_pair(
+        self, vssd_id: int, replica_vssd_id: int, replica_server_ip: str
+    ) -> None:
+        self._replicas[vssd_id] = (replica_vssd_id, replica_server_ip)
+        self._gc_state.setdefault(vssd_id, False)
+        self._gc_state.setdefault(replica_vssd_id, False)
+
+    def _one_way(self) -> float:
+        if self.latency_fn is not None:
+            return self.latency_fn()
+        return self.ONE_WAY_US
+
+    def round_trip(self) -> Generator:
+        """Process: one request/response exchange with the controller."""
+        yield Timeout(self.sim, self._one_way())
+        yield Timeout(self.sim, self.PROCESSING_US)
+        yield Timeout(self.sim, self._one_way())
+
+    def decide_gc(self, vssd_id: int, kind: str) -> Tuple[str, Optional[str]]:
+        """Software re-implementation of the switch's admission logic.
+
+        Returns (verdict, redirect_ip): the verdict is ``accept`` or
+        ``delay``; on accept the controller also hands back the replica
+        server to redirect reads to (None when the controller is not
+        GC-aware -- plain VDC never delays or redirects).
+        """
+        self.gc_requests += 1
+        if not self.gc_aware:
+            return "accept", None
+        if vssd_id not in self._replicas:
+            raise ConfigError(f"vSSD {vssd_id} not registered with controller")
+        replica_id, replica_ip = self._replicas[vssd_id]
+        if kind == "soft" and self._gc_state.get(replica_id, False):
+            self.gc_delays += 1
+            return "delay", None
+        self._gc_state[vssd_id] = True
+        return "accept", replica_ip
+
+    def finish_gc(self, vssd_id: int) -> None:
+        self._gc_state[vssd_id] = False
+
+    def is_collecting(self, vssd_id: int) -> bool:
+        return self._gc_state.get(vssd_id, False)
+
+    def replica_of(self, vssd_id: int) -> Optional[Tuple[int, str]]:
+        return self._replicas.get(vssd_id)

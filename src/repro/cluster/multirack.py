@@ -1,0 +1,187 @@
+"""Multi-rack extension (the paper's stated future work).
+
+§3.7: "As future work, we wish to extend it to multiple racks by
+modifying Algorithm 1 to keep GC states consistent among switches."  The
+common deployment already keeps one replica *outside* the rack (two in,
+one out); this module adds the two pieces that make that replica usable
+by the co-design:
+
+* **GC-state synchronisation** -- every gc_op admitted by one ToR switch
+  is propagated (after an inter-switch delay) to the peer racks' tables,
+  so each switch holds an eventually-consistent view of every registered
+  vSSD's GC state;
+* **cross-rack fail-over redirection** -- when a read's vSSD *and* its
+  in-rack replica are both collecting, the extended read path forwards to
+  the cross-rack replica instead of eating the GC stall (the paper's
+  "techniques that submit requests to another rack in parallel" reduced
+  to its redirect-only form).
+
+State between switches is only as fresh as the sync delay; the tests pin
+down the staleness window explicitly.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.errors import ConfigError, SwitchError
+from repro.net.packet import Packet
+from repro.sim import Simulator, Timeout
+from repro.switch.dataplane import ForwardAction, ReplyAction, SwitchDataPlane
+
+#: One-way ToR-to-ToR latency through the aggregation layer.
+INTER_SWITCH_DELAY_US = 40.0
+
+
+@dataclass
+class CrossRackEntry:
+    """Where a vSSD's out-of-rack replica lives."""
+
+    replica_vssd_id: int
+    rack_id: int
+    server_ip: str
+
+
+class MultiRackFabric:
+    """A set of ToR switches keeping shared GC state for their vSSDs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_racks: int = 2,
+        sync_delay_us: float = INTER_SWITCH_DELAY_US,
+    ) -> None:
+        if num_racks < 2:
+            raise ConfigError("a multi-rack fabric needs at least two racks")
+        if sync_delay_us < 0:
+            raise ConfigError("sync delay must be >= 0")
+        self.sim = sim
+        self.sync_delay_us = sync_delay_us
+        self.switches: List[SwitchDataPlane] = [
+            SwitchDataPlane() for _ in range(num_racks)
+        ]
+        #: vssd_id -> its cross-rack replica (per §3.5.1's 2+1 placement).
+        self._cross_rack: Dict[int, CrossRackEntry] = {}
+        #: vssd_id -> home rack.
+        self._home_rack: Dict[int, int] = {}
+        self.syncs_sent = 0
+        self.cross_rack_redirects = 0
+
+    # ---------------------------------------------------------- registration
+
+    def register_vssd(
+        self,
+        vssd_id: int,
+        home_rack: int,
+        server_ip: str,
+        in_rack_replica_id: int,
+        in_rack_replica_ip: str,
+        cross_rack: Optional[CrossRackEntry] = None,
+    ) -> None:
+        """Install a vSSD in *every* switch's tables.
+
+        The home switch gets the normal Algorithm 1 entries; peer switches
+        get forwarding entries so they can route (and track GC for) the
+        vSSD too -- the "consistent among switches" part.
+        """
+        self._check_rack(home_rack)
+        if vssd_id in self._home_rack:
+            raise SwitchError(f"vSSD {vssd_id} already registered in the fabric")
+        self._home_rack[vssd_id] = home_rack
+        for switch in self.switches:
+            switch.replica_table.insert(vssd_id, in_rack_replica_id, gc_status=0)
+            if vssd_id not in switch.destination_table:
+                switch.destination_table.insert(vssd_id, server_ip, gc_status=0)
+            if in_rack_replica_id not in switch.destination_table:
+                switch.destination_table.insert(
+                    in_rack_replica_id, in_rack_replica_ip, gc_status=0
+                )
+        if cross_rack is not None:
+            self._check_rack(cross_rack.rack_id)
+            if cross_rack.rack_id == home_rack:
+                raise ConfigError(
+                    "the cross-rack replica must live in a different rack"
+                )
+            self._cross_rack[vssd_id] = cross_rack
+            for switch in self.switches:
+                if cross_rack.replica_vssd_id not in switch.destination_table:
+                    switch.destination_table.insert(
+                        cross_rack.replica_vssd_id, cross_rack.server_ip,
+                        gc_status=0,
+                    )
+
+    def _check_rack(self, rack_id: int) -> None:
+        if not 0 <= rack_id < len(self.switches):
+            raise ConfigError(
+                f"rack {rack_id} out of range [0,{len(self.switches)})"
+            )
+
+    # ------------------------------------------------------------ data plane
+
+    def process_gc_op(self, rack_id: int, pkt: Packet) -> ReplyAction:
+        """Algorithm 1's gc_op path on the local switch, plus propagation.
+
+        The local switch decides (accept/delay) exactly as before; the
+        resulting state change is then pushed to every peer switch after
+        the inter-switch delay.
+        """
+        self._check_rack(rack_id)
+        local = self.switches[rack_id]
+        vssd_id = pkt.vssd_id
+        action = local.process_packet(pkt)
+        new_status = local.replica_table.gc_status(vssd_id)
+        self.sim.spawn(self._propagate(rack_id, vssd_id, new_status))
+        return action
+
+    def _propagate(self, origin_rack: int, vssd_id: int, status: int) -> Generator:
+        yield Timeout(self.sim, self.sync_delay_us)
+        for rack_id, switch in enumerate(self.switches):
+            if rack_id == origin_rack:
+                continue
+            if vssd_id in switch.replica_table:
+                switch.replica_table.set_gc_status(vssd_id, status)
+                switch.destination_table.set_gc_status(vssd_id, status)
+                self.syncs_sent += 1
+
+    def process_read(self, rack_id: int, pkt: Packet) -> ForwardAction:
+        """The extended read path: Algorithm 1 plus cross-rack fail-over.
+
+        When the local decision is "no redirect" *because both in-rack
+        copies are collecting*, the read is steered to the cross-rack
+        replica instead of queueing behind GC.
+        """
+        self._check_rack(rack_id)
+        switch = self.switches[rack_id]
+        original_vssd = pkt.vssd_id
+        action = switch.process_packet(pkt)
+        if action.redirected:
+            return action
+        entry = switch.replica_table.get(original_vssd)
+        cross = self._cross_rack.get(original_vssd)
+        if (
+            entry is not None
+            and cross is not None
+            and entry.gc_status == 1
+            and switch.destination_table.gc_status(entry.replica_vssd_id) == 1
+        ):
+            # Both in-rack copies are collecting: go out of rack.
+            pkt.vssd_id = cross.replica_vssd_id
+            pkt.dst = cross.server_ip
+            self.cross_rack_redirects += 1
+            return ForwardAction(packet=pkt, dst_ip=cross.server_ip,
+                                 redirected=True)
+        return action
+
+    # ------------------------------------------------------------ inspection
+
+    def gc_status_views(self, vssd_id: int) -> List[int]:
+        """The GC bit every switch currently holds for a vSSD."""
+        views = []
+        for switch in self.switches:
+            if vssd_id in switch.replica_table:
+                views.append(switch.replica_table.gc_status(vssd_id))
+        return views
+
+    def consistent(self, vssd_id: int) -> bool:
+        """True when every switch agrees on the vSSD's GC state."""
+        views = self.gc_status_views(vssd_id)
+        return len(set(views)) <= 1

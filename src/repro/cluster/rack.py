@@ -1,0 +1,521 @@
+"""The simulated rack: the paper's testbed in one object.
+
+A :class:`Rack` assembles clients, the emulated datacenter network, the
+programmable ToR switch, and the storage servers into the end-to-end
+request path of §3.7:
+
+1. the client issues a RackBlox packet and the emulated datacenter
+   latency (trace-driven in the paper, parametric here) elapses;
+2. INT writes the measured network latency into the packet's LAT field;
+3. the ToR data plane runs Algorithm 1 (redirection, GC admission) and
+   the packet crosses the egress scheduler (TB / FQ / Priority);
+4. the storage server runs Algorithm 2 (cache writes, schedule reads);
+5. the response traverses the network back and the client records the
+   end-to-end latency.
+
+All four evaluated systems share this pipeline; they differ only in which
+coordination hooks are armed (see :class:`~repro.cluster.config.SystemType`).
+"""
+
+import itertools
+from typing import Dict, Generator, List, Optional
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.cluster.controller import VdcController
+from repro.cluster.coordinators import (
+    IN_RACK_HOP_US,
+    ControllerGcCoordinator,
+    SwitchGcCoordinator,
+)
+from repro.cluster.replication import ReplicaPair, rack_aware_placement
+from repro.errors import ConfigError
+from repro.flash.gc import GreedyGcPolicy
+from repro.flash.ssd import Ssd
+from repro.net.int_telemetry import add_hop_latency
+from repro.net.latency import LatencyProcess
+from repro.net.packet import Packet
+from repro.net.schedulers import (
+    EgressPort,
+    FairQueueScheduler,
+    FifoScheduler,
+    PriorityScheduler,
+    TokenBucketScheduler,
+)
+from repro.server.gc_monitor import GcMonitor, LocalGcCoordinator
+from repro.server.iosched import make_scheduler
+from repro.server.sdf import StorageServer
+from repro.server.write_cache import WriteCache
+from repro.sim import Event, Simulator, Timeout
+from repro.sim.rng import RandomSource
+from repro.switch.controlplane import SwitchControlPlane
+from repro.switch.dataplane import SwitchDataPlane
+from repro.switch.telemetry import FlowTelemetry
+from repro.vssd.allocator import VssdAllocator
+from repro.vssd.channel_group import ChannelGroup
+from repro.vssd.token_bucket import TokenBucket
+from repro.vssd.vssd import VSsd
+
+#: Host software overhead of one user-level proxy traversal (RackBlox
+#: Software): kernel network stack + user-space forwarding, paid once on
+#: the redirect leg and once on the relayed response.
+SOFTWARE_REDIRECT_OVERHEAD_US = 150.0
+
+
+def _make_network_scheduler(name: str, tb_flow_rate: float = 50_000.0):
+    name = name.lower()
+    if name == "tb":
+        return TokenBucketScheduler(flow_rate_kb_per_sec=tb_flow_rate, burst_kb=64.0)
+    if name == "fq":
+        return FairQueueScheduler()
+    if name == "priority":
+        return PriorityScheduler()
+    if name == "fifo":
+        return FifoScheduler()
+    raise ConfigError(f"unknown network scheduler {name!r} (tb/fq/priority/fifo)")
+
+
+class Rack:
+    """One rack of the configured system, ready to serve client load."""
+
+    def __init__(self, config: RackConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RandomSource(config.seed)
+        #: Fabric latency for control traffic (controller RTTs, redirect
+        #: legs).  Client data paths each get their own process -- VMs in
+        #: different parts of the datacenter see different congestion, and
+        #: that heterogeneity is what coordinated I/O scheduling exploits.
+        self.latency = LatencyProcess(config.network_profile, self.rng.stream("net"))
+        self._client_latency: Dict[str, LatencyProcess] = {}
+
+        # --- ToR switch -------------------------------------------------
+        self.switch = SwitchDataPlane()
+        self.control_plane = SwitchControlPlane(self.switch)
+        #: Per-flow telemetry the control plane can read (heavy hitters,
+        #: per-flow hop-latency trends).
+        self.telemetry = FlowTelemetry()
+        self._egress: Dict[str, EgressPort] = {}
+
+        # --- controller (VDC family only) --------------------------------
+        if config.system in (SystemType.VDC, SystemType.RACKBLOX_SOFTWARE):
+            self.controller: Optional[VdcController] = VdcController(
+                self.sim,
+                gc_aware=(config.system is SystemType.RACKBLOX_SOFTWARE),
+                latency_fn=lambda: self.latency.sample(self.sim.now),
+            )
+        else:
+            self.controller = None
+
+        # --- storage servers ---------------------------------------------
+        self.servers: List[StorageServer] = []
+        self.server_by_ip: Dict[str, StorageServer] = {}
+        self._gc_coordinators: Dict[str, object] = {}
+        self.gc_monitors: List[GcMonitor] = []
+        for idx in range(config.num_servers):
+            ip = f"10.0.0.{16 + idx}"
+            scheduler = make_scheduler(
+                config.storage_scheduler, coordinated=config.system.coordinates_io
+            )
+            server = StorageServer(
+                self.sim,
+                name=f"server-{idx}",
+                ip=ip,
+                scheduler=scheduler,
+                write_cache=WriteCache(self.sim, capacity_pages=config.write_cache_pages),
+                max_inflight=config.max_inflight_per_server,
+                respond_fn=self._on_server_response,
+            )
+            if config.system is SystemType.RACKBLOX_SOFTWARE:
+                server.software_redirect_fn = self._software_redirect
+            self.servers.append(server)
+            self.server_by_ip[ip] = server
+            self._egress[ip] = EgressPort(
+                self.sim,
+                _make_network_scheduler(
+                    config.effective_network_scheduler,
+                    config.tb_flow_rate_kb_per_sec,
+                ),
+                rate_kb_per_us=config.egress_rate_kb_per_us,
+            )
+        #: Shared client-facing egress port (responses towards clients).
+        self._client_egress = EgressPort(
+            self.sim,
+            _make_network_scheduler(
+                config.effective_network_scheduler, config.tb_flow_rate_kb_per_sec
+            ),
+            rate_kb_per_us=config.egress_rate_kb_per_us,
+        )
+
+        # --- vSSD pairs ----------------------------------------------------
+        self.pairs: List[ReplicaPair] = []
+        self.pair_by_vssd: Dict[int, ReplicaPair] = {}
+        self.vssd_by_id: Dict[int, VSsd] = {}
+        self._build_pairs()
+
+        # --- GC monitors -----------------------------------------------------
+        for server in self.servers:
+            coordinator = self._make_coordinator(server)
+            self._gc_coordinators[server.ip] = coordinator
+            monitor = GcMonitor(
+                self.sim,
+                server.vssds,
+                coordinator,
+                server.idle_predictors,
+                check_interval_us=config.gc_check_interval_us,
+            )
+            monitor.start()
+            self.gc_monitors.append(monitor)
+
+        # --- client plumbing -------------------------------------------------
+        self._pending: Dict[int, Event] = {}
+        self._rid = itertools.count(1)
+        self.background_packets = 0
+        #: Servers the failure detector has declared dead (clients' view).
+        self.failed_ips = set()
+        if config.background_traffic:
+            self.start_background_traffic()
+
+    # ------------------------------------------------------------------ build
+
+    def _build_pairs(self) -> None:
+        if self.config.sw_isolated:
+            self._build_pairs_sw_isolated()
+        else:
+            self._build_pairs_hw_isolated()
+
+    def _register_pair(self, pair_idx: int, primary: VSsd, replica: VSsd,
+                       primary_ip: str, replica_ip: str) -> None:
+        pair = ReplicaPair(
+            name=f"pair-{pair_idx}",
+            primary=primary,
+            replica=replica,
+            primary_server_ip=primary_ip,
+            replica_server_ip=replica_ip,
+        )
+        self.pairs.append(pair)
+        self.pair_by_vssd[primary.vssd_id] = pair
+        self.pair_by_vssd[replica.vssd_id] = pair
+        self.vssd_by_id[primary.vssd_id] = primary
+        self.vssd_by_id[replica.vssd_id] = replica
+        self.control_plane.register_vssd(
+            primary.vssd_id, primary_ip, replica.vssd_id, replica_ip
+        )
+        self.control_plane.register_vssd(
+            replica.vssd_id, replica_ip, primary.vssd_id, primary_ip
+        )
+        if self.controller is not None:
+            self.controller.register_pair(primary.vssd_id, replica.vssd_id, replica_ip)
+            self.controller.register_pair(replica.vssd_id, primary.vssd_id, primary_ip)
+
+    def _build_pairs_hw_isolated(self) -> None:
+        config = self.config
+        placement = rack_aware_placement(config.num_pairs, config.num_servers)
+        gc_policy_args = dict(
+            gc_threshold=config.gc_threshold, soft_threshold=config.soft_threshold
+        )
+        for pair_idx, (primary_srv, replica_srv) in enumerate(placement):
+            vssds = []
+            for role, srv_idx in (("p", primary_srv), ("r", replica_srv)):
+                server = self.servers[srv_idx]
+                ssd = Ssd(
+                    self.sim,
+                    ssd_id=f"ssd-{srv_idx}-{pair_idx}{role}",
+                    geometry=config.vssd_geometry,
+                    profile=config.device_profile,
+                )
+                if config.erase_suspend:
+                    for channel in ssd.channels:
+                        channel.configure_suspend(True)
+                allocator = VssdAllocator(ssd)
+                vssd = allocator.create_hardware_isolated(
+                    f"pair{pair_idx}-{role}",
+                    channels=list(range(config.vssd_geometry.channels)),
+                    overprovision=config.overprovision,
+                    gc_policy=GreedyGcPolicy(**gc_policy_args),
+                )
+                server.host_vssd(vssd)
+                vssds.append(vssd)
+            primary, replica = vssds
+            self._register_pair(
+                pair_idx,
+                primary,
+                replica,
+                self.servers[primary_srv].ip,
+                self.servers[replica_srv].ip,
+            )
+
+    def _build_pairs_sw_isolated(self) -> None:
+        """Software-isolated pairs: two vSSDs per SSD sharing channels.
+
+        Pairs come in collocated couples (2i, 2i+1): their primaries share
+        one SSD's channels on one server (chips split between them), their
+        replicas share another SSD on the next server.  Each collocated
+        couple forms a channel group that GCs together; isolation between
+        the two tenants is token-bucket rate limiting (§3.3, §3.5.2).
+        """
+        config = self.config
+        geometry = config.vssd_geometry
+        if geometry.chips_per_channel < 2:
+            raise ConfigError(
+                "sw_isolated needs >= 2 chips per channel to split between tenants"
+            )
+        placement = rack_aware_placement(config.num_pairs // 2, config.num_servers)
+        gc_policy_args = dict(
+            gc_threshold=config.gc_threshold, soft_threshold=config.soft_threshold
+        )
+        # Token-bucket fair share: roughly half the SSD's program bandwidth.
+        ops_per_sec = geometry.channels / 2 * 1e6 / config.device_profile.program_us
+        for couple_idx, (primary_srv, replica_srv) in enumerate(placement):
+            couple_vssds = []  # [(tenantA, tenantB)] for primary then replica
+            for srv_idx in (primary_srv, replica_srv):
+                server = self.servers[srv_idx]
+                ssd = Ssd(
+                    self.sim,
+                    ssd_id=f"ssd-{srv_idx}-c{couple_idx}",
+                    geometry=geometry,
+                    profile=config.device_profile,
+                )
+                allocator = VssdAllocator(ssd)
+                even_chips = [
+                    chip.chip_id for chip in ssd.chips
+                    if chip.chip_id % geometry.chips_per_channel
+                    < geometry.chips_per_channel // 2
+                ]
+                odd_chips = [
+                    chip.chip_id for chip in ssd.chips
+                    if chip.chip_id not in set(even_chips)
+                ]
+                tenants = []
+                for label, chips in (("a", even_chips), ("b", odd_chips)):
+                    vssd = allocator.create_software_isolated(
+                        f"couple{couple_idx}-{label}-srv{srv_idx}",
+                        chips=chips,
+                        overprovision=config.overprovision,
+                        gc_policy=GreedyGcPolicy(**gc_policy_args),
+                        rate_limiter=TokenBucket(
+                            self.sim, rate_per_sec=ops_per_sec, capacity=64.0
+                        ),
+                    )
+                    server.host_vssd(vssd)
+                    tenants.append(vssd)
+                ChannelGroup(f"group-{couple_idx}-srv{srv_idx}", tenants)
+                couple_vssds.append(tenants)
+            (primary_a, primary_b), (replica_a, replica_b) = couple_vssds
+            self._register_pair(
+                2 * couple_idx, primary_a, replica_a,
+                self.servers[primary_srv].ip, self.servers[replica_srv].ip,
+            )
+            self._register_pair(
+                2 * couple_idx + 1, primary_b, replica_b,
+                self.servers[primary_srv].ip, self.servers[replica_srv].ip,
+            )
+
+    def _make_coordinator(self, server: StorageServer):
+        system = self.config.system
+        if system is SystemType.RACKBLOX:
+            return SwitchGcCoordinator(self.sim, self.switch, server.ip)
+        if system is SystemType.RACKBLOX_SOFTWARE:
+            assert self.controller is not None
+            return ControllerGcCoordinator(self.sim, self.controller, server.ip)
+        return LocalGcCoordinator()
+
+    # ------------------------------------------------------------ precondition
+
+    def precondition(self, working_set_fraction: float = 0.5) -> None:
+        """Age every vSSD before measurement, as the paper does (§4.1).
+
+        Consumes ``precondition_fill`` of the free blocks with writes over
+        the working set, leaving stale pages behind, *without* advancing
+        simulated time (pure FTL state transitions).
+        """
+        fill = self.config.precondition_fill
+        if fill <= 0:
+            return
+        for vssd in self.vssd_by_id.values():
+            ftl = vssd.ftl
+            working_set = max(1, int(ftl.logical_pages * working_set_fraction))
+            target_ratio = 1.0 - fill
+            lpn = 0
+            while ftl.free_block_ratio() > target_ratio:
+                ftl.place_write(lpn % working_set)
+                lpn += 1
+
+    def working_set_pages(self, pair: ReplicaPair, fraction: float = 0.5) -> int:
+        return max(1, int(pair.primary.logical_pages * fraction))
+
+    # ------------------------------------------------------- client -> server
+
+    def new_request_id(self) -> int:
+        return next(self._rid)
+
+    def register_pending(self, rid: int) -> Event:
+        event = Event(self.sim)
+        self._pending[rid] = event
+        return event
+
+    def latency_for_client(self, client_name: str) -> LatencyProcess:
+        """The (seeded) latency process of one client's network path."""
+        process = self._client_latency.get(client_name)
+        if process is None:
+            process = LatencyProcess(
+                self.config.network_profile, self.rng.stream(f"lat-{client_name}")
+            )
+            self._client_latency[client_name] = process
+        return process
+
+    def send_from_client(self, pkt: Packet, flow_id: str, priority: int = 1) -> None:
+        """Launch a packet from a client into the rack."""
+        if self.controller is not None:
+            self.controller.note_demand(flow_id)
+        self.sim.spawn(self._client_to_server(pkt, flow_id, priority))
+
+    def _client_to_server(self, pkt: Packet, flow_id: str, priority: int) -> Generator:
+        outbound = self.latency_for_client(pkt.src).sample(self.sim.now, "out")
+        yield Timeout(self.sim, outbound)
+        add_hop_latency(pkt, outbound)
+        action = self.switch.process_packet(pkt)
+        port = self._egress[action.dst_ip]
+        enqueued_at = self.sim.now
+        yield port.enqueue(action.packet, flow_id=flow_id, priority=priority)
+        hop = (self.sim.now - enqueued_at) + self.switch.pipeline_delay_us
+        add_hop_latency(action.packet, hop)
+        self.telemetry.record(flow_id, action.packet.size_kb, hop)
+        yield Timeout(self.sim, IN_RACK_HOP_US)
+        server = self.server_by_ip[action.dst_ip]
+        if not server.alive:
+            # A crashed server silently drops traffic until the heartbeat
+            # machinery re-routes around it.
+            return
+        server.receive_packet(action.packet)
+
+    # ------------------------------------------------------- server -> client
+
+    def _on_server_response(self, pkt: Packet, server: StorageServer) -> None:
+        self.sim.spawn(self._server_to_client(pkt))
+
+    def _server_to_client(self, pkt: Packet) -> Generator:
+        proxy_ip = pkt.payload.pop("proxy_ip", None)
+        if proxy_ip is not None:
+            # RackBlox (Software): the user-level redirect is a proxy, so
+            # the reply relays through the original server before heading
+            # back to the client -- one more fabric traversal the
+            # switch-based redirect never pays.
+            relay = self.latency.sample(self.sim.now, "ret")
+            yield Timeout(self.sim, relay + SOFTWARE_REDIRECT_OVERHEAD_US)
+            add_hop_latency(pkt, relay)
+        yield Timeout(self.sim, IN_RACK_HOP_US)
+        enqueued_at = self.sim.now
+        yield self._client_egress.enqueue(pkt, flow_id=pkt.src)
+        add_hop_latency(pkt, self.sim.now - enqueued_at)
+        return_latency = self.latency_for_client(pkt.dst).sample(self.sim.now, "ret")
+        yield Timeout(self.sim, return_latency)
+        rid = pkt.payload.get("rid")
+        event = self._pending.pop(rid, None) if rid is not None else None
+        if event is not None and not event.triggered:
+            event.succeed(pkt)
+
+    # -------------------------------------------- software redirection (RB-SW)
+
+    def _software_redirect(self, pkt: Packet, server: StorageServer) -> bool:
+        """RackBlox (Software): user-level read redirection at the server.
+
+        Redirects only when the controller granted this vSSD's GC and, at
+        grant time, named an idle replica (the paper's protocol).  Costs an
+        extra server-to-server traversal plus host software overhead.
+        """
+        coordinator = self._gc_coordinators.get(server.ip)
+        if not isinstance(coordinator, ControllerGcCoordinator):
+            return False
+        target_ip = coordinator.redirect_targets.get(pkt.vssd_id)
+        if target_ip is None:
+            return False
+        pair = self.pair_by_vssd.get(pkt.vssd_id)
+        if pair is None:
+            return False
+        peer = pair.peer_of(pkt.vssd_id)
+        pkt.vssd_id = peer.vssd_id
+        pkt.dst = target_ip
+        pkt.payload["proxy_ip"] = server.ip
+        self.sim.spawn(self._forward_between_servers(pkt, target_ip))
+        return True
+
+    def _forward_between_servers(self, pkt: Packet, dst_ip: str) -> Generator:
+        # The server-to-server leg rides the same emulated datacenter
+        # fabric as client traffic (the paper injects trace latency on
+        # every traversal), plus user-level forwarding overhead -- the
+        # "additional networking overhead" that keeps RackBlox (Software)
+        # below RackBlox (§4.3).
+        hop = self.latency.sample(self.sim.now)
+        yield Timeout(self.sim, hop + SOFTWARE_REDIRECT_OVERHEAD_US)
+        add_hop_latency(pkt, hop)
+        self.server_by_ip[dst_ip].receive_packet(pkt)
+
+    # -------------------------------------------------- background traffic
+
+    def start_background_traffic(
+        self,
+        rate_iops: float = 2_000.0,
+        burst: int = 32,
+        period_us: float = 50_000.0,
+        priority: int = 0,
+        size_kb: float = 4.0,
+    ) -> None:
+        """Periodic high-priority traffic (the §4.5.2 Priority experiment).
+
+        Bursts of ``burst`` packets at ``priority`` (0 = highest) hit every
+        server-facing egress port each ``period_us``, delaying storage
+        traffic queued at lower priority.
+        """
+        self.sim.spawn(self._background_loop(burst, period_us, priority, size_kb))
+
+    def _background_loop(
+        self, burst: int, period_us: float, priority: int, size_kb: float
+    ) -> Generator:
+        from repro.net.packet import OpType
+
+        while True:
+            yield Timeout(self.sim, period_us)
+            for port in self._egress.values():
+                for _ in range(burst):
+                    filler = Packet(
+                        op=OpType.WRITE, vssd_id=0, src="bg", dst="bg",
+                        size_kb=size_kb,
+                    )
+                    port.enqueue(filler, flow_id="bg", priority=priority)
+                    self.background_packets += 1
+
+    # ----------------------------------------------------------------- stats
+
+    def is_server_alive(self, ip: str) -> bool:
+        """The client-visible membership view (post-detection)."""
+        return ip not in self.failed_ips
+
+    def delete_pair(self, pair: ReplicaPair) -> None:
+        """Tear down a replica pair: del_vssd both members (Table 1).
+
+        Removes the switch entries, the rack lookup tables, and the
+        hosting servers' vSSD registrations.  In-flight requests to the
+        pair are the caller's responsibility to drain first.
+        """
+        if pair not in self.pairs:
+            raise ConfigError(f"pair {pair.name!r} is not part of this rack")
+        self.pairs.remove(pair)
+        for vssd, ip in (
+            (pair.primary, pair.primary_server_ip),
+            (pair.replica, pair.replica_server_ip),
+        ):
+            self.control_plane.deregister_vssd(vssd.vssd_id)
+            self.pair_by_vssd.pop(vssd.vssd_id, None)
+            self.vssd_by_id.pop(vssd.vssd_id, None)
+            server = self.server_by_ip.get(ip)
+            if server is not None:
+                server._vssds.pop(vssd.vssd_id, None)  # noqa: SLF001
+                server.idle_predictors.pop(vssd.vssd_id, None)
+
+    def redirect_count(self) -> int:
+        switch_redirects = self.switch.reads_redirected
+        software_redirects = sum(s.software_redirects for s in self.servers)
+        return switch_redirects + software_redirects
+
+    def total_gc_runs(self) -> int:
+        return sum(v.gc_runs for v in self.vssd_by_id.values())

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the RackBlox reproduction.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything from this library with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class FlashError(ReproError):
+    """Invalid operation against the flash substrate."""
+
+
+class OutOfSpaceError(FlashError):
+    """A write could not be serviced because no free page exists."""
+
+
+class AddressError(FlashError):
+    """A logical or physical address is outside the device's range."""
+
+
+class VSSDError(ReproError):
+    """Invalid vSSD configuration or operation."""
+
+
+class NetworkError(ReproError):
+    """Malformed packet or invalid network configuration."""
+
+
+class SwitchError(ReproError):
+    """The ToR switch data or control plane was misused."""
+
+
+class ConfigError(ReproError):
+    """An experiment or component configuration is invalid."""

@@ -1,0 +1,68 @@
+"""Render reproduced figures as a text report (the EXPERIMENTS.md body)."""
+
+import sys
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+
+
+def run_figures(
+    names: Optional[Iterable[str]] = None,
+    quick: bool = False,
+    stream=None,
+    out_dir: Optional[str] = None,
+) -> Dict[str, FigureResult]:
+    """Run the named figures (all by default) and return their results.
+
+    ``quick`` shrinks request counts ~4x for smoke runs; the full settings
+    are what EXPERIMENTS.md records.  When ``out_dir`` is given, each
+    figure is also persisted as JSON (see
+    :mod:`repro.experiments.results_io`).
+    """
+    stream = stream if stream is not None else sys.stdout
+    selected = list(names) if names is not None else list(ALL_FIGURES)
+    results: Dict[str, FigureResult] = {}
+    for name in selected:
+        if name not in ALL_FIGURES:
+            raise KeyError(f"unknown figure {name!r}; know {sorted(ALL_FIGURES)}")
+        fn = ALL_FIGURES[name]
+        kwargs = {}
+        if quick and "requests" in fn.__code__.co_varnames:
+            kwargs["requests"] = 800
+        if quick and "days" in fn.__code__.co_varnames:
+            kwargs["days"] = 365
+        started = time.time()
+        result = fn(**kwargs)
+        elapsed = time.time() - started
+        results[name] = result
+        print(result.to_table(), file=stream)
+        print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
+    if out_dir is not None:
+        from repro.experiments.results_io import save_figures
+
+        paths = save_figures(results, out_dir)
+        print(f"saved {len(paths)} figure(s) to {out_dir}", file=stream)
+    return results
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro.experiments.report [--quick] [--out DIR]
+    [fig9 fig10 ...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    out_dir = None
+    if "--out" in argv:
+        idx = argv.index("--out")
+        try:
+            out_dir = argv[idx + 1]
+        except IndexError:
+            raise SystemExit("--out needs a directory argument")
+        del argv[idx:idx + 2]
+    names = [a for a in argv if not a.startswith("-")] or None
+    run_figures(names, quick=quick, out_dir=out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

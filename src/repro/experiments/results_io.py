@@ -1,0 +1,80 @@
+"""Persistence for figure results.
+
+Figures take minutes to regenerate; saving them as JSON lets reports,
+notebooks, and regression diffs reuse a run.  The format is stable and
+hand-readable: one object per figure with its title, columns, rows, and
+notes.
+"""
+
+import json
+import os
+from typing import Dict, Union
+
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult
+
+FORMAT_VERSION = 1
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "figure": result.figure,
+        "title": result.title,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureResult:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported figure format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    missing = {"figure", "title", "columns", "rows"} - set(payload)
+    if missing:
+        raise ConfigError(f"figure payload missing fields: {sorted(missing)}")
+    return FigureResult(
+        figure=payload["figure"],
+        title=payload["title"],
+        columns=list(payload["columns"]),
+        rows=[dict(row) for row in payload["rows"]],
+        notes=payload.get("notes", ""),
+    )
+
+
+def save_figure(result: FigureResult, path: str) -> None:
+    """Write one figure result as JSON."""
+    with open(path, "w") as fh:
+        json.dump(figure_to_dict(result), fh, indent=2)
+        fh.write("\n")
+
+
+def load_figure(path: str) -> FigureResult:
+    with open(path) as fh:
+        return figure_from_dict(json.load(fh))
+
+
+def save_figures(results: Dict[str, FigureResult], directory: str) -> Dict[str, str]:
+    """Write a set of figures into a directory; returns name -> path."""
+    os.makedirs(directory, exist_ok=True)
+    paths = {}
+    for name, result in results.items():
+        path = os.path.join(directory, f"{name}.json")
+        save_figure(result, path)
+        paths[name] = path
+    return paths
+
+
+def load_figures(directory: str) -> Dict[str, FigureResult]:
+    """Load every ``*.json`` figure in a directory."""
+    if not os.path.isdir(directory):
+        raise ConfigError(f"{directory!r} is not a directory")
+    results = {}
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".json"):
+            results[entry[:-5]] = load_figure(os.path.join(directory, entry))
+    return results

@@ -1,0 +1,97 @@
+"""Run one rack under one workload and collect metrics."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.client import Client
+from repro.cluster.config import RackConfig
+from repro.cluster.rack import Rack
+from repro.errors import SimulationError
+from repro.metrics.collector import ExperimentMetrics
+from repro.sim import AllOf, Event, Simulator
+from repro.sim.core import MSEC, SEC
+from repro.workloads.generator import OpenLoopGenerator
+from repro.workloads.spec import WorkloadSpec
+
+
+def run_until(sim: Simulator, event: Event, chunk_us: float = 500 * MSEC,
+              max_sim_us: float = 600 * SEC) -> None:
+    """Drive the simulator until ``event`` triggers.
+
+    Perpetual housekeeping processes (GC monitors, cache flushers) keep
+    the event heap non-empty forever, so a bare ``run()`` would never
+    return; instead we advance in chunks until the completion event fires.
+    """
+    while not event.triggered:
+        if sim.now >= max_sim_us:
+            raise SimulationError(
+                f"experiment did not converge within {max_sim_us / SEC:.0f} "
+                "simulated seconds"
+            )
+        sim.run(until=sim.now + chunk_us)
+
+
+@dataclass
+class RackResult:
+    """Everything an experiment produces from one rack run."""
+
+    metrics: ExperimentMetrics
+    redirects: int
+    gc_runs: int
+    switch_counters: Dict[str, int] = field(default_factory=dict)
+    sim_duration_us: float = 0.0
+
+    def summary(self) -> Dict[str, float]:
+        out = self.metrics.summary()
+        out["redirects"] = float(self.redirects)
+        out["gc_runs"] = float(self.gc_runs)
+        return out
+
+
+def run_rack_experiment(
+    config: RackConfig,
+    workload: WorkloadSpec,
+    requests_per_pair: int = 3000,
+    rate_iops_per_pair: float = 1500.0,
+    working_set_fraction: float = 0.5,
+    rack: Optional[Rack] = None,
+) -> RackResult:
+    """Build a rack, precondition it, and drive the workload to completion."""
+    if rack is None:
+        rack = Rack(config)
+    rack.precondition(working_set_fraction=working_set_fraction)
+    metrics = ExperimentMetrics()
+    processes = []
+    for idx, pair in enumerate(rack.pairs):
+        generator = OpenLoopGenerator(
+            workload,
+            key_space=rack.working_set_pages(pair, working_set_fraction),
+            rate_iops=rate_iops_per_pair,
+            rng=rack.rng.stream(f"client-{idx}"),
+        )
+        client = Client(
+            rack,
+            name=f"client-{idx}",
+            pair=pair,
+            generator=generator,
+            metrics=metrics,
+            working_set_fraction=working_set_fraction,
+        )
+        processes.append(rack.sim.spawn(client.run(requests_per_pair)))
+    done = AllOf(rack.sim, processes)
+    run_until(rack.sim, done)
+    metrics.redirected_reads = rack.redirect_count()
+    return RackResult(
+        metrics=metrics,
+        redirects=rack.redirect_count(),
+        gc_runs=rack.total_gc_runs(),
+        switch_counters={
+            "reads_forwarded": rack.switch.reads_forwarded,
+            "reads_redirected": rack.switch.reads_redirected,
+            "writes_forwarded": rack.switch.writes_forwarded,
+            "gc_accepted": rack.switch.gc_accepted,
+            "gc_delayed": rack.switch.gc_delayed,
+            "recirculations": rack.switch.recirculations,
+        },
+        sim_duration_us=rack.sim.now,
+    )

@@ -1,0 +1,111 @@
+"""Flash block and page state machine.
+
+Pages in a block must be programmed sequentially, can only transition
+FREE -> VALID -> INVALID, and return to FREE only through a whole-block
+erase.  Every erase increments the block's erase count -- the quantity the
+paper's wear-leveling machinery balances.
+"""
+
+import enum
+from typing import List
+
+from repro.errors import FlashError
+
+
+class PageState(enum.Enum):
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class Block:
+    """One erase block: a sequentially-programmed array of pages."""
+
+    __slots__ = ("block_id", "pages_per_block", "_states", "_write_ptr",
+                 "valid_count", "erase_count")
+
+    def __init__(self, block_id: int, pages_per_block: int) -> None:
+        if pages_per_block <= 0:
+            raise FlashError(f"pages_per_block must be positive, got {pages_per_block}")
+        self.block_id = block_id
+        self.pages_per_block = pages_per_block
+        self._states: List[PageState] = [PageState.FREE] * pages_per_block
+        self._write_ptr = 0
+        self.valid_count = 0
+        self.erase_count = 0
+
+    @property
+    def is_full(self) -> bool:
+        """True once every page has been programmed since the last erase."""
+        return self._write_ptr >= self.pages_per_block
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the block is fully erased and unprogrammed."""
+        return self._write_ptr == 0
+
+    @property
+    def invalid_count(self) -> int:
+        return self._write_ptr - self.valid_count
+
+    @property
+    def free_pages(self) -> int:
+        return self.pages_per_block - self._write_ptr
+
+    def page_state(self, page: int) -> PageState:
+        self._check_page(page)
+        return self._states[page]
+
+    def program_next(self) -> int:
+        """Program the next sequential page; returns its index."""
+        if self.is_full:
+            raise FlashError(f"block {self.block_id} is full")
+        page = self._write_ptr
+        self._states[page] = PageState.VALID
+        self._write_ptr += 1
+        self.valid_count += 1
+        return page
+
+    def invalidate(self, page: int) -> None:
+        """Mark a previously valid page as stale (out-of-place overwrite)."""
+        self._check_page(page)
+        if self._states[page] is not PageState.VALID:
+            raise FlashError(
+                f"block {self.block_id} page {page} is {self._states[page].value}, "
+                "cannot invalidate"
+            )
+        self._states[page] = PageState.INVALID
+        self.valid_count -= 1
+
+    def erase(self) -> None:
+        """Erase the whole block, freeing every page and bumping wear."""
+        if self.valid_count > 0:
+            raise FlashError(
+                f"block {self.block_id} still holds {self.valid_count} valid pages; "
+                "migrate them before erasing"
+            )
+        self._states = [PageState.FREE] * self.pages_per_block
+        self._write_ptr = 0
+        self.erase_count += 1
+
+    def valid_pages(self) -> List[int]:
+        """Indexes of the pages currently holding live data."""
+        return [
+            page
+            for page in range(self._write_ptr)
+            if self._states[page] is PageState.VALID
+        ]
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.pages_per_block:
+            raise FlashError(
+                f"page {page} out of range [0,{self.pages_per_block}) "
+                f"in block {self.block_id}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Block(id={self.block_id}, valid={self.valid_count}, "
+            f"invalid={self.invalid_count}, free={self.free_pages}, "
+            f"erases={self.erase_count})"
+        )

@@ -1,0 +1,112 @@
+"""The flash channel: the serialisation point of an SSD.
+
+Each channel carries commands for the chips behind it, one at a time.  A
+long-running erase or GC migration occupies the channel and stalls every
+queued request -- this is precisely the head-of-line blocking that
+RackBlox's coordinated GC routes around.
+"""
+
+from typing import Generator
+
+from repro.sim import Resource, Simulator, Timeout
+from repro.flash.timing import DeviceProfile
+
+
+class Channel:
+    """One channel as a capacity-1 resource with timed operations."""
+
+    def __init__(self, sim: Simulator, channel_id: int, profile: DeviceProfile) -> None:
+        self.sim = sim
+        self.channel_id = channel_id
+        self.profile = profile
+        self._bus = Resource(sim, capacity=1)
+        #: Accumulated busy time, for utilisation reporting.
+        self.busy_time = 0.0
+        #: Commands served, by kind.
+        self.op_counts = {"read": 0, "program": 0, "erase": 0}
+        #: Erase suspend/resume (program/erase suspension is the classic
+        #: firmware-level mitigation for GC read-blocking -- e.g.
+        #: TinyTail/FAST'17 [88]).  Off by default: the paper's devices do
+        #: a plain threshold GC; the ablation bench turns it on.
+        self.suspend_enabled = False
+        self.suspend_slice_us = 500.0
+        self.resume_penalty_us = 50.0
+        self.suspensions = 0
+
+    def configure_suspend(
+        self,
+        enabled: bool,
+        slice_us: float = 500.0,
+        resume_penalty_us: float = 50.0,
+    ) -> None:
+        """Enable/disable erase suspension and its cost model."""
+        if slice_us <= 0 or resume_penalty_us < 0:
+            raise ValueError("slice must be positive, penalty non-negative")
+        self.suspend_enabled = enabled
+        self.suspend_slice_us = slice_us
+        self.resume_penalty_us = resume_penalty_us
+
+    @property
+    def queue_depth(self) -> int:
+        """Commands waiting for the bus (excludes the one in service)."""
+        return self._bus.queued
+
+    @property
+    def busy(self) -> bool:
+        return self._bus.in_use > 0
+
+    def execute(self, kind: str, duration: float) -> Generator:
+        """Process: occupy the channel for ``duration`` microseconds."""
+        yield self._bus.acquire()
+        try:
+            yield Timeout(self.sim, duration)
+            self.busy_time += duration
+            if kind in self.op_counts:
+                self.op_counts[kind] += 1
+        finally:
+            self._bus.release()
+
+    def read_page(self, size_kb: float) -> Generator:
+        """Process: one page read (array sense + bus transfer)."""
+        return self.execute("read", self.profile.read_latency(size_kb))
+
+    def program_page(self, size_kb: float) -> Generator:
+        """Process: one page program (bus transfer + array program)."""
+        return self.execute("program", self.profile.program_latency(size_kb))
+
+    def erase_block(self) -> Generator:
+        """Process: one block erase (suspendable when configured).
+
+        With suspension enabled, the erase runs in slices and yields the
+        bus between slices whenever commands are waiting -- a queued read
+        stalls for at most one slice instead of the full erase.  Each
+        actual suspension costs a resume penalty, stretching the erase.
+        """
+        if not self.suspend_enabled:
+            return self.execute("erase", self.profile.erase_us)
+        return self._suspendable_erase()
+
+    def _suspendable_erase(self) -> Generator:
+        remaining = self.profile.erase_us
+        while remaining > 0:
+            this_slice = min(self.suspend_slice_us, remaining)
+            yield self._bus.acquire()
+            try:
+                yield Timeout(self.sim, this_slice)
+                self.busy_time += this_slice
+            finally:
+                must_yield = remaining > this_slice and self._bus.queued > 0
+                self._bus.release()
+            remaining -= this_slice
+            if remaining > 0 and must_yield:
+                # Someone was waiting: the erase actually suspended and
+                # will pay the resume overhead when it reacquires.
+                self.suspensions += 1
+                remaining += self.resume_penalty_us
+        self.op_counts["erase"] += 1
+
+    def utilization(self, now: float) -> float:
+        """Fraction of elapsed simulated time the channel was busy."""
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / now)

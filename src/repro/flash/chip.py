@@ -1,0 +1,78 @@
+"""A flash chip: a set of erase blocks behind one channel.
+
+The chip is pure state -- block bookkeeping and free-block accounting.
+Timing lives in :mod:`repro.flash.channel`, which serialises operations on
+the shared bus, matching the paper's observation that "an SSD channel
+cannot issue new I/O requests during GC".
+"""
+
+from typing import List, Optional
+
+from repro.errors import FlashError, OutOfSpaceError
+from repro.flash.block import Block
+
+
+class FlashChip:
+    """Block bookkeeping for one chip."""
+
+    def __init__(self, chip_id: int, blocks_per_chip: int, pages_per_block: int) -> None:
+        self.chip_id = chip_id
+        self.blocks: List[Block] = [
+            Block(block_id, pages_per_block) for block_id in range(blocks_per_chip)
+        ]
+        #: Blocks that are fully erased and hold no data, newest last.
+        self._free_blocks: List[int] = list(range(blocks_per_chip))
+
+    @property
+    def blocks_per_chip(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free_blocks)
+
+    def allocate_block(self) -> Block:
+        """Take a free block to use as a new active (write) block."""
+        if not self._free_blocks:
+            raise OutOfSpaceError(f"chip {self.chip_id} has no free blocks")
+        return self.blocks[self._free_blocks.pop(0)]
+
+    def release_block(self, block: Block) -> None:
+        """Return an erased block to the free pool."""
+        if not block.is_empty:
+            raise FlashError(
+                f"block {block.block_id} is not erased; cannot release to free pool"
+            )
+        if block.block_id in self._free_blocks:
+            raise FlashError(f"block {block.block_id} is already in the free pool")
+        self._free_blocks.append(block.block_id)
+
+    def take_specific_block(self, block_id: int) -> Block:
+        """Remove a specific block from the free pool (used by borrowing)."""
+        try:
+            self._free_blocks.remove(block_id)
+        except ValueError:
+            raise FlashError(f"block {block_id} is not free on chip {self.chip_id}")
+        return self.blocks[block_id]
+
+    def victim_candidates(self) -> List[Block]:
+        """Blocks eligible for GC: full (or partially written) with stale pages."""
+        return [
+            block
+            for block in self.blocks
+            if block.invalid_count > 0
+        ]
+
+    def best_victim(self) -> Optional[Block]:
+        """Greedy GC victim: the block with the most invalid pages."""
+        candidates = self.victim_candidates()
+        if not candidates:
+            return None
+        return max(candidates, key=lambda b: (b.invalid_count, -b.erase_count))
+
+    @property
+    def average_erase_count(self) -> float:
+        return sum(b.erase_count for b in self.blocks) / len(self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FlashChip(id={self.chip_id}, free_blocks={self.free_block_count})"

@@ -1,0 +1,198 @@
+"""Firmware-resident reliability machinery: ECC and bad-block management.
+
+The paper keeps these *below* the software-defined boundary: "As for other
+FTL functions, such as bad block management and error correction code
+(ECC) of an SSD, we leave them to the SSD firmware, as the hardware engine
+in SSD controllers is more efficient in managing them" (§3.3).  We model
+them so the substrate degrades the way real flash does: raw bit errors
+grow with wear, ECC corrects up to its budget, uncorrectable reads trigger
+a retry, and blocks that exhaust retries are retired to the bad-block
+table and replaced from the free pool.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ConfigError, FlashError
+from repro.flash.block import Block
+from repro.flash.chip import FlashChip
+
+#: Codeword size the ECC engine protects (bytes) -- 1KB codewords with
+#: a correction budget per codeword, as in BCH/LDPC-era controllers.
+CODEWORD_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Strength and error-growth parameters of the ECC engine."""
+
+    #: Correctable bits per codeword (BCH-40-over-1KB class).
+    correctable_bits: int = 40
+    #: Raw bit error rate of a fresh block.
+    rber_fresh: float = 1e-7
+    #: RBER grows exponentially with erase count: rber(w) =
+    #: rber_fresh * exp(w / wear_scale).
+    wear_scale: float = 3000.0
+    #: Extra latency of one read-retry pass (microseconds).
+    retry_latency_us: float = 80.0
+    #: Retries before the page is declared uncorrectable.
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.correctable_bits < 1:
+            raise ConfigError("ECC must correct at least one bit")
+        if not 0.0 < self.rber_fresh < 1.0:
+            raise ConfigError("rber_fresh must be a probability")
+        if self.wear_scale <= 0:
+            raise ConfigError("wear_scale must be positive")
+
+    def rber_at_wear(self, erase_count: int) -> float:
+        """Raw bit error rate after ``erase_count`` program/erase cycles."""
+        exponent = erase_count / self.wear_scale
+        if exponent > 700:  # exp() would overflow; already at the cap
+            return 0.5
+        return min(0.5, self.rber_fresh * math.exp(exponent))
+
+    def expected_bit_errors(self, erase_count: int) -> float:
+        """Mean raw bit errors per codeword at the given wear."""
+        return self.rber_at_wear(erase_count) * CODEWORD_BYTES * 8
+
+
+@dataclass
+class ReadOutcome:
+    """What the ECC engine reported for one page read."""
+
+    corrected_bits: int
+    retries: int
+    uncorrectable: bool
+
+    @property
+    def extra_latency_us(self) -> float:
+        return 0.0  # filled by the engine; kept for interface symmetry
+
+
+class EccEngine:
+    """Samples per-read bit errors and applies the correction budget."""
+
+    def __init__(self, config: EccConfig = EccConfig(), rng: Optional[random.Random] = None) -> None:
+        self.config = config
+        self._rng = rng if rng is not None else random.Random(0xECC)
+        self.reads = 0
+        self.corrected_total = 0
+        self.retry_total = 0
+        self.uncorrectable_total = 0
+
+    def _sample_errors(self, erase_count: int) -> int:
+        """Poisson-sampled raw bit errors in one codeword."""
+        mean = self.config.expected_bit_errors(erase_count)
+        if mean <= 0:
+            return 0
+        # Knuth's method is fine: means are small (<100) by construction.
+        if mean > 50:
+            # Gaussian approximation for heavily worn blocks.
+            return max(0, int(self._rng.gauss(mean, math.sqrt(mean)) + 0.5))
+        threshold = math.exp(-mean)
+        count, product = 0, self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def read_page(self, erase_count: int) -> Tuple[ReadOutcome, float]:
+        """One page read at the given block wear.
+
+        Returns the outcome and the extra latency (retry passes) the
+        firmware spent on it.
+        """
+        self.reads += 1
+        retries = 0
+        errors = self._sample_errors(erase_count)
+        while errors > self.config.correctable_bits:
+            if retries >= self.config.max_retries:
+                self.uncorrectable_total += 1
+                return (
+                    ReadOutcome(corrected_bits=0, retries=retries,
+                                uncorrectable=True),
+                    retries * self.config.retry_latency_us,
+                )
+            retries += 1
+            self.retry_total += 1
+            # A retry shifts read reference voltages; model it as a fresh
+            # draw with a modestly reduced error rate.
+            errors = max(0, self._sample_errors(erase_count) - retries)
+        self.corrected_total += errors
+        return (
+            ReadOutcome(corrected_bits=errors, retries=retries,
+                        uncorrectable=False),
+            retries * self.config.retry_latency_us,
+        )
+
+
+class BadBlockManager:
+    """The firmware's bad-block table for one chip.
+
+    Factory-marked bad blocks are retired at attach; grown bad blocks
+    (uncorrectable reads, failed erases) are retired at runtime.  Retired
+    blocks never return to the free pool.
+    """
+
+    def __init__(
+        self,
+        chip: FlashChip,
+        factory_bad_ratio: float = 0.002,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= factory_bad_ratio < 0.5:
+            raise ConfigError("factory_bad_ratio must be in [0, 0.5)")
+        self.chip = chip
+        self._bad: Set[int] = set()
+        rng = rng if rng is not None else random.Random(0xBAD)
+        for block in chip.blocks:
+            if rng.random() < factory_bad_ratio:
+                self._retire_silently(block.block_id)
+        self.factory_bad = len(self._bad)
+        self.grown_bad = 0
+
+    def _retire_silently(self, block_id: int) -> None:
+        try:
+            self.chip.take_specific_block(block_id)
+        except FlashError:
+            raise FlashError(
+                f"cannot retire block {block_id}: not in the free pool"
+            )
+        self._bad.add(block_id)
+
+    def is_bad(self, block_id: int) -> bool:
+        return block_id in self._bad
+
+    @property
+    def bad_count(self) -> int:
+        return len(self._bad)
+
+    def retire(self, block: Block) -> None:
+        """Retire a grown-bad block (after migrating any live data).
+
+        The block must be empty (erased or fully migrated+erased); the
+        caller is responsible for the migration, exactly like GC.
+        """
+        if block.block_id in self._bad:
+            raise FlashError(f"block {block.block_id} is already retired")
+        if block.valid_count > 0:
+            raise FlashError(
+                f"block {block.block_id} still holds live data; migrate first"
+            )
+        self._bad.add(block.block_id)
+        self.grown_bad += 1
+
+    def usable_blocks(self) -> List[Block]:
+        return [b for b in self.chip.blocks if b.block_id not in self._bad]
+
+    def remaining_life_fraction(self, endurance: int = 30_000) -> float:
+        """Crude health metric: unused endurance over usable blocks."""
+        usable = self.usable_blocks()
+        if not usable:
+            return 0.0
+        spent = sum(b.erase_count for b in usable) / (len(usable) * endurance)
+        return max(0.0, 1.0 - spent)

@@ -1,0 +1,123 @@
+"""Background media scrubbing (patrol reads).
+
+Firmware periodically walks the written blocks, reading pages through the
+ECC engine to catch latent errors before they accumulate past the
+correction budget.  Blocks whose reads need heavy correction (or go
+uncorrectable) are flagged for retirement -- the grown-bad-block feed of
+:class:`~repro.flash.firmware.BadBlockManager`.
+
+The scrubber runs as a low-priority simulated process: each patrol read
+occupies the block's channel like any other command, so scrubbing load is
+visible to foreground traffic exactly as in real devices.
+"""
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.flash.firmware import EccConfig, EccEngine
+from repro.flash.ssd import Ssd
+from repro.sim import Timeout
+from repro.sim.core import MSEC
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of scrubbing activity so far."""
+
+    pages_scrubbed: int = 0
+    bits_corrected: int = 0
+    uncorrectable_pages: int = 0
+    #: (chip_id, block_id) flagged for retirement.
+    flagged_blocks: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class Scrubber:
+    """Patrol-read walker over one SSD's written blocks."""
+
+    def __init__(
+        self,
+        ssd: Ssd,
+        ecc: Optional[EccEngine] = None,
+        pages_per_round: int = 16,
+        round_interval_us: float = 50 * MSEC,
+        flag_threshold_bits: int = 30,
+    ) -> None:
+        if pages_per_round < 1:
+            raise ConfigError("pages_per_round must be >= 1")
+        if round_interval_us <= 0:
+            raise ConfigError("round interval must be positive")
+        if flag_threshold_bits < 1:
+            raise ConfigError("flag threshold must be >= 1")
+        self.ssd = ssd
+        self.sim = ssd.sim
+        self.ecc = ecc if ecc is not None else EccEngine(EccConfig())
+        self.pages_per_round = pages_per_round
+        self.round_interval_us = round_interval_us
+        self.flag_threshold_bits = flag_threshold_bits
+        self.report = ScrubReport()
+        self._flagged: Set[Tuple[int, int]] = set()
+        self._cursor = (0, 0)  # (chip index, block index)
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.spawn(self._patrol_loop())
+
+    def _advance_cursor(self) -> Tuple[int, int]:
+        chip_idx, block_idx = self._cursor
+        block_idx += 1
+        if block_idx >= self.ssd.chips[chip_idx].blocks_per_chip:
+            block_idx = 0
+            chip_idx = (chip_idx + 1) % len(self.ssd.chips)
+        self._cursor = (chip_idx, block_idx)
+        return self._cursor
+
+    def _patrol_loop(self) -> Generator:
+        while True:
+            yield Timeout(self.sim, self.round_interval_us)
+            yield self.sim.spawn(self.scrub_round())
+
+    def scrub_round(self) -> Generator:
+        """Process: patrol up to ``pages_per_round`` written pages."""
+        scanned = 0
+        steps = 0
+        total_blocks = sum(c.blocks_per_chip for c in self.ssd.chips)
+        while scanned < self.pages_per_round and steps < total_blocks:
+            steps += 1
+            chip_idx, block_idx = self._advance_cursor()
+            chip = self.ssd.chips[chip_idx]
+            block = chip.blocks[block_idx]
+            if block.valid_count == 0:
+                continue
+            if (chip.chip_id, block.block_id) in self._flagged:
+                continue
+            channel = self.ssd.channel_of_chip(chip)
+            pages = block.valid_pages()[: self.pages_per_round - scanned]
+            corrected_in_block = 0
+            for _page in pages:
+                yield self.sim.spawn(channel.read_page(4.0))
+                outcome, extra_us = self.ecc.read_page(block.erase_count)
+                if extra_us > 0:
+                    yield Timeout(self.sim, extra_us)
+                self.report.pages_scrubbed += 1
+                scanned += 1
+                if outcome.uncorrectable:
+                    self.report.uncorrectable_pages += 1
+                    self._flag(chip.chip_id, block.block_id)
+                    break
+                self.report.bits_corrected += outcome.corrected_bits
+                corrected_in_block += outcome.corrected_bits
+            if corrected_in_block >= self.flag_threshold_bits:
+                self._flag(chip.chip_id, block.block_id)
+
+    def _flag(self, chip_id: int, block_id: int) -> None:
+        key = (chip_id, block_id)
+        if key not in self._flagged:
+            self._flagged.add(key)
+            self.report.flagged_blocks.append(key)
+
+    def is_flagged(self, chip_id: int, block_id: int) -> bool:
+        return (chip_id, block_id) in self._flagged

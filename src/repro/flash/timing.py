@@ -1,0 +1,67 @@
+"""Device timing profiles.
+
+The paper's sensitivity study (§4.5.3, Figures 19-20) compares three
+devices: an Intel Optane SSD (fastest), an Intel DC NAND SSD, and the
+programmable open-channel SSD of the testbed (P-SSD, slowest).  The values
+below are representative datasheet-scale latencies; the experiments depend
+on their *ordering and ratios*, not the exact microsecond values.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Operation latencies (microseconds) for one device class."""
+
+    name: str
+    read_us: float
+    program_us: float
+    erase_us: float
+    #: Channel bus transfer cost per KB moved (both directions).
+    transfer_us_per_kb: float = 0.025
+
+    def __post_init__(self) -> None:
+        for field_name in ("read_us", "program_us", "erase_us", "transfer_us_per_kb"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigError(f"{field_name} must be >= 0, got {value!r}")
+
+    def read_latency(self, size_kb: float) -> float:
+        """Array read + bus transfer for ``size_kb`` of data."""
+        return self.read_us + size_kb * self.transfer_us_per_kb
+
+    def program_latency(self, size_kb: float) -> float:
+        """Bus transfer + array program for ``size_kb`` of data."""
+        return self.program_us + size_kb * self.transfer_us_per_kb
+
+
+#: Intel Optane 900P class device: near-DRAM latency, no meaningful
+#: read/program asymmetry.  (Emulated as very fast flash so the GC machinery
+#: still exercises the same code path.)
+OPTANE = DeviceProfile(name="optane", read_us=10.0, program_us=12.0, erase_us=200.0)
+
+#: Intel DC NAND SSD class device.
+INTEL_DC = DeviceProfile(
+    name="intel-dc", read_us=80.0, program_us=300.0, erase_us=1_500.0
+)
+
+#: Open-channel programmable SSD of the testbed (LightNVM class): the
+#: slowest of the three, with multi-millisecond erases.
+PSSD = DeviceProfile(name="pssd", read_us=120.0, program_us=800.0, erase_us=5_000.0)
+
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    profile.name: profile for profile in (OPTANE, INTEL_DC, PSSD)
+}
+
+
+def profile_by_name(name: str) -> DeviceProfile:
+    """Look up a built-in profile; raises ``ConfigError`` for unknown names."""
+    try:
+        return DEVICE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PROFILES))
+        raise ConfigError(f"unknown device profile {name!r} (known: {known})") from None

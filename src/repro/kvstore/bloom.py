@@ -1,0 +1,63 @@
+"""A classic Bloom filter for LSM table lookups.
+
+Sized from target capacity and false-positive rate using the standard
+formulas: m = -n·ln(p)/ln(2)^2 bits and k = (m/n)·ln(2) hash functions.
+Hashes are derived by double hashing over two independent 64-bit values.
+"""
+
+import hashlib
+import math
+
+from repro.errors import ConfigError
+
+
+def _hash_pair(key: str) -> "tuple[int, int]":
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little") | 1,  # odd => full-period stride
+    )
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over string keys."""
+
+    def __init__(self, capacity: int, false_positive_rate: float = 0.01) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ConfigError("false_positive_rate must be in (0,1)")
+        self.capacity = capacity
+        self.false_positive_rate = false_positive_rate
+        ln2 = math.log(2.0)
+        self.num_bits = max(8, int(-capacity * math.log(false_positive_rate) / ln2**2))
+        self.num_hashes = max(1, round(self.num_bits / capacity * ln2))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.inserted = 0
+
+    def _positions(self, key: str):
+        h1, h2 = _hash_pair(key)
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: str) -> None:
+        """Insert a key (sets its k bit positions)."""
+        for pos in self._positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self.inserted += 1
+
+    def might_contain(self, key: str) -> bool:
+        """False means *definitely absent*; True means maybe present."""
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(key)
+        )
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (a saturation diagnostic)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.num_bits
+
+    @property
+    def size_bytes(self) -> int:
+        """In-memory footprint of the bit array."""
+        return len(self._bits)

@@ -1,0 +1,87 @@
+"""A client-side LRU read cache for the rack KV store.
+
+Applications front hot keys with a local cache; this one wraps
+:class:`~repro.kvstore.store.RackKvStore` with an invalidate-on-write LRU,
+so GETs for hot keys skip the network entirely while writes stay strongly
+consistent (the local copy is refreshed at write commit).
+"""
+
+from collections import OrderedDict
+from typing import Generator, Optional
+
+from repro.errors import ConfigError
+from repro.kvstore.store import RackKvStore
+
+
+class LruCache:
+    """A bounded LRU map (the cache's mechanism, standalone-testable)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[str]:
+        """Lookup; refreshes recency on hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: str) -> None:
+        """Insert/refresh; evicts the least-recently-used on overflow."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: str) -> None:
+        """Drop a key if cached (idempotent)."""
+        self._entries.pop(key, None)
+
+    def hit_ratio(self) -> float:
+        """Hits over all lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedKvStore:
+    """GET-through cache over a :class:`RackKvStore`."""
+
+    def __init__(self, store: RackKvStore, capacity: int = 1024) -> None:
+        self.store = store
+        self.sim = store.sim
+        self.cache = LruCache(capacity)
+
+    def get(self, key: str) -> Generator:
+        """Process: cached read; (value, latency us, served_from_cache)."""
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, 0.0, True
+        value, latency = yield self.sim.spawn(self.store.get(key))
+        if value is not None:
+            self.cache.put(key, value)
+        return value, latency, False
+
+    def put(self, key: str, value: str) -> Generator:
+        """Process: write-through; the cache is refreshed at commit."""
+        latency = yield self.sim.spawn(self.store.put(key, value))
+        self.cache.put(key, value)
+        return latency
+
+    def delete(self, key: str) -> Generator:
+        """Process: delete and drop any cached copy."""
+        self.cache.invalidate(key)
+        latency = yield self.sim.spawn(self.store.delete(key))
+        return latency

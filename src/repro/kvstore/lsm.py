@@ -1,0 +1,306 @@
+"""A log-structured merge tree on one vSSD.
+
+The application-managed-flash pattern of the paper's reference [84]
+(LSM-tree KV store on an open-channel SSD): writes absorb into an
+in-memory memtable; full memtables flush as *sorted runs* -- sequential
+page extents written through the vSSD -- and leveled compaction merges
+runs downward.  Every flush and compaction is timed flash I/O on the
+simulated channels, so the engine produces exactly the bursty sequential
+write traffic (and subsequent GC pressure) that real LSM stores impose
+on SDF.
+
+Modelling notes:
+
+* values are small (``entries_per_page`` per 4 KB page); each table keeps
+  an in-memory index (key -> page) and a Bloom filter, as real engines do;
+* a tombstone masks older versions and is dropped when a compaction
+  writes into the deepest level;
+* freed extents are trimmed (invalidating their pages for GC) and the
+  LPN space is recycled through a free list.
+"""
+
+import itertools
+from bisect import insort
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.kvstore.bloom import BloomFilter
+from repro.vssd.vssd import VSsd
+
+#: Sentinel stored as a value to mark deletion.
+_TOMBSTONE = object()
+
+
+@dataclass
+class SsTable:
+    """One immutable sorted run on flash."""
+
+    table_id: int
+    level: int
+    first_lpn: int
+    num_pages: int
+    #: key -> (page offset within the extent); the in-memory sparse index.
+    index: Dict[str, int]
+    bloom: BloomFilter
+    #: Simulated page contents: page offset -> {key: value-or-tombstone}.
+    pages: Dict[int, Dict[str, object]]
+
+    @property
+    def num_entries(self) -> int:
+        """Live keys indexed by this table."""
+        return len(self.index)
+
+    def lpn_of(self, page_offset: int) -> int:
+        """Logical page number of one page of this table's extent."""
+        return self.first_lpn + page_offset
+
+
+class LsmTree:
+    """Memtable + leveled sorted runs over a vSSD."""
+
+    def __init__(
+        self,
+        vssd: VSsd,
+        memtable_entries: int = 256,
+        level_fanout: int = 4,
+        entries_per_page: int = 16,
+        false_positive_rate: float = 0.01,
+        max_levels: int = 6,
+    ) -> None:
+        if memtable_entries < 1 or entries_per_page < 1:
+            raise ConfigError("memtable_entries and entries_per_page must be >= 1")
+        if level_fanout < 2:
+            raise ConfigError("level_fanout must be >= 2")
+        self.vssd = vssd
+        self.sim = vssd.sim
+        self.memtable_entries = memtable_entries
+        self.level_fanout = level_fanout
+        self.entries_per_page = entries_per_page
+        self.false_positive_rate = false_positive_rate
+        self.max_levels = max_levels
+
+        self._memtable: Dict[str, object] = {}
+        self._levels: List[List[SsTable]] = [[] for _ in range(max_levels)]
+        self._table_ids = itertools.count(1)
+
+        # LPN extent allocator: bump pointer + free list of (lpn, n).
+        self._next_lpn = 0
+        self._free_extents: List[Tuple[int, int]] = []
+
+        # Statistics.
+        self.flushes = 0
+        self.compactions = 0
+        self.pages_written = 0
+        self.pages_read = 0
+        self.bloom_skips = 0
+
+    # -------------------------------------------------------------- public
+
+    def put(self, key: str, value: str) -> Generator:
+        """Process: insert/overwrite a key (may trigger flush+compaction)."""
+        self._memtable[key] = value
+        if len(self._memtable) >= self.memtable_entries:
+            yield self.sim.spawn(self.flush())
+
+    def delete(self, key: str) -> Generator:
+        """Process: delete via tombstone."""
+        self._memtable[key] = _TOMBSTONE
+        if len(self._memtable) >= self.memtable_entries:
+            yield self.sim.spawn(self.flush())
+
+    def get(self, key: str) -> Generator:
+        """Process: point lookup; returns the value or ``None``."""
+        if key in self._memtable:
+            value = self._memtable[key]
+            return None if value is _TOMBSTONE else value
+        for level_tables in self._levels:
+            # Within a level, newest table wins.
+            for table in reversed(level_tables):
+                if not table.bloom.might_contain(key):
+                    self.bloom_skips += 1
+                    continue
+                page_offset = table.index.get(key)
+                if page_offset is None:
+                    continue  # bloom false positive
+                yield self.sim.spawn(self.vssd.read(table.lpn_of(page_offset)))
+                self.pages_read += 1
+                value = table.pages[page_offset][key]
+                return None if value is _TOMBSTONE else value
+        return None
+
+    def scan(self, start_key: str, count: int) -> Generator:
+        """Process: range scan -- up to ``count`` live entries >= start_key.
+
+        This is the primitive YCSB-E exercises.  The scan resolves the
+        newest version of every candidate key (memtable first, then
+        levels top-down), skips tombstones, and charges one timed page
+        read per distinct flash page actually touched -- a merge-iterator
+        cost model.
+        """
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        # Resolve newest version per key without touching flash yet.
+        resolution: Dict[str, Tuple[Optional[SsTable], Optional[int]]] = {}
+        for key in self._memtable:
+            if key >= start_key:
+                resolution[key] = (None, None)  # memtable-resident
+        for level_tables in self._levels:
+            for table in reversed(level_tables):
+                for key, offset in table.index.items():
+                    if key >= start_key and key not in resolution:
+                        resolution[key] = (table, offset)
+        selected = sorted(resolution)[: count * 2]  # headroom for tombstones
+        # Charge the flash reads (one per distinct page).
+        selected_set = set(selected)
+        pages_to_read: Dict[Tuple[int, int], SsTable] = {}
+        for key, (table, offset) in resolution.items():
+            if key in selected_set and table is not None:
+                pages_to_read[(table.table_id, offset)] = table
+        for (_table_id, offset), table in sorted(pages_to_read.items()):
+            yield self.sim.spawn(self.vssd.read(table.lpn_of(offset)))
+            self.pages_read += 1
+        # Materialise results in key order, dropping tombstones.
+        results: List[Tuple[str, str]] = []
+        for key in selected:
+            table, offset = resolution[key]
+            value = (
+                self._memtable[key] if table is None else table.pages[offset][key]
+            )
+            if value is _TOMBSTONE:
+                continue
+            results.append((key, value))
+            if len(results) >= count:
+                break
+        return results
+
+    def flush(self) -> Generator:
+        """Process: write the memtable out as a level-0 sorted run."""
+        if not self._memtable:
+            return
+        entries = dict(self._memtable)
+        self._memtable = {}
+        table = yield self.sim.spawn(self._write_table(entries, level=0))
+        self._levels[0].append(table)
+        self.flushes += 1
+        yield self.sim.spawn(self._maybe_compact())
+
+    # ---------------------------------------------------------- internals
+
+    def _alloc_extent(self, num_pages: int) -> int:
+        for i, (lpn, length) in enumerate(self._free_extents):
+            if length >= num_pages:
+                if length == num_pages:
+                    self._free_extents.pop(i)
+                else:
+                    self._free_extents[i] = (lpn + num_pages, length - num_pages)
+                return lpn
+        lpn = self._next_lpn
+        if lpn + num_pages > self.vssd.logical_pages:
+            raise ConfigError(
+                f"LSM out of logical space: need {num_pages} pages at "
+                f"{lpn}/{self.vssd.logical_pages}"
+            )
+        self._next_lpn += num_pages
+        return lpn
+
+    def _free_extent(self, table: SsTable) -> None:
+        # Trim the pages (stale for GC) and recycle the LPN range.
+        for offset in range(table.num_pages):
+            self.vssd.ftl.trim(table.lpn_of(offset))
+        insort(self._free_extents, (table.first_lpn, table.num_pages))
+
+    def _write_table(self, entries: Dict[str, object], level: int) -> Generator:
+        """Process: materialise sorted entries as a flash-resident table."""
+        keys = sorted(entries)
+        num_pages = max(1, -(-len(keys) // self.entries_per_page))
+        first_lpn = self._alloc_extent(num_pages)
+        index: Dict[str, int] = {}
+        pages: Dict[int, Dict[str, object]] = {}
+        bloom = BloomFilter(max(1, len(keys)), self.false_positive_rate)
+        for offset in range(num_pages):
+            chunk = keys[offset * self.entries_per_page:
+                         (offset + 1) * self.entries_per_page]
+            pages[offset] = {k: entries[k] for k in chunk}
+            for k in chunk:
+                index[k] = offset
+                bloom.add(k)
+            yield self.sim.spawn(self.vssd.write(first_lpn + offset))
+            self.pages_written += 1
+        return SsTable(
+            table_id=next(self._table_ids), level=level,
+            first_lpn=first_lpn, num_pages=num_pages,
+            index=index, bloom=bloom, pages=pages,
+        )
+
+    def _maybe_compact(self) -> Generator:
+        """Process: cascade compactions while any level overflows."""
+        level = 0
+        while level < self.max_levels - 1:
+            if len(self._levels[level]) <= self.level_fanout:
+                level += 1
+                continue
+            yield self.sim.spawn(self._compact_level(level))
+            # A merge may have overflowed level+1; re-check from there.
+            level += 1
+
+    def _compact_level(self, level: int) -> Generator:
+        """Process: merge every table at ``level`` into one at ``level+1``."""
+        inputs = self._levels[level]
+        self._levels[level] = []
+        merged: Dict[str, object] = {}
+        # Oldest first, newest overwrites: preserves recency.
+        for table in inputs:
+            for offset in range(table.num_pages):
+                yield self.sim.spawn(self.vssd.read(table.lpn_of(offset)))
+                self.pages_read += 1
+            merged.update(
+                {k: table.pages[off][k] for k, off in table.index.items()}
+            )
+        target_level = level + 1
+        bottom = target_level == self.max_levels - 1
+        if bottom:
+            # Tombstones have masked everything below; drop them.
+            merged = {k: v for k, v in merged.items() if v is not _TOMBSTONE}
+        if merged:
+            table = yield self.sim.spawn(
+                self._write_table(merged, level=target_level)
+            )
+            self._levels[target_level].append(table)
+        for table in inputs:
+            self._free_extent(table)
+        self.compactions += 1
+
+    # ------------------------------------------------------------- queries
+
+    def table_count(self) -> int:
+        """Tables currently resident across all levels."""
+        return sum(len(tables) for tables in self._levels)
+
+    def level_sizes(self) -> List[int]:
+        """Table count per level (level 0 first)."""
+        return [len(tables) for tables in self._levels]
+
+    def resident_entries(self) -> int:
+        """Entries across memtable and all tables (incl. shadowed ones)."""
+        return len(self._memtable) + sum(
+            t.num_entries for tables in self._levels for t in tables
+        )
+
+    def space_pages(self) -> int:
+        """Flash pages occupied by resident tables."""
+        return sum(t.num_pages for tables in self._levels for t in tables)
+
+    def check_invariants(self) -> None:
+        """Extents must be disjoint and within the device (test hook)."""
+        extents = sorted(
+            (t.first_lpn, t.num_pages)
+            for tables in self._levels for t in tables
+        )
+        previous_end = 0
+        for lpn, length in extents:
+            if lpn < previous_end:
+                raise ConfigError(f"overlapping extents at lpn {lpn}")
+            previous_end = lpn + length
+        if previous_end > self.vssd.logical_pages:
+            raise ConfigError("extent beyond device capacity")

@@ -1,0 +1,137 @@
+"""A replicated key-value API over the simulated rack.
+
+GET/PUT/DELETE ride the exact same end-to-end path as the evaluation's
+synthetic workloads: keys hash to a replica pair and a logical page,
+writes fan out to both in-rack replicas and complete when both hold a
+DRAM copy, reads go to the primary and get redirected by the switch when
+it is collecting.  Values must fit one 4 KB page (the evaluation's
+request granularity).
+
+The store keeps the authoritative value map in memory (the simulated
+flash carries no payloads); what the rack provides is *timing* and the
+full coordination machinery.
+"""
+
+import hashlib
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cluster.rack import Rack
+from repro.errors import ConfigError
+from repro.metrics.collector import ExperimentMetrics
+from repro.net.packet import read_request, write_request
+from repro.sim import AllOf
+
+
+def _key_hash(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RackKvStore:
+    """GET/PUT/DELETE over a :class:`~repro.cluster.rack.Rack`."""
+
+    MAX_VALUE_BYTES = 4096
+
+    def __init__(
+        self,
+        rack: Rack,
+        client_name: str = "kv-client",
+        working_set_fraction: float = 0.5,
+        metrics: Optional[ExperimentMetrics] = None,
+    ) -> None:
+        if not rack.pairs:
+            raise ConfigError("the rack has no vSSD pairs to store into")
+        self.rack = rack
+        self.sim = rack.sim
+        self.client_name = client_name
+        self.metrics = metrics if metrics is not None else ExperimentMetrics()
+        self._key_spaces = [
+            rack.working_set_pages(pair, working_set_fraction)
+            for pair in rack.pairs
+        ]
+        #: The authoritative contents; (pair index, lpn) collisions are
+        #: resolved per key (multiple keys may share a page, like slots).
+        self._data: Dict[str, str] = {}
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- routing
+
+    def _route(self, key: str) -> Tuple[int, int]:
+        """(pair index, lpn) for a key -- consistent for the store's life."""
+        h = _key_hash(key)
+        pair_idx = h % len(self.rack.pairs)
+        lpn = (h // len(self.rack.pairs)) % self._key_spaces[pair_idx]
+        return pair_idx, lpn
+
+    # ----------------------------------------------------------------- API
+
+    def put(self, key: str, value: str) -> Generator:
+        """Process: replicated write; returns the end-to-end latency (us).
+
+        Validation is eager, so an oversized value fails at the call site
+        rather than inside the scheduled process.
+        """
+        if len(value.encode("utf-8")) > self.MAX_VALUE_BYTES:
+            raise ConfigError(
+                f"value for {key!r} exceeds one page "
+                f"({self.MAX_VALUE_BYTES} bytes)"
+            )
+        pair_idx, lpn = self._route(key)
+        pair = self.rack.pairs[pair_idx]
+
+        def proc() -> Generator:
+            t0 = self.sim.now
+            events = []
+            for vssd in (pair.primary, pair.replica):
+                pkt = write_request(vssd.vssd_id, self.client_name, "", t0)
+                rid = self.rack.new_request_id()
+                pkt.payload.update(lpn=lpn, rid=rid)
+                events.append(self.rack.register_pending(rid))
+                self.rack.send_from_client(pkt, flow_id=self.client_name)
+            yield AllOf(self.sim, events)
+            latency = self.sim.now - t0
+            self._data[key] = value
+            self.puts += 1
+            self.metrics.record("write", latency, at=self.sim.now)
+            return latency
+
+        return proc()
+
+    def get(self, key: str) -> Generator:
+        """Process: read; returns (value or None, latency us)."""
+        pair_idx, lpn = self._route(key)
+        pair = self.rack.pairs[pair_idx]
+        t0 = self.sim.now
+        pkt = read_request(pair.primary.vssd_id, self.client_name, "", t0)
+        rid = self.rack.new_request_id()
+        pkt.payload.update(lpn=lpn, rid=rid)
+        done = self.rack.register_pending(rid)
+        self.rack.send_from_client(pkt, flow_id=self.client_name)
+        yield done
+        latency = self.sim.now - t0
+        self.gets += 1
+        self.metrics.record("read", latency, at=self.sim.now)
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        return value, latency
+
+    def delete(self, key: str) -> Generator:
+        """Process: replicated delete (a write of the empty slot)."""
+        existed = key in self._data
+        latency = yield self.sim.spawn(self.put(key, ""))
+        self.puts -= 1  # the inner put counted itself
+        if existed:
+            self._data.pop(key, None)
+        self.deletes += 1
+        return latency
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def contains(self, key: str) -> bool:
+        """Whether the store currently holds a value for the key."""
+        return key in self._data

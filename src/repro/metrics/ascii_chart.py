@@ -1,0 +1,121 @@
+"""Terminal-friendly charts for experiment output.
+
+The figure report is text; these helpers make the shapes visible without
+a plotting stack: horizontal bar charts for grouped comparisons (the
+Figure 9 style) and log-scaled CDF curves (the Figure 16 style).
+"""
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+BAR_CHAR = "#"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bars, scaled to the longest value.
+
+    >>> print(bar_chart([("a", 10.0), ("b", 20.0)], width=10))
+    a  #####       10.0
+    b  ##########  20.0
+    """
+    if not items:
+        raise ConfigError("bar chart needs at least one item")
+    if width < 2:
+        raise ConfigError("width must be >= 2")
+    if any(value < 0 for _, value in items):
+        raise ConfigError("bar values must be >= 0")
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = BAR_CHAR * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Dict[str, float]]],
+    series_order: Optional[List[str]] = None,
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Bars grouped under row headers (one group per sweep point)."""
+    if not groups:
+        raise ConfigError("need at least one group")
+    if series_order is None:
+        series_order = list(groups[0][1])
+    flat = [
+        value
+        for _, series in groups
+        for key, value in series.items()
+        if value is not None
+    ]
+    if not flat:
+        raise ConfigError("no values to chart")
+    peak = max(flat) or 1.0
+    label_width = max(len(name) for name in series_order)
+    lines = [title] if title else []
+    for group_label, series in groups:
+        lines.append(f"{group_label}:")
+        for name in series_order:
+            value = series.get(name)
+            if value is None:
+                lines.append(f"  {name.ljust(label_width)}  (no data)")
+                continue
+            bar = BAR_CHAR * max(1, round(value / peak * width))
+            lines.append(
+                f"  {name.ljust(label_width)}  {bar.ljust(width)} "
+                f"{value:.1f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    curves: Dict[str, Sequence[float]],
+    quantiles: Sequence[float] = (50.0, 90.0, 95.0, 99.0, 99.9),
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Quantile ladder on a log-latency axis, one row per (q, series).
+
+    Each row places a marker proportional to log(latency), so curve
+    separation in the tail is visible at a glance.
+    """
+    from repro.metrics.percentiles import percentile
+
+    if not curves:
+        raise ConfigError("need at least one curve")
+    if any(not values for values in curves.values()):
+        raise ConfigError("every curve needs samples")
+    points = {
+        name: [percentile(values, q) for q in quantiles]
+        for name, values in curves.items()
+    }
+    lo = min(min(vals) for vals in points.values())
+    hi = max(max(vals) for vals in points.values())
+    lo = max(lo, 1e-6)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    name_width = max(len(name) for name in curves)
+    lines = [title] if title else []
+    for qi, q in enumerate(quantiles):
+        lines.append(f"P{q}:")
+        for name in curves:
+            value = points[name][qi]
+            pos = int(round(math.log10(max(value, lo) / lo) / span * (width - 1)))
+            row = [" "] * width
+            row[min(pos, width - 1)] = "*"
+            lines.append(
+                f"  {name.ljust(name_width)} |{''.join(row)}| {value:.0f}us"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Aggregated experiment metrics: per-op-class latency plus breakdowns.
+
+Figure 15 reports latency *breakdowns* (storage-stack time vs end-to-end),
+so the collector keeps parallel recorders for the total and for the
+storage-only component of each request.
+"""
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.metrics.percentiles import LatencyRecorder
+
+
+class ExperimentMetrics:
+    """End-to-end and storage-component latencies for reads and writes."""
+
+    def __init__(self) -> None:
+        self.read_total = LatencyRecorder("read-total")
+        self.write_total = LatencyRecorder("write-total")
+        self.read_storage = LatencyRecorder("read-storage")
+        self.write_storage = LatencyRecorder("write-storage")
+        self.redirected_reads = 0
+        self.gc_blocked_reads = 0
+
+    def record(
+        self,
+        kind: str,
+        total_us: float,
+        at: float,
+        storage_us: Optional[float] = None,
+    ) -> None:
+        if kind == "read":
+            self.read_total.record(total_us, at)
+            if storage_us is not None:
+                self.read_storage.record(storage_us, at)
+        elif kind == "write":
+            self.write_total.record(total_us, at)
+            if storage_us is not None:
+                self.write_storage.record(storage_us, at)
+        else:
+            raise ConfigError(f"kind must be read/write, got {kind!r}")
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers (missing classes omitted)."""
+        out: Dict[str, float] = {}
+        for label, recorder in (
+            ("read", self.read_total),
+            ("write", self.write_total),
+        ):
+            if recorder.count:
+                out[f"{label}_count"] = float(recorder.count)
+                out[f"{label}_avg_us"] = recorder.mean()
+                out[f"{label}_p99_us"] = recorder.p99()
+                out[f"{label}_p999_us"] = recorder.p999()
+                out[f"{label}_kiops"] = recorder.throughput_kiops()
+        for label, recorder in (
+            ("read_storage", self.read_storage),
+            ("write_storage", self.write_storage),
+        ):
+            if recorder.count:
+                out[f"{label}_p999_us"] = recorder.p999()
+                out[f"{label}_avg_us"] = recorder.mean()
+        return out
+
+    def total_kiops(self) -> float:
+        spans = []
+        count = 0
+        for recorder in (self.read_total, self.write_total):
+            if recorder.count:
+                spans.append((recorder.first_at, recorder.last_at))
+                count += recorder.count
+        if not spans or count == 0:
+            return 0.0
+        start = min(s for s, _ in spans)
+        end = max(e for _, e in spans)
+        if end <= start:
+            return 0.0
+        return count / ((end - start) / 1000.0)

@@ -1,0 +1,117 @@
+"""A log-bucketed latency histogram (HdrHistogram-style).
+
+The exact recorders in :mod:`repro.metrics.percentiles` keep every sample,
+which is right for experiment-scale runs; long soak runs want bounded
+memory.  :class:`LogHistogram` trades a bounded relative error (one bucket
+width) for O(1) memory, like production latency-tracking systems.
+"""
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+
+
+class LogHistogram:
+    """Fixed relative-precision histogram over (0, max_value_us]."""
+
+    def __init__(
+        self,
+        min_value_us: float = 1.0,
+        max_value_us: float = 60_000_000.0,
+        buckets_per_decade: int = 32,
+    ) -> None:
+        if min_value_us <= 0 or max_value_us <= min_value_us:
+            raise ConfigError("need 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ConfigError("buckets_per_decade must be >= 1")
+        self.min_value_us = min_value_us
+        self.max_value_us = max_value_us
+        self.buckets_per_decade = buckets_per_decade
+        decades = math.log10(max_value_us / min_value_us)
+        self._bucket_count = int(math.ceil(decades * buckets_per_decade)) + 1
+        self._counts: List[int] = [0] * self._bucket_count
+        self._underflow = 0
+        self._overflow = 0
+        self.total = 0
+        self._sum = 0.0
+        self._max_seen = 0.0
+
+    def _index_of(self, value: float) -> int:
+        return int(
+            math.log10(value / self.min_value_us) * self.buckets_per_decade
+        )
+
+    def _bucket_lower(self, index: int) -> float:
+        return self.min_value_us * 10.0 ** (index / self.buckets_per_decade)
+
+    def record(self, value_us: float) -> None:
+        if value_us < 0:
+            raise ConfigError(f"negative latency {value_us}")
+        self.total += 1
+        self._sum += value_us
+        if value_us > self._max_seen:
+            self._max_seen = value_us
+        if value_us < self.min_value_us:
+            self._underflow += 1
+            return
+        if value_us > self.max_value_us:
+            self._overflow += 1
+            return
+        index = min(self._index_of(value_us), self._bucket_count - 1)
+        self._counts[index] += 1
+
+    def mean(self) -> float:
+        if self.total == 0:
+            raise ConfigError("no samples recorded")
+        return self._sum / self.total
+
+    def max(self) -> float:
+        if self.total == 0:
+            raise ConfigError("no samples recorded")
+        return self._max_seen
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile: the lower edge of the matching bucket.
+
+        Underflow counts as ``min_value_us``; overflow as the recorded max.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"q must be in [0,100], got {q}")
+        if self.total == 0:
+            raise ConfigError("no samples recorded")
+        target = q / 100.0 * self.total
+        running = self._underflow
+        if running >= target and self._underflow:
+            return self.min_value_us
+        for index, count in enumerate(self._counts):
+            running += count
+            if running >= target:
+                return self._bucket_lower(index)
+        return self._max_seen
+
+    def relative_error_bound(self) -> float:
+        """Worst-case relative quantile error (one bucket's width)."""
+        return 10.0 ** (1.0 / self.buckets_per_decade) - 1.0
+
+    def nonzero_buckets(self) -> Iterator[Tuple[float, int]]:
+        """(bucket lower bound, count) for every populated bucket."""
+        for index, count in enumerate(self._counts):
+            if count:
+                yield self._bucket_lower(index), count
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (same shape) into this one."""
+        if (
+            other.min_value_us != self.min_value_us
+            or other.max_value_us != self.max_value_us
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ConfigError("cannot merge histograms with different shapes")
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._underflow += other._underflow
+        self._overflow += other._overflow
+        self.total += other.total
+        self._sum += other._sum
+        self._max_seen = max(self._max_seen, other._max_seen)

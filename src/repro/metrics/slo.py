@@ -1,0 +1,90 @@
+"""Service-level objective (SLO) tracking.
+
+The motivation running through the paper is *predictable end-to-end
+performance*: uncoordinated SDN/SDF stacks "may contradict ... and break
+service-level objectives".  :class:`SloMonitor` scores a latency stream
+against per-class targets the way a platform operator would: compliance
+percentage, violation counts, and the worst violation burst.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One objective: e.g. 'read P99 under 2 ms'."""
+
+    op_kind: str  # "read" | "write"
+    latency_us: float
+    #: Quantile the target applies to (e.g. 99.0); 100 = every request.
+    quantile: float = 99.0
+
+    def __post_init__(self) -> None:
+        if self.op_kind not in ("read", "write"):
+            raise ConfigError(f"op_kind must be read/write, got {self.op_kind!r}")
+        if self.latency_us <= 0:
+            raise ConfigError("latency target must be positive")
+        if not 0.0 < self.quantile <= 100.0:
+            raise ConfigError("quantile must be in (0,100]")
+
+
+class SloMonitor:
+    """Scores completed requests against a set of targets."""
+
+    def __init__(self, targets: List[SloTarget]) -> None:
+        if not targets:
+            raise ConfigError("need at least one SLO target")
+        self.targets = list(targets)
+        self._latencies: Dict[str, List[float]] = {"read": [], "write": []}
+        #: Longest run of consecutive over-target requests per class
+        #: (sustained violations are what pages an operator).
+        self._current_burst: Dict[str, int] = {"read": 0, "write": 0}
+        self.worst_burst: Dict[str, int] = {"read": 0, "write": 0}
+
+    def record(self, op_kind: str, latency_us: float) -> None:
+        if op_kind not in self._latencies:
+            raise ConfigError(f"op_kind must be read/write, got {op_kind!r}")
+        self._latencies[op_kind].append(latency_us)
+        # Burst tracking against the strictest per-request-style target.
+        limit = self._tightest_limit(op_kind)
+        if limit is not None and latency_us > limit:
+            self._current_burst[op_kind] += 1
+            self.worst_burst[op_kind] = max(
+                self.worst_burst[op_kind], self._current_burst[op_kind]
+            )
+        else:
+            self._current_burst[op_kind] = 0
+
+    def _tightest_limit(self, op_kind: str) -> Optional[float]:
+        limits = [t.latency_us for t in self.targets if t.op_kind == op_kind]
+        return min(limits) if limits else None
+
+    def compliance(self, target: SloTarget) -> float:
+        """Fraction of requests at or under the target latency."""
+        values = self._latencies[target.op_kind]
+        if not values:
+            return 1.0
+        within = sum(1 for v in values if v <= target.latency_us)
+        return within / len(values)
+
+    def satisfied(self, target: SloTarget) -> bool:
+        """Is the target met at its quantile?"""
+        return self.compliance(target) >= target.quantile / 100.0
+
+    def report(self) -> List[Dict[str, object]]:
+        rows = []
+        for target in self.targets:
+            rows.append({
+                "target": f"{target.op_kind} P{target.quantile} "
+                          f"<= {target.latency_us:.0f}us",
+                "compliance_pct": 100.0 * self.compliance(target),
+                "satisfied": self.satisfied(target),
+            })
+        return rows
+
+    def violations(self, target: SloTarget) -> int:
+        values = self._latencies[target.op_kind]
+        return sum(1 for v in values if v > target.latency_us)

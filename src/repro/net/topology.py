@@ -1,0 +1,100 @@
+"""Multi-hop datacenter topology with per-hop INT accumulation.
+
+Figure 1's hierarchy: servers connect to a ToR switch, ToRs to
+aggregation switches, aggregation to core.  RackBlox measures ``Net_time``
+as "the sum of per-hop latency in the switches, since the routing and
+queuing latencies dominate" (§3.4) -- so the INT value a storage server
+reads is exactly the sum each hop wrote as the packet passed.
+
+The single-sample latency model in :class:`~repro.net.latency.LatencyProcess`
+is the aggregate view; this module is the decomposed view, used to verify
+that per-hop accumulation reconstructs the end-to-end figure and to build
+multi-tier paths for cross-rack experiments.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Generator, List, Sequence
+
+from repro.errors import ConfigError, NetworkError
+from repro.net.int_telemetry import add_hop_latency
+from repro.net.packet import Packet
+from repro.sim import Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class SwitchHop:
+    """One switch on the path: routing + queuing latency distribution."""
+
+    name: str
+    #: Median per-hop latency (routing + typical queuing), microseconds.
+    base_us: float
+    #: Lognormal-ish jitter factor: samples fall in
+    #: [base/(1+jitter), base*(1+jitter)] for moderate jitter.
+    jitter: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.base_us <= 0:
+            raise ConfigError(f"hop {self.name!r}: base_us must be positive")
+        if self.jitter < 0:
+            raise ConfigError(f"hop {self.name!r}: jitter must be >= 0")
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter == 0:
+            return self.base_us
+        return self.base_us * rng.uniform(
+            1.0 / (1.0 + self.jitter), 1.0 + self.jitter
+        )
+
+
+class NetworkPath:
+    """An ordered sequence of switch hops between two endpoints."""
+
+    def __init__(self, hops: Sequence[SwitchHop], rng: random.Random) -> None:
+        if not hops:
+            raise NetworkError("a path needs at least one hop")
+        self.hops = list(hops)
+        self._rng = rng
+        self.packets_carried = 0
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def expected_latency_us(self) -> float:
+        return sum(hop.base_us for hop in self.hops)
+
+    def sample_hops(self) -> List[float]:
+        """One latency draw per hop (the values INT would record)."""
+        return [hop.sample(self._rng) for hop in self.hops]
+
+    def traverse(self, sim: Simulator, pkt: Packet) -> Generator:
+        """Process: carry a packet across every hop, INT-stamping each.
+
+        On completion ``pkt.lat`` has grown by exactly the sum of the
+        per-hop samples -- the property §3.4 relies on.
+        """
+        for hop in self.hops:
+            hop_latency = hop.sample(self._rng)
+            yield Timeout(sim, hop_latency)
+            add_hop_latency(pkt, hop_latency)
+        self.packets_carried += 1
+
+
+def fat_tree_path(
+    rng: random.Random,
+    cross_pod: bool = False,
+    tor_us: float = 2.0,
+    agg_us: float = 6.0,
+    core_us: float = 12.0,
+) -> NetworkPath:
+    """A canonical client-to-rack path through the Figure 1 hierarchy.
+
+    Intra-pod traffic climbs client-ToR -> aggregation -> rack-ToR;
+    cross-pod traffic additionally crosses a core switch.
+    """
+    hops = [SwitchHop("client-tor", tor_us), SwitchHop("agg-up", agg_us)]
+    if cross_pod:
+        hops.append(SwitchHop("core", core_us))
+        hops.append(SwitchHop("agg-down", agg_us))
+    hops.append(SwitchHop("rack-tor", tor_us))
+    return NetworkPath(hops, rng)

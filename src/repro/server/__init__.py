@@ -1,0 +1,35 @@
+"""The storage server (SDF) stack.
+
+Implements Algorithm 2 and its periphery: local I/O schedulers (no-op /
+Deadline / Kyber) with coordinated variants that reorder by
+``Net_time + Storage_time + Predict_time``, the sliding-window return-path
+latency predictor, the DRAM write cache with background flushing, the
+idle-time predictor for background GC, and the periodic GC monitor that
+talks to the ToR switch.
+"""
+
+from repro.server.idle import IdlePredictor
+from repro.server.iosched import (
+    CoordinatedScheduler,
+    DeadlineIoScheduler,
+    FifoIoScheduler,
+    IoRequest,
+    KyberIoScheduler,
+    make_scheduler,
+)
+from repro.server.predictor import ReturnLatencyPredictor
+from repro.server.sdf import StorageServer
+from repro.server.write_cache import WriteCache
+
+__all__ = [
+    "IoRequest",
+    "FifoIoScheduler",
+    "DeadlineIoScheduler",
+    "KyberIoScheduler",
+    "CoordinatedScheduler",
+    "make_scheduler",
+    "ReturnLatencyPredictor",
+    "WriteCache",
+    "IdlePredictor",
+    "StorageServer",
+]

@@ -1,0 +1,235 @@
+"""The storage server: Algorithm 2's packet-processing workflow.
+
+Reads enter the local I/O scheduler (coordinated or not) and dispatch to
+the vSSD's flash channels; writes land in the DRAM cache and complete
+immediately (flushed in the background).  The server feeds the
+return-latency predictor from the INT field of every incoming packet and
+exposes per-request hooks the rack uses to time responses.
+"""
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.errors import ConfigError
+from repro.net.packet import OpType, Packet
+from repro.server.idle import IdlePredictor
+from repro.server.iosched import IoRequest
+from repro.server.predictor import ReturnLatencyPredictor
+from repro.server.write_cache import WriteCache
+from repro.sim import Event, Simulator
+from repro.vssd.vssd import VSsd
+
+
+class StorageServer:
+    """One storage server hosting vSSDs behind an I/O scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: str,
+        scheduler,
+        write_cache: Optional[WriteCache] = None,
+        predictor: Optional[ReturnLatencyPredictor] = None,
+        max_inflight: int = 8,
+        per_vssd_inflight: Optional[int] = None,
+        respond_fn: Optional[Callable[[Packet, "StorageServer"], None]] = None,
+        software_redirect_fn: Optional[Callable[[Packet, "StorageServer"], bool]] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigError(f"max_inflight must be >= 1, got {max_inflight}")
+        if per_vssd_inflight is not None and per_vssd_inflight < 1:
+            raise ConfigError("per_vssd_inflight must be >= 1 when given")
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.scheduler = scheduler
+        self.write_cache = write_cache if write_cache is not None else WriteCache(sim)
+        self.predictor = predictor if predictor is not None else ReturnLatencyPredictor()
+        self.max_inflight = max_inflight
+        self.respond_fn = respond_fn
+        #: RackBlox (Software): a hook that forwards a read to the replica
+        #: server when the local vSSD is collecting.  Returns True when the
+        #: request was taken over.
+        self.software_redirect_fn = software_redirect_fn
+
+        self.per_vssd_inflight = per_vssd_inflight
+        #: Cleared when the failure machinery crashes this server.
+        self.alive = True
+        self._vssds: Dict[int, VSsd] = {}
+        self.idle_predictors: Dict[int, IdlePredictor] = {}
+        self._inflight = 0
+        #: Per-vSSD device queue depth; keeping it near the vSSD's channel
+        #: count keeps the backlog *in the scheduler* (where policy applies),
+        #: the way Kyber limits in-device tokens on real hardware.
+        self._vssd_inflight: Dict[int, int] = {}
+        self._vssd_limit: Dict[int, int] = {}
+        self._work: Optional[Event] = None
+        self.reads_received = 0
+        self.writes_received = 0
+        self.reads_completed = 0
+        self.flushes_completed = 0
+        self.software_redirects = 0
+        # Route cache flushes through this server's scheduler, so
+        # background writes contend with reads like any other request.
+        self.write_cache.submit_fn = self._submit_flush
+        sim.spawn(self._dispatch_loop())
+
+    # ----------------------------------------------------------- topology
+
+    def host_vssd(self, vssd: VSsd) -> None:
+        """Attach a vSSD to this server (with its idle predictor and
+        device-queue limit derived from its channel span)."""
+        if vssd.vssd_id in self._vssds:
+            raise ConfigError(f"vSSD {vssd.vssd_id} already hosted on {self.name}")
+        self._vssds[vssd.vssd_id] = vssd
+        self.idle_predictors[vssd.vssd_id] = IdlePredictor()
+        self._vssd_inflight[vssd.vssd_id] = 0
+        if self.per_vssd_inflight is not None:
+            limit = self.per_vssd_inflight
+        else:
+            geometry = vssd.ssd.geometry
+            limit = len(
+                {geometry.channel_of_chip(chip.chip_id) for chip in vssd.ftl.chips}
+            )
+        self._vssd_limit[vssd.vssd_id] = max(1, limit)
+
+    def vssd(self, vssd_id: int) -> VSsd:
+        """The hosted vSSD with this id (ConfigError if not hosted)."""
+        try:
+            return self._vssds[vssd_id]
+        except KeyError:
+            raise ConfigError(f"vSSD {vssd_id} is not hosted on {self.name}") from None
+
+    @property
+    def vssds(self):
+        """All vSSDs hosted on this server."""
+        return list(self._vssds.values())
+
+    # --------------------------------------------------------- packet entry
+
+    def receive_packet(self, pkt: Packet) -> None:
+        """Entry point from the rack: Algorithm 2 dispatch."""
+        if pkt.op is OpType.WRITE:
+            self.writes_received += 1
+            self.sim.spawn(self._handle_write(pkt))
+        elif pkt.op is OpType.READ:
+            self.reads_received += 1
+            self._handle_read(pkt)
+        else:
+            raise ConfigError(
+                f"server {self.name} received unexpected op {pkt.op.name}"
+            )
+
+    def _handle_write(self, pkt: Packet) -> Generator:
+        vssd = self.vssd(pkt.vssd_id)
+        self.predictor.observe(pkt.vssd_id, "write", pkt.lat)
+        self.idle_predictors[pkt.vssd_id].record_request(self.sim.now)
+        lpn = pkt.payload.get("lpn", 0)
+        arrived = self.sim.now
+        # Line 2-4: cache the write (blocking only when the cache is full);
+        # the write is complete once the DRAM copy exists.
+        yield self.sim.spawn(self.write_cache.admit(vssd, lpn))
+        response = pkt.make_response(size_kb=0.1)
+        response.payload["storage_us"] = self.sim.now - arrived
+        self._respond(response)
+
+    def _handle_read(self, pkt: Packet) -> None:
+        vssd = self.vssd(pkt.vssd_id)
+        self.predictor.observe(pkt.vssd_id, "read", pkt.lat)
+        self.idle_predictors[pkt.vssd_id].record_request(self.sim.now)
+        if (
+            self.software_redirect_fn is not None
+            and vssd.gc_active
+            and self.software_redirect_fn(pkt, self)
+        ):
+            # RackBlox (Software): the replica server takes over; the extra
+            # server-to-server hop was charged by the redirect hook.
+            self.software_redirects += 1
+            return
+        request = IoRequest(
+            kind="read",
+            vssd_id=pkt.vssd_id,
+            lpn=pkt.payload.get("lpn", 0),
+            arrival_time=self.sim.now,
+            net_time=pkt.lat,
+            predict_time=self.predictor.predict(pkt.vssd_id, "read"),
+            context=pkt,
+        )
+        self.scheduler.push(request, self.sim.now)
+        self._kick()
+
+    def _submit_flush(self, vssd: VSsd, lpn: int) -> Event:
+        """Queue one cache flush as a write request; returns its completion."""
+        done = Event(self.sim)
+        request = IoRequest(
+            kind="write",
+            vssd_id=vssd.vssd_id,
+            lpn=lpn,
+            arrival_time=self.sim.now,
+            net_time=0.0,
+            predict_time=self.predictor.predict(vssd.vssd_id, "write"),
+            context=done,
+        )
+        self.scheduler.push(request, self.sim.now)
+        self._kick()
+        return done
+
+    # ------------------------------------------------------------- dispatch
+
+    def _kick(self) -> None:
+        if self._work is not None and not self._work.triggered:
+            self._work.succeed()
+
+    def _dispatchable(self, request: IoRequest) -> bool:
+        limit = self._vssd_limit.get(request.vssd_id, 1)
+        return self._vssd_inflight.get(request.vssd_id, 0) < limit
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            dispatched = False
+            while self._inflight < self.max_inflight:
+                request = self.scheduler.pop(self.sim.now, self._dispatchable)
+                if request is None:
+                    break
+                self._inflight += 1
+                self._vssd_inflight[request.vssd_id] += 1
+                dispatched = True
+                self.sim.spawn(self._service(request))
+            if not dispatched or self._inflight >= self.max_inflight:
+                self._work = Event(self.sim)
+                yield self._work
+                self._work = None
+
+    def _service(self, request: IoRequest) -> Generator:
+        vssd = self.vssd(request.vssd_id)
+        try:
+            if request.kind == "read":
+                yield self.sim.spawn(vssd.read(request.lpn))
+            else:
+                yield self.sim.spawn(vssd.write(request.lpn))
+        finally:
+            self._inflight -= 1
+            self._vssd_inflight[request.vssd_id] -= 1
+            self._kick()
+        latency = self.sim.now - request.arrival_time
+        self.scheduler.record_completion(request.kind, latency, request=request)
+        if request.kind == "read":
+            self.reads_completed += 1
+            pkt = request.context
+            if isinstance(pkt, Packet):
+                response = pkt.make_response(size_kb=4.0)
+                response.payload["storage_us"] = latency
+                self._respond(response)
+        else:
+            self.flushes_completed += 1
+            done = request.context
+            if isinstance(done, Event) and not done.triggered:
+                done.succeed()
+
+    def _respond(self, response: Packet) -> None:
+        if self.respond_fn is not None:
+            self.respond_fn(response, self)
+
+    def queue_depth(self) -> int:
+        """Requests waiting in the I/O scheduler (excludes in-flight)."""
+        return len(self.scheduler)

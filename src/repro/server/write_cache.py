@@ -1,0 +1,129 @@
+"""The DRAM write cache (§3.5.1).
+
+Writes are absorbed by the server's DRAM cache and "considered complete
+when all replicas have a DRAM copy"; dirty pages are flushed to flash in
+the background.  The cache is what keeps write tail latency low even while
+GC runs -- unless it fills, at which point admission blocks until the
+flusher frees a slot (the write-tail mechanism in Figure 9b).
+
+Flushes are submitted through the server's I/O scheduler (``submit_fn``)
+when one is wired up, so background writes compete with reads exactly as
+in the real storage stack -- and benefit from coordinated scheduling and
+coordinated GC like any other request.
+"""
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Generator, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim import Event, Simulator, Timeout
+from repro.vssd.vssd import VSsd
+
+
+class WriteCache:
+    """A bounded dirty-page cache with a background flusher per server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_pages: int = 1024,
+        flush_watermark: float = 0.5,
+        flush_parallelism: int = 4,
+        submit_fn: Optional[Callable[[VSsd, int], Event]] = None,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity_pages}")
+        if not 0.0 <= flush_watermark < 1.0:
+            raise ConfigError(f"watermark must be in [0,1), got {flush_watermark}")
+        if flush_parallelism < 1:
+            raise ConfigError("flush_parallelism must be >= 1")
+        self.sim = sim
+        self.capacity = capacity_pages
+        self.flush_watermark = flush_watermark
+        self.flush_parallelism = flush_parallelism
+        #: When set, flushes go through the server's I/O scheduler instead
+        #: of straight to the device.
+        self.submit_fn = submit_fn
+        #: Dirty entries in flush order: (vssd_id, lpn) -> vssd.  Duplicate
+        #: writes to a hot page coalesce (write combining).
+        self._dirty: "OrderedDict[Tuple[int, int], VSsd]" = OrderedDict()
+        self._admission_waiters: Deque[Event] = deque()
+        self._flush_kick: Optional[Event] = None
+        self._outstanding = 0
+        self.admissions = 0
+        self.coalesced = 0
+        self.flushes = 0
+        self.full_stalls = 0
+        sim.spawn(self._flusher())
+
+    @property
+    def dirty_pages(self) -> int:
+        """Pages cached but not yet handed to the flusher."""
+        return len(self._dirty)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction including flushes still in flight."""
+        return (len(self._dirty) + self._outstanding) / self.capacity
+
+    def admit(self, vssd: VSsd, lpn: int) -> Generator:
+        """Process: admit one write; blocks while the cache is full."""
+        key = (vssd.vssd_id, lpn)
+        if key in self._dirty:
+            self._dirty.move_to_end(key)
+            self.coalesced += 1
+            self.admissions += 1
+            return
+        while len(self._dirty) + self._outstanding >= self.capacity:
+            self.full_stalls += 1
+            waiter = Event(self.sim)
+            self._admission_waiters.append(waiter)
+            yield waiter
+        self._dirty[key] = vssd
+        self.admissions += 1
+        self._kick_flusher()
+
+    def _kick_flusher(self) -> None:
+        if self._flush_kick is not None and not self._flush_kick.triggered:
+            self._flush_kick.succeed()
+
+    def _flusher(self) -> Generator:
+        """Background process: drain dirty pages, lazily below the
+        watermark, aggressively above it, with bounded parallelism."""
+        dwell_us = 200.0
+        while True:
+            if not self._dirty or self._outstanding >= self.flush_parallelism:
+                self._flush_kick = Event(self.sim)
+                yield self._flush_kick
+                self._flush_kick = None
+                continue
+            if self.occupancy < self.flush_watermark:
+                # Light pressure: batch lazily behind a dwell.
+                yield Timeout(self.sim, dwell_us)
+                if not self._dirty:
+                    continue
+            key, vssd = self._dirty.popitem(last=False)
+            self._outstanding += 1
+            self.sim.spawn(self._flush_one(vssd, key[1]))
+
+    def _flush_one(self, vssd: VSsd, lpn: int) -> Generator:
+        try:
+            if self.submit_fn is not None:
+                yield self.submit_fn(vssd, lpn)
+            else:
+                yield self.sim.spawn(vssd.write(lpn))
+        finally:
+            self._outstanding -= 1
+            self.flushes += 1
+            if self._admission_waiters:
+                self._admission_waiters.popleft().succeed()
+            self._kick_flusher()
+
+    def flush_all(self) -> Generator:
+        """Process: synchronously drain the whole cache (used in tests)."""
+        while self._dirty:
+            key, vssd = self._dirty.popitem(last=False)
+            yield self.sim.spawn(vssd.write(key[1]))
+            self.flushes += 1
+            if self._admission_waiters:
+                self._admission_waiters.popleft().succeed()

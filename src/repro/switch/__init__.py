@@ -1,0 +1,29 @@
+"""The programmable ToR switch.
+
+Models the Tofino data plane of the paper as a match-action pipeline:
+two register-backed tables (replica table and destination table, Figure 5)
+and the packet-processing workflow of Algorithm 1, including the single
+packet recirculation needed to keep the two tables' GC state consistent
+for soft GC requests.
+"""
+
+from repro.switch.controlplane import SwitchControlPlane
+from repro.switch.dataplane import ForwardAction, ReplyAction, SwitchDataPlane
+from repro.switch.pipeline import (
+    MatchActionPipeline,
+    StatefulAccess,
+    rackblox_passes,
+)
+from repro.switch.tables import DestinationTable, ReplicaTable
+
+__all__ = [
+    "ReplicaTable",
+    "DestinationTable",
+    "SwitchDataPlane",
+    "SwitchControlPlane",
+    "ForwardAction",
+    "ReplyAction",
+    "MatchActionPipeline",
+    "StatefulAccess",
+    "rackblox_passes",
+]

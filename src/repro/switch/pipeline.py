@@ -1,0 +1,117 @@
+"""A match-action pipeline model (the P4/Tofino execution constraints).
+
+A reconfigurable match-action ASIC processes a packet in one front-to-back
+traversal of its stages; each stage's stateful memory (registers) can be
+accessed **once per pass**, in stage order.  A program that needs to touch
+an earlier stage again -- or the same stage twice -- must *recirculate*
+the packet for another pass.
+
+This is exactly why the paper's soft-GC path recirculates (§3.5.1): the
+soft request must *read* the replica's GC bit and then *write* its own GC
+bit in the destination table -- two stateful accesses to the same stage --
+so "we recirculate the packet once to ensure consistency".
+
+:class:`MatchActionPipeline` turns an access sequence into a pass count,
+and the data plane uses it to price each operation instead of hard-coding
+pass counts.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import SwitchError
+
+
+@dataclass(frozen=True)
+class StatefulAccess:
+    """One register access: which table, read or write."""
+
+    table: str
+    op: str  # "read" | "write"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise SwitchError(f"register access must be read/write, got {self.op!r}")
+
+
+class MatchActionPipeline:
+    """Stage layout + the single-access-per-stage-per-pass rule."""
+
+    def __init__(self, table_stages: Dict[str, int], num_stages: int = 12) -> None:
+        if num_stages < 1:
+            raise SwitchError("pipeline needs at least one stage")
+        for table, stage in table_stages.items():
+            if not 0 <= stage < num_stages:
+                raise SwitchError(
+                    f"table {table!r} placed in stage {stage}, but the "
+                    f"pipeline has stages [0,{num_stages})"
+                )
+        self.table_stages = dict(table_stages)
+        self.num_stages = num_stages
+
+    def passes_required(self, accesses: Sequence[StatefulAccess]) -> int:
+        """Passes needed to execute the accesses in program order."""
+        passes = 1
+        # Highest stage whose registers this pass has already touched;
+        # -1 = nothing touched yet.
+        frontier = -1
+        for access in accesses:
+            stage = self.table_stages.get(access.table)
+            if stage is None:
+                raise SwitchError(f"unknown table {access.table!r}")
+            if stage <= frontier:
+                # The packet is already past this stage: recirculate.
+                passes += 1
+                frontier = stage
+            else:
+                frontier = stage
+        return passes
+
+
+#: The RackBlox layout: the replica table's registers live in an earlier
+#: stage than the destination table's (reads consult replica first).
+RACKBLOX_PIPELINE = MatchActionPipeline({"replica": 2, "destination": 5})
+
+#: Stateful access sequences of Algorithm 1, per operation.
+RACKBLOX_PROGRAMS: Dict[str, List[StatefulAccess]] = {
+    # Reads: check own GC bit (replica table), then the replica's bit and
+    # the forwarding entry (destination table) -- strictly forward.
+    "read": [
+        StatefulAccess("replica", "read"),
+        StatefulAccess("destination", "read"),
+    ],
+    # Writes just forward.
+    "write": [StatefulAccess("destination", "read")],
+    # Regular/bg gc_op: set own bit in both tables -- forward order.
+    "gc_regular": [
+        StatefulAccess("replica", "write"),
+        StatefulAccess("destination", "write"),
+    ],
+    "gc_bg": [
+        StatefulAccess("replica", "write"),
+        StatefulAccess("destination", "write"),
+    ],
+    # Soft gc_op: set own replica bit, read the *replica's* destination
+    # bit, then (on accept) write our own destination bit -- the second
+    # destination access cannot happen in the same pass.
+    "gc_soft": [
+        StatefulAccess("replica", "write"),
+        StatefulAccess("destination", "read"),
+        StatefulAccess("destination", "write"),
+    ],
+    # Finish: clear both bits, forward order.
+    "gc_finish": [
+        StatefulAccess("replica", "write"),
+        StatefulAccess("destination", "write"),
+    ],
+}
+
+
+def rackblox_passes(operation: str) -> int:
+    """Pass count for one of Algorithm 1's operations."""
+    try:
+        program = RACKBLOX_PROGRAMS[operation]
+    except KeyError:
+        known = ", ".join(sorted(RACKBLOX_PROGRAMS))
+        raise SwitchError(f"unknown operation {operation!r} (known: {known})")
+    return RACKBLOX_PIPELINE.passes_required(program)

@@ -1,0 +1,108 @@
+"""Switch resource sizing (§3.3's arithmetic, executable).
+
+The paper budgets its tables against Tofino SRAM: "a rack usually has 64
+servers or less, each server has 16 SSDs, and each SSD can be virtualized
+into 128 vSSDs, we will have up to 64K vSSDs in a rack.  The maximum size
+of each table is 1.3MB" -- with 128 KB of stateful register memory for
+the GC bits.  This module makes that arithmetic a first-class, testable
+artifact, so configuration changes (bigger racks, smaller vSSDs) can be
+checked against the SRAM budget before deployment.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.switch.tables import DestinationEntry, ReplicaEntry
+
+#: On-chip SRAM available to user tables in a Tofino-class ASIC (bytes);
+#: the paper says "tens of MBs" -- we budget conservatively.
+DEFAULT_SRAM_BUDGET_BYTES = 20 * 1024 * 1024
+
+#: 4-byte vSSD_ID key per table entry (Figure 5).
+KEY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class RackScale:
+    """The deployment parameters that size the switch tables."""
+
+    servers: int = 64
+    ssds_per_server: int = 16
+    vssds_per_ssd: int = 128
+    #: vSSD minimum size drives vssds_per_ssd: a 4 TB SSD at 32 GB/vSSD
+    #: gives 128 (the paper's footnote 1).
+    ssd_capacity_gb: int = 4096
+    min_vssd_gb: int = 32
+
+    def __post_init__(self) -> None:
+        for name in ("servers", "ssds_per_server", "vssds_per_ssd",
+                     "ssd_capacity_gb", "min_vssd_gb"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+    @property
+    def max_vssds(self) -> int:
+        return self.servers * self.ssds_per_server * self.vssds_per_ssd
+
+    @property
+    def vssds_per_ssd_from_capacity(self) -> int:
+        return self.ssd_capacity_gb // self.min_vssd_gb
+
+
+@dataclass(frozen=True)
+class TableBudget:
+    """SRAM footprint of the RackBlox tables at a given scale."""
+
+    replica_table_bytes: int
+    destination_table_bytes: int
+    gc_register_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.replica_table_bytes
+            + self.destination_table_bytes
+            + self.gc_register_bytes
+        )
+
+    def fits(self, sram_budget_bytes: int = DEFAULT_SRAM_BUDGET_BYTES) -> bool:
+        return self.total_bytes <= sram_budget_bytes
+
+
+def size_tables(scale: RackScale = RackScale()) -> TableBudget:
+    """Compute the Figure 5 tables' footprint for a deployment scale.
+
+    Each table entry is a 4-byte vSSD_ID key plus its payload (1-byte GC
+    status + 4-byte replica ID / server IP); the GC status bits are also
+    held in data-plane registers (1 byte per vSSD per table) so they can
+    be updated per packet.
+    """
+    n = scale.max_vssds
+    replica_bytes = n * (KEY_BYTES + ReplicaEntry.ENTRY_BYTES)
+    destination_bytes = n * (KEY_BYTES + DestinationEntry.ENTRY_BYTES)
+    gc_register_bytes = 2 * n  # one status byte per table, register-backed
+    return TableBudget(
+        replica_table_bytes=replica_bytes,
+        destination_table_bytes=destination_bytes,
+        gc_register_bytes=gc_register_bytes,
+    )
+
+
+def max_rack_scale_for_budget(
+    sram_budget_bytes: int = DEFAULT_SRAM_BUDGET_BYTES,
+    ssds_per_server: int = 16,
+    vssds_per_ssd: int = 128,
+) -> int:
+    """Largest server count whose tables fit the SRAM budget."""
+    servers = 1
+    while True:
+        scale = RackScale(
+            servers=servers + 1,
+            ssds_per_server=ssds_per_server,
+            vssds_per_ssd=vssds_per_ssd,
+        )
+        if not size_tables(scale).fits(sram_budget_bytes):
+            return servers
+        servers += 1
+        if servers > 4096:  # safety stop; budgets this large are unreal
+            return servers

@@ -1,0 +1,25 @@
+"""SSD virtualization (vSSDs).
+
+A programmable SSD is carved into virtual SSD instances (Figure 4):
+
+* **hardware-isolated** vSSDs own whole flash channels -- channel-level
+  parallelism gives the strongest isolation;
+* **software-isolated** vSSDs own chips but share channels, relying on
+  token-bucket rate limiting for (weaker) isolation.
+
+Software-isolated vSSDs that span the same channels form a *channel group*
+(§3.5.2) that garbage-collects together and lends free blocks internally.
+"""
+
+from repro.vssd.allocator import VssdAllocator
+from repro.vssd.channel_group import ChannelGroup
+from repro.vssd.token_bucket import TokenBucket
+from repro.vssd.vssd import IsolationType, VSsd
+
+__all__ = [
+    "IsolationType",
+    "VSsd",
+    "VssdAllocator",
+    "ChannelGroup",
+    "TokenBucket",
+]

@@ -1,0 +1,163 @@
+"""The vSSD: a virtual SSD instance with its own FTL and GC.
+
+Reads and writes are timed processes that occupy the backing flash
+channels; GC occupies the victim's channel for the duration of its page
+migrations and erase, producing exactly the head-of-line blocking the
+paper's coordinated GC is designed to hide.
+"""
+
+import enum
+from typing import Generator, List, Optional
+
+from repro.errors import VSSDError
+from repro.flash.chip import FlashChip
+from repro.flash.ftl import PageMappedFtl
+from repro.flash.gc import GreedyGcPolicy
+from repro.flash.ssd import Ssd
+from repro.vssd.token_bucket import TokenBucket
+
+
+class IsolationType(enum.Enum):
+    """How a vSSD is isolated from its neighbours (Figure 4)."""
+
+    HARDWARE = "hardware"  # owns whole channels
+    SOFTWARE = "software"  # owns chips, shares channels
+
+
+class VSsd:
+    """One virtual SSD instance carved from a physical SSD."""
+
+    def __init__(
+        self,
+        vssd_id: int,
+        name: str,
+        ssd: Ssd,
+        chips: List[FlashChip],
+        isolation: IsolationType,
+        overprovision: float = 0.25,
+        gc_policy: Optional[GreedyGcPolicy] = None,
+        rate_limiter: Optional[TokenBucket] = None,
+    ) -> None:
+        if not chips:
+            raise VSSDError(f"vSSD {name!r} needs at least one chip")
+        if isolation is IsolationType.SOFTWARE and rate_limiter is None:
+            # Software isolation *is* the token bucket (§3.3); default to a
+            # generous bucket so unconfigured tests are not throttled.
+            rate_limiter = TokenBucket(ssd.sim, rate_per_sec=1e9, capacity=1e9)
+        self.vssd_id = vssd_id
+        self.name = name
+        self.ssd = ssd
+        self.sim = ssd.sim
+        self.isolation = isolation
+        self.ftl = PageMappedFtl(
+            name, chips, ssd.geometry.pages_per_block, overprovision=overprovision
+        )
+        self.gc_policy = gc_policy if gc_policy is not None else GreedyGcPolicy()
+        self.rate_limiter = rate_limiter
+
+        #: True while a GC pass is running (mirrored into the switch tables).
+        self.gc_active = False
+        #: Set by the channel group, if this vSSD belongs to one.
+        self.channel_group = None
+
+        # Per-vSSD I/O statistics.
+        self.reads_served = 0
+        self.writes_served = 0
+        self.gc_runs = 0
+        self.gc_busy_us = 0.0
+
+    @property
+    def page_kb(self) -> float:
+        return float(self.ssd.geometry.page_size_kb)
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.logical_pages
+
+    def free_block_ratio(self) -> float:
+        return self.ftl.free_block_ratio()
+
+    # ------------------------------------------------------------------- I/O
+
+    def read(self, lpn: int) -> Generator:
+        """Process: read one logical page, including channel queueing."""
+        if self.rate_limiter is not None:
+            yield from self.rate_limiter.throttle(1)
+        addr = self.ftl.lookup(lpn)
+        if addr is None:
+            # Unwritten page: the device still performs an array read (it
+            # returns the erased pattern); charge the stripe-target chip.
+            chip = self.ftl.chips[lpn % len(self.ftl.chips)]
+        else:
+            chip = addr.chip
+        channel = self.ssd.channel_of_chip(chip)
+        yield self.sim.spawn(channel.read_page(self.page_kb))
+        self.reads_served += 1
+
+    def write(self, lpn: int) -> Generator:
+        """Process: program one logical page out-of-place."""
+        if self.rate_limiter is not None:
+            yield from self.rate_limiter.throttle(1)
+        addr = self.ftl.place_write(lpn)
+        channel = self.ssd.channel_of_chip(addr.chip)
+        yield self.sim.spawn(channel.program_page(self.page_kb))
+        self.ssd.pages_written += 1
+        self.writes_served += 1
+
+    # -------------------------------------------------------------------- GC
+
+    def gc_until(self, target_ratio: float, max_victims: int = 32) -> Generator:
+        """Process: run GC until the free ratio recovers to ``target_ratio``.
+
+        State transitions happen victim-by-victim, but the physical work is
+        issued as *individual* channel commands (page read, page program,
+        block erase), exactly like real firmware: host I/O queued on the
+        channel slips in between GC commands, so a read's worst-case GC
+        stall is one erase (a few milliseconds), not a whole victim's worth
+        of migrations -- matching §3.5's "a 4KB read ... may wait for a few
+        milliseconds due to the GC".
+        """
+        if self.gc_active:
+            return
+        self.gc_active = True
+        self.gc_runs += 1
+        started = self.sim.now
+        try:
+            victims = 0
+            while (
+                self.ftl.free_block_ratio() < target_ratio and victims < max_victims
+            ):
+                result = self.gc_policy.collect_once(self.ftl)
+                if result is None:
+                    break
+                victims += 1
+                for _lpn, old, new in result.migrations:
+                    src_channel = self.ssd.channel_of_chip(old.chip)
+                    dst_channel = self.ssd.channel_of_chip(new.chip)
+                    yield self.sim.spawn(src_channel.read_page(self.page_kb))
+                    yield self.sim.spawn(dst_channel.program_page(self.page_kb))
+                victim_channel = self.ssd.channel_of_chip(result.victim.chip)
+                yield self.sim.spawn(victim_channel.erase_block())
+        finally:
+            self.gc_busy_us += self.sim.now - started
+            self.gc_active = False
+
+    def gc_needed(self) -> Optional[str]:
+        """What kind of GC the FTL currently calls for.
+
+        Returns ``"regular"`` below the hard threshold, ``"soft"`` below the
+        soft threshold, else ``None`` (background GC is decided by the idle
+        predictor, not by free space).
+        """
+        if self.gc_policy.needs_regular_gc(self.ftl):
+            return "regular"
+        if self.gc_policy.wants_soft_gc(self.ftl):
+            return "soft"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VSsd(id={self.vssd_id}, name={self.name!r}, "
+            f"isolation={self.isolation.value}, "
+            f"free={self.free_block_ratio():.2f})"
+        )

@@ -1,0 +1,29 @@
+"""Rack-scale wear leveling (§3.6).
+
+A two-level mechanism: a **local** (intra-server) balancer that keeps the
+wear imbalance λ = φ_max/φ_avg across a server's SSDs below 1+γ by
+periodically swapping the most-worn SSD's workload with that of the SSD
+with the minimum wear *rate*, and a **global** (inter-server) balancer
+that does the same across servers at a relaxed cadence (8 weeks), since
+inter-server swaps pay networking cost.
+
+This subsystem runs on a day-granularity wear model rather than the
+microsecond discrete-event simulator: wear evolves over months and years,
+five orders of magnitude away from I/O latencies.
+"""
+
+from repro.wear.global_ import GlobalWearBalancer
+from repro.wear.local import LocalWearBalancer
+from repro.wear.model import SsdWearState, VssdWorkload, WearRack, WearServer
+from repro.wear.simulate import WearSimulation, WearSimulationResult
+
+__all__ = [
+    "VssdWorkload",
+    "SsdWearState",
+    "WearServer",
+    "WearRack",
+    "LocalWearBalancer",
+    "GlobalWearBalancer",
+    "WearSimulation",
+    "WearSimulationResult",
+]

@@ -1,0 +1,116 @@
+"""Request stream generation.
+
+Two arrival disciplines:
+
+* :class:`OpenLoopGenerator` -- Poisson arrivals at a target rate; the
+  right model for tail-latency experiments because slow responses do not
+  throttle the offered load (the coordinated-vs-uncoordinated gap would
+  otherwise self-hide).
+* :class:`ClosedLoopGenerator` -- a fixed number of outstanding requests
+  with optional think time (YCSB's default client model); used by the
+  throughput figures.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.sim.rng import ZipfianSampler
+from repro.workloads.spec import Pattern, WorkloadSpec
+
+
+@dataclass
+class Request:
+    """One logical operation produced by a generator."""
+
+    kind: str  # "read" | "write"
+    lpn: int
+    #: Inter-arrival gap before this request (open loop), microseconds.
+    gap_us: float = 0.0
+
+
+class _OpPicker:
+    """Shared read/write + key selection logic."""
+
+    def __init__(self, spec: WorkloadSpec, key_space: int, rng: random.Random) -> None:
+        if key_space <= 0:
+            raise ConfigError(f"key_space must be positive, got {key_space}")
+        self.spec = spec
+        self.key_space = key_space
+        self._rng = rng
+        self._zipf = ZipfianSampler(key_space, theta=max(spec.zipf_theta, 1e-6), rng=rng)
+        self._phase_kind = "write"
+        self._phase_left = spec.phase_length
+
+    def next_op(self) -> Request:
+        if self.spec.pattern is Pattern.PHASED:
+            kind = self._next_phased_kind()
+        else:
+            kind = "write" if self._rng.random() < self.spec.write_ratio else "read"
+        lpn = self._zipf.sample()
+        return Request(kind=kind, lpn=lpn)
+
+    def _next_phased_kind(self) -> str:
+        """AuctionMark-style bursts: runs of writes, then runs of reads,
+        sized so the long-run mix matches the spec's write ratio."""
+        if self._phase_left <= 0:
+            if self._phase_kind == "write":
+                self._phase_kind = "read"
+                ratio = max(1e-6, self.spec.write_ratio)
+                self._phase_left = max(
+                    1, int(self.spec.phase_length * (1.0 - ratio) / ratio)
+                )
+            else:
+                self._phase_kind = "write"
+                self._phase_left = self.spec.phase_length
+        self._phase_left -= 1
+        return self._phase_kind
+
+
+class OpenLoopGenerator:
+    """Poisson arrivals at ``rate_iops`` over a zipfian key space."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        key_space: int,
+        rate_iops: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if rate_iops <= 0:
+            raise ConfigError(f"rate_iops must be positive, got {rate_iops}")
+        self._rng = rng if rng is not None else random.Random(0)
+        self._picker = _OpPicker(spec, key_space, self._rng)
+        self.mean_gap_us = 1e6 / rate_iops
+
+    def requests(self, count: int) -> Iterator[Request]:
+        """Yield ``count`` requests with exponential inter-arrival gaps."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            request = self._picker.next_op()
+            request.gap_us = self._rng.expovariate(1.0 / self.mean_gap_us)
+            yield request
+
+
+class ClosedLoopGenerator:
+    """A fixed-concurrency client: next op is released on completion."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        key_space: int,
+        think_time_us: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if think_time_us < 0:
+            raise ConfigError(f"think_time must be >= 0, got {think_time_us}")
+        self._rng = rng if rng is not None else random.Random(0)
+        self._picker = _OpPicker(spec, key_space, self._rng)
+        self.think_time_us = think_time_us
+
+    def next_request(self) -> Request:
+        request = self._picker.next_op()
+        request.gap_us = self.think_time_us
+        return request

@@ -1,0 +1,62 @@
+"""Workload specifications (Table 2).
+
+Each spec captures what the paper's figures actually depend on: the write
+ratio, the key-popularity skew, and the request *pattern* -- most
+workloads interleave reads and writes uniformly, while AuctionMark issues
+"a long sequence of writes followed by a sequence of reads" (§4.3), which
+is why its GC interference is lower than its write ratio suggests.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+class Pattern(enum.Enum):
+    MIXED = "mixed"  # reads and writes interleaved (YCSB-style)
+    PHASED = "phased"  # write bursts alternating with read bursts
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A parametric workload: mix, skew, and arrival pattern."""
+
+    name: str
+    write_ratio: float
+    zipf_theta: float = 0.99
+    pattern: Pattern = Pattern.MIXED
+    #: For PHASED workloads: ops per burst of one kind.
+    phase_length: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ConfigError(f"write_ratio must be in [0,1], got {self.write_ratio}")
+        if self.zipf_theta < 0:
+            raise ConfigError(f"zipf_theta must be >= 0, got {self.zipf_theta}")
+        if self.phase_length <= 0:
+            raise ConfigError(f"phase_length must be positive, got {self.phase_length}")
+
+
+def ycsb(write_ratio: float, theta: float = 0.99) -> WorkloadSpec:
+    """YCSB with the given write ratio and zipfian skew (§4.2's sweep)."""
+    return WorkloadSpec(
+        name=f"ycsb-w{int(round(write_ratio * 100))}",
+        write_ratio=write_ratio,
+        zipf_theta=theta,
+    )
+
+
+#: Table 2, with the paper's measured write percentages.
+TPCH = WorkloadSpec(name="tpch", write_ratio=0.0227)
+SEATS = WorkloadSpec(name="seats", write_ratio=0.1034)
+AUCTIONMARK = WorkloadSpec(
+    name="auctionmark", write_ratio=0.5376, pattern=Pattern.PHASED
+)
+TPCC = WorkloadSpec(name="tpcc", write_ratio=0.5995)
+TWITTER = WorkloadSpec(name="twitter", write_ratio=0.9786)
+
+TABLE2_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (TPCH, SEATS, AUCTIONMARK, TPCC, TWITTER)
+}

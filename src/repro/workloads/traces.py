@@ -1,0 +1,219 @@
+"""Trace recording and replay.
+
+Two kinds of traces, mirroring §3.7's methodology:
+
+* **request traces** -- timestamped read/write operations, replayable
+  through the same client machinery as the synthetic generators (so real
+  application traces can drive the rack);
+* **latency traces** -- timestamped one-way network latencies.  The paper
+  takes the PTPmesh trace [67] and *scales* it to the latency patterns of
+  [32, 59]; :meth:`LatencyTrace.scaled` is that operation, and
+  :class:`TraceLatencyProcess` adapts a trace to the
+  :class:`~repro.net.latency.LatencyProcess` sampling interface.
+
+The on-disk format is deliberately plain (one record per line, ``#``
+comments) so traces can be produced by anything.
+"""
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, Sequence, TextIO, Union
+
+from repro.errors import ConfigError
+from repro.workloads.generator import Request
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One request-trace record."""
+
+    time_us: float
+    kind: str  # "read" | "write"
+    lpn: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ConfigError(f"kind must be read/write, got {self.kind!r}")
+        if self.time_us < 0 or self.lpn < 0:
+            raise ConfigError("time and lpn must be non-negative")
+
+
+class RequestTrace:
+    """An ordered request trace with save/load and replay."""
+
+    def __init__(self, ops: Sequence[TraceOp]) -> None:
+        self.ops = sorted(ops, key=lambda op: op.time_us)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def duration_us(self) -> float:
+        return self.ops[-1].time_us if self.ops else 0.0
+
+    def write_ratio(self) -> float:
+        if not self.ops:
+            return 0.0
+        return sum(1 for op in self.ops if op.kind == "write") / len(self.ops)
+
+    def save(self, stream: Union[TextIO, str]) -> None:
+        """Write ``time_us kind lpn`` lines to a stream or path."""
+        if isinstance(stream, str):
+            with open(stream, "w") as fh:
+                self.save(fh)
+            return
+        stream.write("# repro request trace v1: time_us kind lpn\n")
+        for op in self.ops:
+            stream.write(f"{op.time_us:.3f} {op.kind} {op.lpn}\n")
+
+    @classmethod
+    def load(cls, stream: Union[TextIO, str]) -> "RequestTrace":
+        if isinstance(stream, str):
+            with open(stream) as fh:
+                return cls.load(fh)
+        ops = []
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ConfigError(
+                    f"trace line {line_no}: expected 'time kind lpn', got {line!r}"
+                )
+            ops.append(TraceOp(float(parts[0]), parts[1], int(parts[2])))
+        return cls(ops)
+
+    def replay_requests(self) -> Iterator[Request]:
+        """Yield :class:`Request` objects with inter-arrival gaps set."""
+        previous = 0.0
+        for op in self.ops:
+            yield Request(kind=op.kind, lpn=op.lpn, gap_us=op.time_us - previous)
+            previous = op.time_us
+
+
+class TraceWorkloadGenerator:
+    """Adapter: a request trace behind the OpenLoopGenerator interface."""
+
+    def __init__(self, trace: RequestTrace) -> None:
+        if len(trace) == 0:
+            raise ConfigError("cannot replay an empty trace")
+        self.trace = trace
+
+    def requests(self, count: int) -> Iterator[Request]:
+        """Replay up to ``count`` trace operations (wrapping if needed)."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        produced = 0
+        while produced < count:
+            for request in self.trace.replay_requests():
+                if produced >= count:
+                    return
+                yield request
+                produced += 1
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    time_us: float
+    latency_us: float
+
+
+class LatencyTrace:
+    """A timestamped series of one-way latencies, with scaling."""
+
+    def __init__(self, samples: Sequence[LatencySample]) -> None:
+        if not samples:
+            raise ConfigError("latency trace needs at least one sample")
+        ordered = sorted(samples, key=lambda s: s.time_us)
+        self.times = [s.time_us for s in ordered]
+        self.latencies = [s.latency_us for s in ordered]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        return sum(self.latencies) / len(self.latencies)
+
+    def scaled(self, factor: float) -> "LatencyTrace":
+        """The paper's trace-scaling step: stretch latencies by ``factor``
+        (pattern preserved, magnitude moved to another regime)."""
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return LatencyTrace([
+            LatencySample(t, lat * factor)
+            for t, lat in zip(self.times, self.latencies)
+        ])
+
+    def at(self, now: float) -> float:
+        """Latency of the nearest-at-or-before sample (wrapping in time)."""
+        if now < 0:
+            raise ConfigError("time must be non-negative")
+        last = self.times[-1]
+        if now > last and last > 0:
+            now = now % last
+        idx = bisect.bisect_right(self.times, now) - 1
+        return self.latencies[max(0, idx)]
+
+    def save(self, stream: Union[TextIO, str]) -> None:
+        if isinstance(stream, str):
+            with open(stream, "w") as fh:
+                self.save(fh)
+            return
+        stream.write("# repro latency trace v1: time_us latency_us\n")
+        for t, lat in zip(self.times, self.latencies):
+            stream.write(f"{t:.3f} {lat:.3f}\n")
+
+    @classmethod
+    def load(cls, stream: Union[TextIO, str]) -> "LatencyTrace":
+        if isinstance(stream, str):
+            with open(stream) as fh:
+                return cls.load(fh)
+        samples = []
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ConfigError(
+                    f"trace line {line_no}: expected 'time latency', got {line!r}"
+                )
+            samples.append(LatencySample(float(parts[0]), float(parts[1])))
+        return cls(samples)
+
+
+class TraceLatencyProcess:
+    """LatencyProcess-compatible sampler driven by a recorded trace.
+
+    Drop-in for :class:`repro.net.latency.LatencyProcess` wherever only
+    ``sample(now)`` is required (e.g. a Rack's latency source).
+    """
+
+    def __init__(self, trace: LatencyTrace) -> None:
+        self.trace = trace
+
+    def sample(self, now: float) -> float:
+        return self.trace.at(now)
+
+    def congested(self, now: float) -> bool:
+        """Heuristic: 'congested' when above 3x the trace mean."""
+        return self.trace.at(now) > 3.0 * self.trace.mean()
+
+    def expected_uncongested(self) -> float:
+        return self.trace.mean()
+
+
+def record_latency_process(process, duration_us: float, step_us: float) -> LatencyTrace:
+    """Sample a (synthetic) latency process into a trace.
+
+    Closes the loop for testing: synthesize -> record -> scale -> replay.
+    """
+    if duration_us <= 0 or step_us <= 0:
+        raise ConfigError("duration and step must be positive")
+    samples = []
+    t = 0.0
+    while t <= duration_us:
+        samples.append(LatencySample(t, process.sample(t)))
+        t += step_us
+    return LatencyTrace(samples)

@@ -1,0 +1,80 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.ascii_chart import bar_chart, cdf_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart([("a", 10.0), ("b", 20.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("a-long-label", 2.0)], width=8)
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_title_and_unit(self):
+        chart = bar_chart([("a", 3.0)], width=5, unit="us", title="Latency")
+        assert chart.startswith("Latency")
+        assert "3.0us" in chart
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart([("zero", 0.0), ("one", 1.0)], width=5)
+        assert "#" not in chart.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart([])
+        with pytest.raises(ConfigError):
+            bar_chart([("a", -1.0)])
+        with pytest.raises(ConfigError):
+            bar_chart([("a", 1.0)], width=1)
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        chart = grouped_bar_chart([
+            ("20%", {"VDC": 20.0, "RackBlox": 8.0}),
+            ("50%", {"VDC": 25.0, "RackBlox": 9.0}),
+        ])
+        assert "20%:" in chart and "50%:" in chart
+        assert chart.count("VDC") == 2
+
+    def test_missing_value_marked(self):
+        chart = grouped_bar_chart(
+            [("g", {"a": 1.0, "b": None})], series_order=["a", "b"]
+        )
+        assert "(no data)" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            grouped_bar_chart([])
+        with pytest.raises(ConfigError):
+            grouped_bar_chart([("g", {"a": None})], series_order=["a"])
+
+
+class TestCdfChart:
+    def test_marker_positions_ordered(self):
+        fast = [100.0] * 99 + [200.0]
+        slow = [1000.0] * 99 + [20000.0]
+        chart = cdf_chart({"fast": fast, "slow": slow}, quantiles=(50.0, 99.0))
+        lines = chart.splitlines()
+        fast_rows = [l for l in lines if l.strip().startswith("fast")]
+        slow_rows = [l for l in lines if l.strip().startswith("slow")]
+        # The slow curve's markers sit to the right of the fast curve's.
+        assert fast_rows[0].index("*") < slow_rows[0].index("*")
+
+    def test_values_annotated(self):
+        chart = cdf_chart({"x": [50.0, 100.0, 150.0]}, quantiles=(50.0,))
+        assert "100us" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            cdf_chart({})
+        with pytest.raises(ConfigError):
+            cdf_chart({"x": []})

@@ -1,0 +1,48 @@
+"""Tests for the MMPP-driven workload generator adapter."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import MmppArrivals, ycsb
+from repro.workloads.arrival import BurstyWorkloadGenerator
+
+
+def make_generator(seed=1):
+    arrivals = MmppArrivals(
+        calm_iops=500.0, burst_iops=5_000.0,
+        mean_calm_us=100_000.0, mean_burst_us=20_000.0,
+        rng=random.Random(seed),
+    )
+    return BurstyWorkloadGenerator(
+        ycsb(0.4), key_space=256, arrivals=arrivals, rng=random.Random(seed)
+    )
+
+
+class TestBurstyGenerator:
+    def test_produces_requested_count(self):
+        generator = make_generator()
+        assert len(list(generator.requests(300))) == 300
+
+    def test_mix_matches_spec(self):
+        generator = make_generator()
+        requests = list(generator.requests(3000))
+        writes = sum(1 for r in requests if r.kind == "write")
+        assert writes / len(requests) == pytest.approx(0.4, abs=0.04)
+
+    def test_keys_in_range(self):
+        generator = make_generator()
+        assert all(0 <= r.lpn < 256 for r in generator.requests(500))
+
+    def test_gaps_are_bursty(self):
+        generator = make_generator()
+        gaps = [r.gap_us for r in generator.requests(5000)]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert (var ** 0.5) / mean > 1.1  # burstier than Poisson
+
+    def test_negative_count_rejected(self):
+        generator = make_generator()
+        with pytest.raises(ConfigError):
+            list(generator.requests(-1))

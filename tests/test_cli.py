@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _resolve_workload, main
+
+
+class TestResolveWorkload:
+    def test_table2_name(self):
+        assert _resolve_workload("tpcc").name == "tpcc"
+
+    def test_ycsb_spec(self):
+        spec = _resolve_workload("ycsb-30")
+        assert spec.write_ratio == pytest.approx(0.3)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            _resolve_workload("mongo-bench")
+
+    def test_bad_ycsb_rejected(self):
+        with pytest.raises(SystemExit):
+            _resolve_workload("ycsb-lots")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "rackblox" in out and "tpcc" in out and "fig9" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--system", "rackblox", "--workload", "ycsb-40",
+            "--requests", "150", "--servers", "3", "--pairs", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "read_p999_us" in out
+        assert "switch.reads_forwarded" in out
+
+    def test_wear_small(self, capsys):
+        code = main(["wear", "--servers", "2", "--ssds", "4", "--days", "120"])
+        assert code == 0
+        assert "lambda" in capsys.readouterr().out
+
+    def test_figures_quick(self, capsys):
+        code = main(["figures", "fig22", "--quick"])
+        assert code == 0
+        assert "Figure 22" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCompareCommand:
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.results_io import save_figures
+
+        run = {"fig22": FigureResult(
+            figure="Figure 22", title="t", columns=["policy", "v"],
+            rows=[{"policy": "No Swap", "v": 2.0}],
+        )}
+        save_figures(run, str(tmp_path / "base"))
+        save_figures(run, str(tmp_path / "cand"))
+        code = main(["compare", str(tmp_path / "base"), str(tmp_path / "cand")])
+        assert code == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_drift_exits_nonzero(self, tmp_path, capsys):
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.results_io import save_figures
+
+        base = {"fig22": FigureResult(
+            figure="Figure 22", title="t", columns=["policy", "v"],
+            rows=[{"policy": "No Swap", "v": 2.0}],
+        )}
+        cand = {"fig22": FigureResult(
+            figure="Figure 22", title="t", columns=["policy", "v"],
+            rows=[{"policy": "No Swap", "v": 9.0}],
+        )}
+        save_figures(base, str(tmp_path / "base"))
+        save_figures(cand, str(tmp_path / "cand"))
+        code = main(["compare", str(tmp_path / "base"), str(tmp_path / "cand")])
+        assert code == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+
+class TestFigureChart:
+    def test_to_chart_renders(self):
+        from repro.experiments.figures import FigureResult
+
+        result = FigureResult(
+            figure="Figure X", title="demo", columns=["label", "a", "b"],
+            rows=[{"label": "20%", "a": 10.0, "b": 20.0},
+                  {"label": "50%", "a": 15.0, "b": None}],
+        )
+        chart = result.to_chart(width=10)
+        assert "Figure X" in chart
+        assert "20%:" in chart and "50%:" in chart
+        assert "(no data)" in chart
+        assert "#" in chart

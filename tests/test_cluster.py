@@ -1,0 +1,273 @@
+"""Integration tests: the full rack under all four systems."""
+
+import pytest
+
+from repro.cluster import (
+    FailureManager,
+    Rack,
+    RackConfig,
+    SystemType,
+    rack_aware_placement,
+)
+from repro.errors import ConfigError
+from repro.experiments import run_rack_experiment
+from repro.net.packet import OpType, Packet
+from repro.sim.core import MSEC
+from repro.workloads import ycsb
+
+
+def small_config(system=SystemType.RACKBLOX, **kwargs):
+    defaults = dict(system=system, num_servers=3, num_pairs=3, seed=123)
+    defaults.update(kwargs)
+    return RackConfig(**defaults)
+
+
+class TestPlacement:
+    def test_primary_and_replica_differ(self):
+        for primary, replica in rack_aware_placement(8, 4):
+            assert primary != replica
+
+    def test_round_robin_coverage(self):
+        placement = rack_aware_placement(4, 4)
+        assert sorted(p for p, _ in placement) == [0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rack_aware_placement(1, 1)
+        with pytest.raises(ConfigError):
+            rack_aware_placement(0, 4)
+
+
+class TestRackAssembly:
+    def test_all_vssds_registered_in_switch(self):
+        rack = Rack(small_config())
+        for pair in rack.pairs:
+            assert pair.primary.vssd_id in rack.switch.replica_table
+            assert pair.replica.vssd_id in rack.switch.replica_table
+            assert (
+                rack.switch.replica_table.replica_of(pair.primary.vssd_id)
+                == pair.replica.vssd_id
+            )
+
+    def test_replicas_on_distinct_servers(self):
+        rack = Rack(small_config())
+        for pair in rack.pairs:
+            assert pair.primary_server_ip != pair.replica_server_ip
+
+    def test_vdc_family_has_controller(self):
+        assert Rack(small_config(SystemType.VDC)).controller is not None
+        assert Rack(small_config(SystemType.RACKBLOX_SOFTWARE)).controller is not None
+        assert Rack(small_config(SystemType.RACKBLOX)).controller is None
+
+    def test_coordinated_scheduler_by_system(self):
+        assert Rack(small_config(SystemType.VDC)).servers[0].scheduler.name == "kyber"
+        assert (
+            Rack(small_config(SystemType.RACKBLOX)).servers[0].scheduler.name
+            == "coordinated-kyber"
+        )
+
+    def test_precondition_consumes_free_blocks(self):
+        rack = Rack(small_config())
+        rack.precondition()
+        for vssd in rack.vssd_by_id.values():
+            assert vssd.free_block_ratio() < 0.5
+            vssd.ftl.check_invariants()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RackConfig(num_servers=1)
+        with pytest.raises(ConfigError):
+            RackConfig(gc_threshold=0.5, soft_threshold=0.3)
+
+    def test_default_network_scheduler_per_system(self):
+        assert small_config(SystemType.VDC).effective_network_scheduler == "tb"
+        assert small_config(SystemType.RACKBLOX).effective_network_scheduler == "priority"
+
+
+class TestEndToEnd:
+    def _run(self, system, write_ratio=0.5, requests=400, **kw):
+        config = small_config(system, **kw)
+        return run_rack_experiment(
+            config, ycsb(write_ratio), requests_per_pair=requests,
+            rate_iops_per_pair=1500,
+        )
+
+    def test_all_requests_complete(self):
+        result = self._run(SystemType.RACKBLOX)
+        s = result.metrics.summary()
+        assert s["read_count"] + s["write_count"] == 3 * 400
+
+    def test_rackblox_redirects_reads_during_gc(self):
+        result = self._run(SystemType.RACKBLOX, write_ratio=0.6, requests=1500)
+        assert result.gc_runs > 0
+        assert result.switch_counters["reads_redirected"] > 0
+        assert result.switch_counters["gc_accepted"] > 0
+
+    def test_vdc_never_redirects(self):
+        result = self._run(SystemType.VDC, write_ratio=0.6, requests=1500)
+        assert result.gc_runs > 0
+        assert result.redirects == 0
+        assert result.switch_counters["gc_accepted"] == 0
+
+    def test_rackblox_software_redirects_in_software(self):
+        result = self._run(SystemType.RACKBLOX_SOFTWARE, write_ratio=0.6,
+                           requests=1500)
+        assert result.gc_runs > 0
+        # Redirections happened at the servers, not in the switch.
+        assert result.switch_counters["reads_redirected"] == 0
+        assert result.redirects > 0
+
+    def test_rackblox_beats_vdc_read_tail(self):
+        vdc = self._run(SystemType.VDC, write_ratio=0.6, requests=1500)
+        rb = self._run(SystemType.RACKBLOX, write_ratio=0.6, requests=1500)
+        assert (
+            rb.metrics.read_total.p99()
+            < vdc.metrics.read_total.p99()
+        )
+
+    def test_read_only_runs_no_gc(self):
+        result = self._run(SystemType.RACKBLOX, write_ratio=0.0, requests=400)
+        assert result.gc_runs == 0
+        assert result.metrics.write_total.count == 0
+
+    def test_writes_fan_out_to_both_replicas(self):
+        result = self._run(SystemType.RACKBLOX, write_ratio=1.0, requests=300)
+        # Every client write shows up twice at the switch.
+        assert result.switch_counters["writes_forwarded"] == 2 * 3 * 300
+
+    def test_storage_breakdown_recorded(self):
+        result = self._run(SystemType.RACKBLOX, requests=300)
+        assert result.metrics.read_storage.count > 0
+        assert result.metrics.write_storage.count > 0
+        # Storage component can never exceed end-to-end.
+        assert result.metrics.read_storage.mean() < result.metrics.read_total.mean()
+
+    def test_deterministic_given_seed(self):
+        a = self._run(SystemType.RACKBLOX, requests=300)
+        b = self._run(SystemType.RACKBLOX, requests=300)
+        assert a.metrics.read_total.p99() == b.metrics.read_total.p99()
+        assert a.redirects == b.redirects
+
+    def test_different_seeds_differ(self):
+        a = self._run(SystemType.RACKBLOX, requests=300)
+        b = self._run(SystemType.RACKBLOX, requests=300, seed=999)
+        assert a.metrics.read_total.values != b.metrics.read_total.values
+
+    def test_background_traffic_injector(self):
+        config = small_config(SystemType.RACKBLOX, network_scheduler="priority")
+        rack = Rack(config)
+        rack.start_background_traffic(burst=8, period_us=10 * MSEC)
+        result = run_rack_experiment(
+            config, ycsb(0.2), requests_per_pair=200, rack=rack
+        )
+        assert rack.background_packets > 0
+
+
+class TestGcDelayMechanism:
+    def test_soft_gc_delays_when_replica_collecting(self):
+        # Drive a write-heavy load so both replicas of a pair want GC at
+        # similar times; the switch must have delayed at least one soft
+        # request (the whole point of shared GC state).
+        config = small_config(SystemType.RACKBLOX)
+        result = run_rack_experiment(
+            config, ycsb(0.8), requests_per_pair=2000, rate_iops_per_pair=2000
+        )
+        counters = result.switch_counters
+        assert counters["gc_delayed"] > 0
+        assert counters["recirculations"] >= counters["gc_delayed"]
+
+
+class TestFailureHandling:
+    def test_heartbeat_detects_crash_and_redirects(self):
+        config = small_config(SystemType.RACKBLOX)
+        rack = Rack(config)
+        manager = FailureManager(rack, heartbeat_interval_us=5 * MSEC)
+        manager.start()
+        victim = rack.pairs[0].primary_server_ip
+        manager.fail_server(victim)
+        rack.sim.run(until=rack.sim.now + 100 * MSEC)
+        assert manager.failures_detected >= 1
+        assert victim in rack.failed_ips
+        # The dead server's vSSDs now have their GC bits set, so reads
+        # redirect to the replica.
+        dead_vssd = rack.pairs[0].primary
+        pkt = Packet(op=OpType.READ, vssd_id=dead_vssd.vssd_id)
+        action = rack.switch.process_packet(pkt)
+        assert action.redirected
+        assert action.dst_ip == rack.pairs[0].replica_server_ip
+
+    def test_recovery_clears_redirection(self):
+        config = small_config(SystemType.RACKBLOX)
+        rack = Rack(config)
+        manager = FailureManager(rack, heartbeat_interval_us=5 * MSEC)
+        manager.start()
+        victim = rack.pairs[0].primary_server_ip
+        manager.fail_server(victim)
+        rack.sim.run(until=rack.sim.now + 100 * MSEC)
+        manager.recover_server(victim)
+        assert victim not in rack.failed_ips
+        pkt = Packet(op=OpType.READ, vssd_id=rack.pairs[0].primary.vssd_id)
+        action = rack.switch.process_packet(pkt)
+        assert not action.redirected
+
+    def test_workload_survives_server_failure(self):
+        config = small_config(SystemType.RACKBLOX)
+        rack = Rack(config)
+        manager = FailureManager(rack, heartbeat_interval_us=2 * MSEC)
+        manager.start()
+        victim = rack.pairs[0].primary_server_ip
+        manager.fail_server(victim)
+        rack.sim.run(until=rack.sim.now + 50 * MSEC)  # past detection
+        result = run_rack_experiment(
+            config, ycsb(0.3), requests_per_pair=300, rack=rack
+        )
+        s = result.metrics.summary()
+        assert s["read_count"] + s["write_count"] == 3 * 300
+
+    def test_switch_reboot_preserves_forwarding(self):
+        config = small_config(SystemType.RACKBLOX)
+        rack = Rack(config)
+        manager = FailureManager(rack)
+        old_switch = rack.switch
+        manager.fail_and_recover_switch()
+        assert rack.switch is not old_switch
+        pkt = Packet(op=OpType.READ, vssd_id=rack.pairs[0].primary.vssd_id)
+        action = rack.switch.process_packet(pkt)
+        assert action.dst_ip == rack.pairs[0].primary_server_ip
+
+    def test_validation(self):
+        rack = Rack(small_config())
+        with pytest.raises(ConfigError):
+            FailureManager(rack, heartbeat_interval_us=0)
+        manager = FailureManager(rack)
+        with pytest.raises(ConfigError):
+            manager.fail_server("10.9.9.9")
+
+
+class TestPairDeletion:
+    def test_delete_pair_removes_everything(self):
+        rack = Rack(small_config())
+        pair = rack.pairs[0]
+        primary_id = pair.primary.vssd_id
+        rack.delete_pair(pair)
+        assert pair not in rack.pairs
+        assert primary_id not in rack.switch.replica_table
+        assert primary_id not in rack.pair_by_vssd
+        server = rack.server_by_ip[pair.primary_server_ip]
+        assert all(v.vssd_id != primary_id for v in server.vssds)
+
+    def test_delete_unknown_pair_rejected(self):
+        rack = Rack(small_config())
+        other_rack = Rack(small_config())
+        with pytest.raises(ConfigError):
+            rack.delete_pair(other_rack.pairs[0])
+
+    def test_remaining_pairs_still_serve(self):
+        config = small_config()
+        rack = Rack(config)
+        rack.delete_pair(rack.pairs[-1])
+        result = run_rack_experiment(
+            config, ycsb(0.3), requests_per_pair=150, rack=rack
+        )
+        s = result.metrics.summary()
+        assert s["read_count"] + s["write_count"] == len(rack.pairs) * 150

@@ -1,0 +1,205 @@
+"""Tests for the Hermes-style replication protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.consistency import HermesCluster, KeyState, Timestamp
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+def cluster(n=3, delay=10.0):
+    sim = Simulator()
+    return sim, HermesCluster(sim, n, delay_fn=lambda: delay)
+
+
+class TestTimestamp:
+    def test_ordering_by_version_then_node(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+        assert Timestamp(2, 1) < Timestamp(2, 3)
+
+    def test_equality(self):
+        assert Timestamp(1, 1) == Timestamp(1, 1)
+
+
+class TestBasicWriteRead:
+    def test_write_then_read_everywhere(self):
+        sim, hermes = cluster()
+        results = {}
+
+        def scenario():
+            yield sim.spawn(hermes.write("k", "v1", coordinator_id=0))
+            for rid in range(3):
+                value = yield sim.spawn(hermes.read("k", rid))
+                results[rid] = value
+
+        sim.spawn(scenario())
+        sim.run()
+        assert results == {0: "v1", 1: "v1", 2: "v1"}
+        assert hermes.writes_committed == 1
+
+    def test_write_commit_waits_for_all_acks(self):
+        sim, hermes = cluster(n=3, delay=100.0)
+        commit_time = []
+
+        def scenario():
+            yield sim.spawn(hermes.write("k", "v", coordinator_id=0))
+            commit_time.append(sim.now)
+
+        sim.spawn(scenario())
+        sim.run()
+        # One INV delay (100us) must elapse before all ACKs are in.
+        assert commit_time[0] >= 100.0
+
+    def test_read_during_write_blocks_until_val(self):
+        sim, hermes = cluster(n=2, delay=50.0)
+        log = []
+
+        def writer():
+            yield sim.spawn(hermes.write("k", "v1", coordinator_id=0))
+            yield sim.spawn(hermes.write("k", "v2", coordinator_id=0))
+
+        def reader():
+            # Wait until the second write's INV has landed but VAL hasn't.
+            from repro.sim import Timeout
+
+            yield Timeout(sim, 160.0)
+            value = yield sim.spawn(hermes.read("k", 1))
+            log.append((sim.now, value))
+
+        sim.spawn(writer())
+        sim.spawn(reader())
+        sim.run()
+        # The read returned the *committed* value, never a torn state.
+        assert log[0][1] in ("v1", "v2")
+
+    def test_read_unknown_key_returns_none(self):
+        sim, hermes = cluster()
+
+        def scenario():
+            value = yield sim.spawn(hermes.read("missing", 0))
+            return value
+
+        proc = sim.spawn(scenario())
+        sim.run()
+        assert proc.value is None
+
+    def test_dead_coordinator_rejected(self):
+        sim, hermes = cluster()
+        hermes.replicas[0].alive = False
+        with pytest.raises(ConfigError):
+            # write() raises before becoming a process.
+            hermes.write("k", "v", coordinator_id=0)
+
+    def test_needs_replicas(self):
+        with pytest.raises(ConfigError):
+            HermesCluster(Simulator(), 0)
+
+
+class TestConcurrentWrites:
+    def test_concurrent_writes_converge(self):
+        sim, hermes = cluster(n=3)
+
+        def writer(coordinator, value):
+            yield sim.spawn(hermes.write("k", value, coordinator_id=coordinator))
+
+        sim.spawn(writer(0, "from-0"))
+        sim.spawn(writer(2, "from-2"))
+        sim.run()
+        finals = set()
+        for rid in range(3):
+
+            def read(rid=rid):
+                value = yield sim.spawn(hermes.read("k", rid))
+                finals.add(value)
+
+            sim.spawn(read())
+        sim.run()
+        # All replicas agree on a single winner.
+        assert len(finals) == 1
+        assert finals.pop() in ("from-0", "from-2")
+
+    def test_higher_timestamp_wins(self):
+        sim, hermes = cluster(n=2)
+        replica = hermes.replicas[0]
+        replica.handle_inv("k", Timestamp(5, 0), "new")
+        # A stale INV must be ACKed but not adopted.
+        assert replica.handle_inv("k", Timestamp(3, 1), "old")
+        assert replica.stale_invs_ignored == 1
+        replica.handle_val("k", Timestamp(5, 0))
+        hit, value = replica.try_read("k")
+        assert hit and value == "new"
+
+    def test_stale_val_ignored(self):
+        sim, hermes = cluster(n=2)
+        replica = hermes.replicas[0]
+        replica.handle_inv("k", Timestamp(5, 0), "new")
+        replica.handle_val("k", Timestamp(4, 0))  # stale VAL
+        hit, _ = replica.try_read("k")
+        assert not hit  # still invalid: the matching VAL hasn't arrived
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2),
+                      st.integers(min_value=0, max_value=9)),
+            min_size=1, max_size=12,
+        )
+    )
+    def test_replicas_always_converge(self, writes):
+        """Property: any concurrent write mix leaves all replicas with the
+        same value and a VALID state once the dust settles."""
+        sim, hermes = cluster(n=3)
+        for coordinator, payload in writes:
+            def one(coordinator=coordinator, payload=payload):
+                yield sim.spawn(
+                    hermes.write("k", f"v{payload}", coordinator_id=coordinator)
+                )
+            sim.spawn(one())
+        sim.run()
+        values = set()
+        for replica in hermes.replicas:
+            hit, value = replica.try_read("k")
+            assert hit, "replica left invalid after all writes completed"
+            values.add(value)
+        assert len(values) == 1
+
+
+class TestFailureReplay:
+    def test_survivor_replays_interrupted_write(self):
+        sim, hermes = cluster(n=3, delay=50.0)
+        # Drive the INV phase manually so we can kill the coordinator
+        # before VAL: replica 1 holds a pending INV.
+        ts = Timestamp(7, 0)
+        hermes.replicas[1].handle_inv("k", ts, "orphan")
+        hermes.replicas[2].handle_inv("k", ts, "orphan")
+        hermes.replicas[0].alive = False  # coordinator dies pre-VAL
+
+        def replay():
+            ok = yield sim.spawn(hermes.replay_write("k", surviving_id=1))
+            return ok
+
+        proc = sim.spawn(replay())
+        sim.run()
+        assert proc.value is True
+        assert hermes.writes_replayed == 1
+        for replica in hermes.replicas[1:]:
+            hit, value = replica.try_read("k")
+            assert hit and value == "orphan"
+
+    def test_replay_without_pending_inv_is_noop(self):
+        sim, hermes = cluster(n=2)
+
+        def replay():
+            ok = yield sim.spawn(hermes.replay_write("k", surviving_id=0))
+            return ok
+
+        proc = sim.spawn(replay())
+        sim.run()
+        assert proc.value is False
+
+    def test_dead_replica_does_not_ack(self):
+        sim, hermes = cluster(n=2)
+        hermes.replicas[1].alive = False
+        assert hermes.replicas[1].handle_inv("k", Timestamp(1, 0), "v") is False

@@ -1,0 +1,174 @@
+"""Tests for the VDC controller and the GC coordinators."""
+
+import pytest
+
+from repro.cluster.controller import VdcController
+from repro.cluster.coordinators import SwitchGcCoordinator
+from repro.errors import ConfigError
+from repro.flash import FlashGeometry, Ssd
+from repro.net.packet import GcKind
+from repro.server.gc_monitor import GcMonitor
+from repro.sim import Simulator
+from repro.sim.core import MSEC
+from repro.switch import SwitchControlPlane, SwitchDataPlane
+from repro.vssd import VssdAllocator
+
+
+class TestVdcController:
+    def test_epoch_allocations_follow_demand(self):
+        sim = Simulator()
+        controller = VdcController(sim, epoch_us=10 * MSEC)
+        controller.note_demand("tenant-a", 30)
+        controller.note_demand("tenant-b", 10)
+        sim.run(until=11 * MSEC)
+        assert controller.epochs == 1
+        assert controller.allocations["tenant-a"] == pytest.approx(0.75)
+        assert controller.allocations["tenant-b"] == pytest.approx(0.25)
+
+    def test_plain_vdc_always_accepts_gc(self):
+        sim = Simulator()
+        controller = VdcController(sim, gc_aware=False)
+        verdict, redirect = controller.decide_gc(1, "soft")
+        assert verdict == "accept" and redirect is None
+
+    def test_gc_aware_returns_redirect_target(self):
+        sim = Simulator()
+        controller = VdcController(sim, gc_aware=True)
+        controller.register_pair(1, 2, "10.0.0.20")
+        verdict, redirect = controller.decide_gc(1, "soft")
+        assert verdict == "accept"
+        assert redirect == "10.0.0.20"
+        assert controller.is_collecting(1)
+
+    def test_gc_aware_delays_when_replica_collecting(self):
+        sim = Simulator()
+        controller = VdcController(sim, gc_aware=True)
+        controller.register_pair(1, 2, "10.0.0.20")
+        controller.register_pair(2, 1, "10.0.0.16")
+        controller.decide_gc(2, "soft")  # replica starts collecting
+        verdict, redirect = controller.decide_gc(1, "soft")
+        assert verdict == "delay" and redirect is None
+        assert controller.gc_delays == 1
+
+    def test_regular_gc_never_delayed(self):
+        sim = Simulator()
+        controller = VdcController(sim, gc_aware=True)
+        controller.register_pair(1, 2, "b")
+        controller.register_pair(2, 1, "a")
+        controller.decide_gc(2, "regular")
+        verdict, _ = controller.decide_gc(1, "regular")
+        assert verdict == "accept"
+
+    def test_finish_clears_state(self):
+        sim = Simulator()
+        controller = VdcController(sim, gc_aware=True)
+        controller.register_pair(1, 2, "b")
+        controller.decide_gc(1, "soft")
+        controller.finish_gc(1)
+        assert not controller.is_collecting(1)
+
+    def test_unregistered_vssd_rejected_when_aware(self):
+        sim = Simulator()
+        controller = VdcController(sim, gc_aware=True)
+        with pytest.raises(ConfigError):
+            controller.decide_gc(99, "soft")
+
+    def test_round_trip_takes_time(self):
+        # The controller runs a perpetual epoch loop, so drive the clock
+        # with an explicit horizon rather than draining the heap.
+        sim = Simulator()
+        controller = VdcController(sim)
+        done = sim.spawn(controller.round_trip())
+        sim.run(until=10 * MSEC)
+        assert done.triggered
+        assert done.value is None
+
+    def test_custom_latency_fn(self):
+        sim = Simulator()
+        controller = VdcController(sim, latency_fn=lambda: 500.0)
+        done = sim.spawn(controller.round_trip())
+        sim.run(until=900.0)
+        assert not done.triggered  # 2x500us + processing > 900us
+        sim.run(until=2 * MSEC)
+        assert done.triggered
+
+    def test_epoch_validation(self):
+        with pytest.raises(ConfigError):
+            VdcController(Simulator(), epoch_us=0)
+
+
+def make_switch_world():
+    sim = Simulator()
+    plane = SwitchDataPlane()
+    cp = SwitchControlPlane(plane)
+    geo = FlashGeometry(channels=2, chips_per_channel=2, blocks_per_chip=32,
+                        pages_per_block=8)
+    vssds = []
+    for i, ip in enumerate(("10.0.0.16", "10.0.0.20")):
+        ssd = Ssd(sim, f"ssd-{i}", geometry=geo)
+        vssd = VssdAllocator(ssd).create_hardware_isolated("v", channels=[0, 1])
+        vssds.append((vssd, ip))
+    (v1, ip1), (v2, ip2) = vssds
+    cp.register_vssd(v1.vssd_id, ip1, v2.vssd_id, ip2)
+    cp.register_vssd(v2.vssd_id, ip2, v1.vssd_id, ip1)
+    return sim, plane, v1, v2, ip1, ip2
+
+
+class TestSwitchGcCoordinator:
+    def test_request_round_trip(self):
+        sim, plane, v1, v2, ip1, _ = make_switch_world()
+        coordinator = SwitchGcCoordinator(sim, plane, ip1)
+        proc = sim.spawn(coordinator.request_gc(v1, "soft"))
+        sim.run()
+        assert proc.value == "accept"
+        assert plane.replica_table.gc_status(v1.vssd_id) == 1
+        assert sim.now > 0  # wire hops took time
+
+    def test_finish_notification(self):
+        sim, plane, v1, v2, ip1, _ = make_switch_world()
+        coordinator = SwitchGcCoordinator(sim, plane, ip1)
+        sim.spawn(coordinator.request_gc(v1, "regular"))
+        sim.run()
+        sim.spawn(coordinator.notify_finish(v1))
+        sim.run()
+        assert plane.replica_table.gc_status(v1.vssd_id) == 0
+
+    def test_background_notification_sets_bit(self):
+        sim, plane, v1, v2, ip1, _ = make_switch_world()
+        coordinator = SwitchGcCoordinator(sim, plane, ip1)
+        sim.spawn(coordinator.notify_background(v1))
+        sim.run()
+        assert plane.destination_table.gc_status(v1.vssd_id) == 1
+
+    def test_dropped_packets_reported_as_lost(self):
+        import random
+
+        sim, plane, v1, v2, ip1, _ = make_switch_world()
+        coordinator = SwitchGcCoordinator(
+            sim, plane, ip1, drop_rng=random.Random(1), drop_probability=1.0
+        )
+        proc = sim.spawn(coordinator.request_gc(v1, "regular"))
+        sim.run()
+        assert proc.value == "lost"
+        assert coordinator.packets_dropped == 1
+
+    def test_monitor_forces_regular_gc_after_retries(self):
+        """§3.5.1: regular GC executes after 3 unacknowledged retries."""
+        import random
+
+        sim, plane, v1, v2, ip1, _ = make_switch_world()
+        # Make the vSSD genuinely below the hard threshold.
+        working_set = max(1, v1.logical_pages // 4)
+        lpn = 0
+        while v1.free_block_ratio() >= v1.gc_policy.gc_threshold:
+            v1.ftl.place_write(lpn % working_set)
+            lpn += 1
+        coordinator = SwitchGcCoordinator(
+            sim, plane, ip1, drop_rng=random.Random(1), drop_probability=1.0
+        )
+        monitor = GcMonitor(sim, [v1], coordinator, check_interval_us=5 * MSEC)
+        proc = sim.spawn(monitor.check_all_once())
+        sim.run(until=sim.now + 500 * MSEC)
+        assert coordinator.packets_dropped >= 3
+        assert monitor.forced_after_retries == 1
+        assert v1.gc_runs == 1  # GC ran anyway

@@ -1,0 +1,91 @@
+"""Tests for the flash block/page state machine."""
+
+import pytest
+
+from repro.errors import FlashError
+from repro.flash import Block, PageState
+
+
+class TestBlockLifecycle:
+    def test_fresh_block_all_free(self):
+        block = Block(0, 8)
+        assert block.free_pages == 8
+        assert block.valid_count == 0
+        assert block.erase_count == 0
+        assert all(block.page_state(p) is PageState.FREE for p in range(8))
+
+    def test_program_is_sequential(self):
+        block = Block(0, 4)
+        assert [block.program_next() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_program_full_block_fails(self):
+        block = Block(0, 2)
+        block.program_next()
+        block.program_next()
+        with pytest.raises(FlashError):
+            block.program_next()
+
+    def test_invalidate_transitions_state(self):
+        block = Block(0, 4)
+        page = block.program_next()
+        block.invalidate(page)
+        assert block.page_state(page) is PageState.INVALID
+        assert block.valid_count == 0
+        assert block.invalid_count == 1
+
+    def test_invalidate_free_page_fails(self):
+        block = Block(0, 4)
+        with pytest.raises(FlashError):
+            block.invalidate(0)
+
+    def test_double_invalidate_fails(self):
+        block = Block(0, 4)
+        page = block.program_next()
+        block.invalidate(page)
+        with pytest.raises(FlashError):
+            block.invalidate(page)
+
+    def test_erase_requires_no_valid_pages(self):
+        block = Block(0, 4)
+        block.program_next()
+        with pytest.raises(FlashError):
+            block.erase()
+
+    def test_erase_resets_and_bumps_wear(self):
+        block = Block(0, 4)
+        for _ in range(4):
+            block.invalidate(block.program_next())
+        block.erase()
+        assert block.erase_count == 1
+        assert block.free_pages == 4
+        assert block.is_empty
+        # Reusable after erase.
+        assert block.program_next() == 0
+
+    def test_valid_pages_listing(self):
+        block = Block(0, 6)
+        pages = [block.program_next() for _ in range(4)]
+        block.invalidate(pages[1])
+        block.invalidate(pages[3])
+        assert block.valid_pages() == [0, 2]
+
+    def test_out_of_range_page_rejected(self):
+        block = Block(0, 4)
+        with pytest.raises(FlashError):
+            block.page_state(4)
+        with pytest.raises(FlashError):
+            block.invalidate(-1)
+
+    def test_counts_are_consistent(self):
+        block = Block(0, 10)
+        for _ in range(7):
+            block.program_next()
+        for page in (0, 2, 4):
+            block.invalidate(page)
+        assert block.valid_count == 4
+        assert block.invalid_count == 3
+        assert block.free_pages == 3
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(FlashError):
+            Block(0, 0)

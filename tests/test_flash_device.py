@@ -1,0 +1,191 @@
+"""Tests for channels, chips, SSD assembly, and wear statistics."""
+
+import pytest
+
+from repro.errors import ConfigError, FlashError, OutOfSpaceError
+from repro.flash import Channel, FlashChip, FlashGeometry, PSSD, Ssd, WearTracker
+from repro.flash.wear import wear_imbalance, wear_variance
+from repro.sim import Simulator
+
+
+class TestChip:
+    def test_allocate_and_release_roundtrip(self):
+        chip = FlashChip(0, 4, 4)
+        block = chip.allocate_block()
+        assert chip.free_block_count == 3
+        chip.release_block(block)
+        assert chip.free_block_count == 4
+
+    def test_allocate_exhausts(self):
+        chip = FlashChip(0, 2, 4)
+        chip.allocate_block()
+        chip.allocate_block()
+        with pytest.raises(OutOfSpaceError):
+            chip.allocate_block()
+
+    def test_release_unerased_block_fails(self):
+        chip = FlashChip(0, 2, 4)
+        block = chip.allocate_block()
+        block.program_next()
+        with pytest.raises(FlashError):
+            chip.release_block(block)
+
+    def test_double_release_fails(self):
+        chip = FlashChip(0, 2, 4)
+        block = chip.allocate_block()
+        chip.release_block(block)
+        with pytest.raises(FlashError):
+            chip.release_block(block)
+
+    def test_take_specific_block(self):
+        chip = FlashChip(0, 4, 4)
+        block = chip.take_specific_block(2)
+        assert block.block_id == 2
+        assert chip.free_block_count == 3
+        with pytest.raises(FlashError):
+            chip.take_specific_block(2)
+
+    def test_best_victim_prefers_most_invalid(self):
+        chip = FlashChip(0, 3, 4)
+        b0 = chip.allocate_block()
+        b1 = chip.allocate_block()
+        for _ in range(4):
+            b0.program_next()
+            b1.program_next()
+        b0.invalidate(0)
+        b1.invalidate(0)
+        b1.invalidate(1)
+        assert chip.best_victim() is b1
+
+    def test_no_victim_when_clean(self):
+        chip = FlashChip(0, 3, 4)
+        assert chip.best_victim() is None
+
+
+class TestChannel:
+    def test_operations_take_time(self):
+        sim = Simulator()
+        channel = Channel(sim, 0, PSSD)
+        done = sim.spawn(channel.read_page(4.0))
+        sim.run()
+        assert done.triggered
+        assert sim.now == pytest.approx(PSSD.read_latency(4.0))
+
+    def test_channel_serialises_commands(self):
+        sim = Simulator()
+        channel = Channel(sim, 0, PSSD)
+        finish_times = []
+
+        def op():
+            yield sim.spawn(channel.read_page(4.0))
+            finish_times.append(sim.now)
+
+        sim.spawn(op())
+        sim.spawn(op())
+        sim.run()
+        one_read = PSSD.read_latency(4.0)
+        assert finish_times == pytest.approx([one_read, 2 * one_read])
+
+    def test_erase_blocks_queued_reads(self):
+        # The head-of-line blocking at the heart of the paper: a read
+        # arriving during an erase waits the full erase time.
+        sim = Simulator()
+        channel = Channel(sim, 0, PSSD)
+        read_done = []
+
+        def eraser():
+            yield sim.spawn(channel.erase_block())
+
+        def reader():
+            yield sim.spawn(channel.read_page(4.0))
+            read_done.append(sim.now)
+
+        sim.spawn(eraser())
+        sim.spawn(reader())
+        sim.run()
+        assert read_done[0] == pytest.approx(PSSD.erase_us + PSSD.read_latency(4.0))
+
+    def test_op_counters_and_utilisation(self):
+        sim = Simulator()
+        channel = Channel(sim, 0, PSSD)
+        sim.spawn(channel.program_page(4.0))
+        sim.run()
+        assert channel.op_counts["program"] == 1
+        assert channel.utilization(sim.now) == pytest.approx(1.0)
+
+    def test_queue_depth_visible(self):
+        sim = Simulator()
+        channel = Channel(sim, 0, PSSD)
+        sim.spawn(channel.read_page(4.0))
+        sim.spawn(channel.read_page(4.0))
+        sim.spawn(channel.read_page(4.0))
+        sim.run(until=1.0)  # all three have tried to acquire by now
+        assert channel.queue_depth == 2
+        assert channel.busy
+
+
+class TestSsd:
+    def test_assembly_matches_geometry(self):
+        sim = Simulator()
+        geo = FlashGeometry(channels=4, chips_per_channel=2)
+        ssd = Ssd(sim, "ssd-0", geometry=geo)
+        assert len(ssd.channels) == 4
+        assert len(ssd.chips) == 8
+
+    def test_channel_of_chip(self):
+        sim = Simulator()
+        geo = FlashGeometry(channels=2, chips_per_channel=2)
+        ssd = Ssd(sim, "s", geometry=geo)
+        assert ssd.channel_of_chip(ssd.chips[0]).channel_id == 0
+        assert ssd.channel_of_chip(ssd.chips[3]).channel_id == 1
+
+    def test_chips_of_channel(self):
+        sim = Simulator()
+        geo = FlashGeometry(channels=2, chips_per_channel=3)
+        ssd = Ssd(sim, "s", geometry=geo)
+        chips = ssd.chips_of_channel(1)
+        assert [c.chip_id for c in chips] == [3, 4, 5]
+        with pytest.raises(ConfigError):
+            ssd.chips_of_channel(5)
+
+    def test_fresh_ssd_has_zero_wear(self):
+        sim = Simulator()
+        ssd = Ssd(sim, "s")
+        assert ssd.average_erase_count == 0.0
+
+
+class TestWearStats:
+    def test_tracker_requires_chips(self):
+        with pytest.raises(ValueError):
+            WearTracker([])
+
+    def test_average_tracks_erases(self):
+        chip = FlashChip(0, 2, 2)
+        tracker = WearTracker([chip])
+        block = chip.blocks[0]
+        for _ in range(2):
+            block.invalidate(block.program_next())
+        block.erase()
+        assert tracker.average_erase_count() == 0.5
+        assert tracker.max_erase_count() == 1
+        assert tracker.min_erase_count() == 0
+
+    def test_imbalance_of_uniform_fleet(self):
+        assert wear_imbalance([5.0, 5.0, 5.0]) == 1.0
+
+    def test_imbalance_of_fresh_fleet(self):
+        assert wear_imbalance([0.0, 0.0]) == 1.0
+
+    def test_imbalance_detects_hot_device(self):
+        lam = wear_imbalance([10.0, 1.0, 1.0])
+        assert lam == pytest.approx(10.0 / 4.0)
+
+    def test_variance(self):
+        assert wear_variance([1.0, 1.0]) == 0.0
+        assert wear_variance([0.0, 2.0]) == 1.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wear_imbalance([])
+        with pytest.raises(ValueError):
+            wear_variance([])

@@ -1,0 +1,136 @@
+"""Tests for firmware ECC and bad-block management."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, FlashError
+from repro.flash import FlashChip
+from repro.flash.firmware import (
+    CODEWORD_BYTES,
+    BadBlockManager,
+    EccConfig,
+    EccEngine,
+)
+
+
+class TestEccConfig:
+    def test_rber_grows_with_wear(self):
+        config = EccConfig()
+        assert config.rber_at_wear(0) == config.rber_fresh
+        assert config.rber_at_wear(10_000) > config.rber_at_wear(1_000)
+
+    def test_rber_capped(self):
+        config = EccConfig()
+        assert config.rber_at_wear(10**9) == 0.5
+
+    def test_expected_errors_scale_with_codeword(self):
+        config = EccConfig(rber_fresh=1e-4)
+        assert config.expected_bit_errors(0) == pytest.approx(
+            1e-4 * CODEWORD_BYTES * 8
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EccConfig(correctable_bits=0)
+        with pytest.raises(ConfigError):
+            EccConfig(rber_fresh=0.0)
+        with pytest.raises(ConfigError):
+            EccConfig(wear_scale=0)
+
+
+class TestEccEngine:
+    def test_fresh_blocks_read_clean(self):
+        engine = EccEngine(rng=random.Random(1))
+        outcomes = [engine.read_page(erase_count=0) for _ in range(200)]
+        assert all(not outcome.uncorrectable for outcome, _ in outcomes)
+        assert all(extra == 0.0 for _, extra in outcomes)
+
+    def test_worn_blocks_need_correction(self):
+        engine = EccEngine(EccConfig(rber_fresh=1e-6, wear_scale=1000.0),
+                           rng=random.Random(2))
+        # At wear 10000, rber = 1e-6 * e^10 ~ 2.2e-2... capped workload:
+        total_corrected = 0
+        for _ in range(50):
+            outcome, _ = engine.read_page(erase_count=8000)
+            if not outcome.uncorrectable:
+                total_corrected += outcome.corrected_bits
+        assert total_corrected + engine.uncorrectable_total > 0
+
+    def test_extreme_wear_goes_uncorrectable(self):
+        engine = EccEngine(EccConfig(rber_fresh=1e-4, wear_scale=500.0,
+                                     max_retries=1),
+                           rng=random.Random(3))
+        outcomes = [engine.read_page(erase_count=6000)[0] for _ in range(30)]
+        assert any(o.uncorrectable for o in outcomes)
+
+    def test_retries_cost_latency(self):
+        config = EccConfig(rber_fresh=3e-3, wear_scale=1e9, retry_latency_us=80.0,
+                           correctable_bits=20, max_retries=3)
+        engine = EccEngine(config, rng=random.Random(4))
+        extras = [engine.read_page(erase_count=0)[1] for _ in range(300)]
+        assert any(extra >= 80.0 for extra in extras)
+
+    def test_counters(self):
+        engine = EccEngine(rng=random.Random(5))
+        engine.read_page(0)
+        assert engine.reads == 1
+
+
+class TestBadBlockManager:
+    def test_factory_bad_blocks_removed_from_pool(self):
+        chip = FlashChip(0, 100, 8)
+        manager = BadBlockManager(chip, factory_bad_ratio=0.1,
+                                  rng=random.Random(6))
+        assert manager.factory_bad > 0
+        assert chip.free_block_count == 100 - manager.factory_bad
+        assert len(manager.usable_blocks()) == 100 - manager.factory_bad
+
+    def test_no_factory_bad_when_ratio_zero(self):
+        chip = FlashChip(0, 50, 8)
+        manager = BadBlockManager(chip, factory_bad_ratio=0.0)
+        assert manager.bad_count == 0
+
+    def test_grown_bad_retirement(self):
+        chip = FlashChip(0, 10, 4)
+        manager = BadBlockManager(chip, factory_bad_ratio=0.0)
+        block = chip.allocate_block()
+        # Simulate: data written, then migrated away and erased.
+        for _ in range(4):
+            block.invalidate(block.program_next())
+        block.erase()
+        manager.retire(block)
+        assert manager.grown_bad == 1
+        assert manager.is_bad(block.block_id)
+        assert block not in manager.usable_blocks()
+
+    def test_retire_with_live_data_rejected(self):
+        chip = FlashChip(0, 10, 4)
+        manager = BadBlockManager(chip, factory_bad_ratio=0.0)
+        block = chip.allocate_block()
+        block.program_next()
+        with pytest.raises(FlashError):
+            manager.retire(block)
+
+    def test_double_retire_rejected(self):
+        chip = FlashChip(0, 10, 4)
+        manager = BadBlockManager(chip, factory_bad_ratio=0.0)
+        block = chip.allocate_block()
+        manager.retire(block)
+        with pytest.raises(FlashError):
+            manager.retire(block)
+
+    def test_health_metric_declines_with_wear(self):
+        chip = FlashChip(0, 4, 2)
+        manager = BadBlockManager(chip, factory_bad_ratio=0.0)
+        assert manager.remaining_life_fraction() == 1.0
+        for block in chip.blocks:
+            for _ in range(2):
+                block.invalidate(block.program_next())
+            block.erase()
+        assert manager.remaining_life_fraction(endurance=10) < 1.0
+
+    def test_invalid_ratio_rejected(self):
+        chip = FlashChip(0, 4, 2)
+        with pytest.raises(ConfigError):
+            BadBlockManager(chip, factory_bad_ratio=0.9)

@@ -1,0 +1,296 @@
+"""Tests for the page-mapped FTL, greedy GC, and block borrowing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, FlashError, OutOfSpaceError
+from repro.flash import FlashChip, GreedyGcPolicy, PageMappedFtl, PSSD
+
+
+def make_ftl(chips=2, blocks=16, pages=8, overprovision=0.25, name="ftl"):
+    chip_objs = [FlashChip(i, blocks, pages) for i in range(chips)]
+    return PageMappedFtl(name, chip_objs, pages, overprovision=overprovision)
+
+
+class TestMapping:
+    def test_unwritten_page_unmapped(self):
+        ftl = make_ftl()
+        assert ftl.lookup(0) is None
+
+    def test_write_then_read_roundtrip(self):
+        ftl = make_ftl()
+        addr = ftl.place_write(5)
+        assert ftl.lookup(5) == addr
+
+    def test_overwrite_invalidates_old_location(self):
+        ftl = make_ftl()
+        first = ftl.place_write(3)
+        second = ftl.place_write(3)
+        assert first != second
+        from repro.flash import PageState
+
+        assert first.chip.blocks[first.block_id].page_state(first.page) is PageState.INVALID
+
+    def test_writes_stripe_across_chips(self):
+        ftl = make_ftl(chips=4)
+        chips_used = {ftl.place_write(i).chip.chip_id for i in range(8)}
+        assert len(chips_used) == 4
+
+    def test_lpn_bounds_enforced(self):
+        ftl = make_ftl()
+        with pytest.raises(AddressError):
+            ftl.lookup(ftl.logical_pages)
+        with pytest.raises(AddressError):
+            ftl.place_write(-1)
+
+    def test_logical_capacity_reflects_overprovision(self):
+        ftl = make_ftl(chips=1, blocks=10, pages=10, overprovision=0.2)
+        assert ftl.logical_pages == 80
+        assert ftl.total_physical_pages == 100
+
+    def test_trim_unmaps(self):
+        ftl = make_ftl()
+        ftl.place_write(7)
+        ftl.trim(7)
+        assert ftl.lookup(7) is None
+
+    def test_trim_unwritten_is_noop(self):
+        ftl = make_ftl()
+        ftl.trim(0)  # must not raise
+
+    def test_needs_at_least_one_chip(self):
+        with pytest.raises(FlashError):
+            PageMappedFtl("x", [], 8)
+
+    def test_invalid_overprovision(self):
+        with pytest.raises(FlashError):
+            make_ftl(overprovision=0.0)
+        with pytest.raises(FlashError):
+            make_ftl(overprovision=1.0)
+
+
+class TestFreeSpace:
+    def test_fresh_device_fully_free(self):
+        ftl = make_ftl()
+        assert ftl.free_block_ratio() == 1.0
+
+    def test_ratio_decreases_with_writes(self):
+        ftl = make_ftl(chips=1, blocks=8, pages=8)
+        before = ftl.free_block_ratio()
+        for lpn in range(16):  # two blocks' worth
+            ftl.place_write(lpn)
+        assert ftl.free_block_ratio() < before
+
+    def test_fill_device_to_capacity(self):
+        ftl = make_ftl(chips=1, blocks=8, pages=8, overprovision=0.25)
+        for lpn in range(ftl.logical_pages):
+            ftl.place_write(lpn)
+        assert ftl.mapped_page_count() == ftl.logical_pages
+        assert ftl.utilization() == 1.0
+
+    def test_out_of_space_without_gc(self):
+        # Writing far beyond capacity with no GC must eventually fail.
+        ftl = make_ftl(chips=1, blocks=4, pages=4, overprovision=0.25)
+        with pytest.raises(OutOfSpaceError):
+            for _ in range(100):
+                ftl.place_write(0)  # same lpn: creates invalid pages, no GC
+
+
+class TestGreedyGc:
+    def test_no_victim_on_clean_device(self):
+        ftl = make_ftl()
+        assert ftl.select_victim() is None
+
+    def test_victim_has_most_invalids(self):
+        ftl = make_ftl(chips=1, blocks=8, pages=4)
+        # Fill 3 blocks; then invalidate different amounts via overwrites.
+        for lpn in range(12):
+            ftl.place_write(lpn)
+        for lpn in (0, 1, 2):  # first block gets 3 invalids
+            ftl.place_write(lpn)
+        victim = ftl.select_victim()
+        assert victim is not None
+        block = victim.chip.blocks[victim.block_id]
+        assert block.invalid_count == 3
+
+    def test_collect_once_frees_a_block(self):
+        ftl = make_ftl(chips=1, blocks=8, pages=4)
+        for lpn in range(12):
+            ftl.place_write(lpn)
+        for lpn in range(4):
+            ftl.place_write(lpn)
+        policy = GreedyGcPolicy()
+        free_before = ftl.free_blocks_total()
+        result = policy.collect_once(ftl)
+        assert result is not None
+        assert ftl.free_blocks_total() >= free_before
+        ftl.check_invariants()
+
+    def test_gc_preserves_logical_data(self):
+        ftl = make_ftl(chips=1, blocks=8, pages=4)
+        live = {}
+        for lpn in range(12):
+            live[lpn] = ftl.place_write(lpn)
+        for lpn in range(4):
+            live[lpn] = ftl.place_write(lpn)
+        policy = GreedyGcPolicy()
+        policy.collect_once(ftl)
+        # Every lpn still mapped, and migrated pages moved consistently.
+        for lpn in live:
+            assert ftl.lookup(lpn) is not None
+        ftl.check_invariants()
+
+    def test_collect_until_restores_ratio(self):
+        ftl = make_ftl(chips=2, blocks=16, pages=8, overprovision=0.3)
+        policy = GreedyGcPolicy()
+        rng_lpns = list(range(ftl.logical_pages)) * 2
+        for lpn in rng_lpns:
+            if ftl.free_block_ratio() < 0.2:
+                policy.collect_until(ftl, target_ratio=0.3)
+            ftl.place_write(lpn)
+        assert ftl.free_block_ratio() >= 0.15
+        ftl.check_invariants()
+
+    def test_gc_writes_counted(self):
+        ftl = make_ftl(chips=1, blocks=8, pages=4)
+        for lpn in range(12):
+            ftl.place_write(lpn)
+        for lpn in (0,):
+            ftl.place_write(lpn)
+        policy = GreedyGcPolicy()
+        result = policy.collect_once(ftl)
+        assert result is not None
+        assert ftl.gc_writes == result.pages_moved
+        assert ftl.gc_erases == 1
+        assert ftl.write_amplification() > 1.0
+
+    def test_thresholds_validate(self):
+        with pytest.raises(ValueError):
+            GreedyGcPolicy(gc_threshold=0.5, soft_threshold=0.3)
+
+    def test_threshold_predicates(self):
+        ftl = make_ftl(chips=1, blocks=10, pages=4, overprovision=0.3)
+        policy = GreedyGcPolicy(gc_threshold=0.25, soft_threshold=0.35)
+        assert not policy.wants_soft_gc(ftl)
+        # Consume blocks until below soft threshold (free ratio < 0.35).
+        lpn = 0
+        while ftl.free_block_ratio() >= 0.35:
+            ftl.place_write(lpn % ftl.logical_pages)
+            lpn += 1
+        assert policy.wants_soft_gc(ftl)
+
+    def test_work_duration_scales_with_moves(self):
+        from repro.flash.gc import GcResult
+        from repro.flash.ftl import PhysicalAddr
+
+        chip = FlashChip(0, 4, 4)
+        policy = GreedyGcPolicy()
+        empty = GcResult(victim=PhysicalAddr(chip, 0, 0))
+        assert policy.work_duration_us(empty, PSSD) == PSSD.erase_us
+        moved = GcResult(
+            victim=PhysicalAddr(chip, 0, 0),
+            migrations=[(0, PhysicalAddr(chip, 0, 0), PhysicalAddr(chip, 1, 0))],
+        )
+        assert policy.work_duration_us(moved, PSSD) > PSSD.erase_us
+
+
+class TestBlockBorrowing:
+    def test_lend_transfers_free_blocks(self):
+        lender = make_ftl(chips=1, blocks=16, pages=4, name="lender")
+        borrower = make_ftl(chips=1, blocks=16, pages=4, name="borrower")
+        granted = lender.lend_free_blocks(4, borrower)
+        assert granted == 4
+        assert borrower.borrowed_block_count == 4
+        assert lender.free_blocks_total() == 12
+
+    def test_lender_keeps_one_block_per_chip(self):
+        lender = make_ftl(chips=1, blocks=4, pages=4, name="lender")
+        borrower = make_ftl(chips=1, blocks=4, pages=4, name="borrower")
+        granted = lender.lend_free_blocks(10, borrower)
+        assert granted == 3
+        assert lender.free_blocks_total() == 1
+
+    def test_borrowed_blocks_absorb_overflow_writes(self):
+        borrower = make_ftl(chips=1, blocks=4, pages=4, overprovision=0.25,
+                            name="borrower")
+        lender = make_ftl(chips=1, blocks=8, pages=4, name="lender")
+        lender.lend_free_blocks(2, borrower)
+        # Exhaust the borrower's own space with rewrites, then keep going:
+        # the borrowed blocks must absorb the spill instead of raising.
+        for i in range(20):
+            borrower.place_write(i % borrower.logical_pages)
+        assert borrower.borrowed_block_count > 0
+
+    def test_borrowed_block_returned_after_gc(self):
+        borrower = make_ftl(chips=1, blocks=4, pages=2, overprovision=0.25,
+                            name="borrower")
+        lender = make_ftl(chips=1, blocks=8, pages=2, name="lender")
+        lender.lend_free_blocks(2, borrower)
+        lender_free_before = lender.free_blocks_total()
+        # Spill writes into a borrowed block, then invalidate them all and
+        # GC: the erased block must return to the lender.
+        for i in range(8):
+            borrower.place_write(i % 4)
+        policy = GreedyGcPolicy()
+        for _ in range(8):
+            if policy.collect_once(borrower) is None:
+                break
+        assert lender.free_blocks_total() >= lender_free_before
+
+
+class TestFtlProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        writes=st.lists(st.integers(min_value=0, max_value=47), min_size=1,
+                        max_size=300),
+    )
+    def test_mapping_stays_consistent_under_random_writes_and_gc(self, writes):
+        """Invariant: after any write/GC interleaving, every written lpn is
+        mapped exactly once and map/rmap agree."""
+        ftl = make_ftl(chips=2, blocks=8, pages=4, overprovision=0.25)
+        policy = GreedyGcPolicy()
+        written = set()
+        for lpn in writes:
+            if ftl.free_block_ratio() < 0.3:
+                policy.collect_until(ftl, target_ratio=0.4)
+            ftl.place_write(lpn)
+            written.add(lpn)
+        ftl.check_invariants()
+        for lpn in written:
+            assert ftl.lookup(lpn) is not None
+        assert ftl.mapped_page_count() == len(written)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        writes=st.lists(st.integers(min_value=0, max_value=23), min_size=50,
+                        max_size=400),
+    )
+    def test_physical_valid_pages_equal_mapped_pages(self, writes):
+        """Invariant: sum of valid pages across blocks == mapped lpn count."""
+        ftl = make_ftl(chips=1, blocks=8, pages=4, overprovision=0.25)
+        policy = GreedyGcPolicy()
+        for lpn in writes:
+            if ftl.free_block_ratio() < 0.3:
+                policy.collect_until(ftl, target_ratio=0.4)
+            ftl.place_write(lpn)
+        valid_total = sum(
+            b.valid_count for chip in ftl.chips for b in chip.blocks
+        )
+        assert valid_total == ftl.mapped_page_count()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_gc_never_loses_free_blocks(self, seed):
+        """GC must be monotone: collecting cannot reduce free space."""
+        import random
+
+        rng = random.Random(seed)
+        ftl = make_ftl(chips=1, blocks=8, pages=4, overprovision=0.25)
+        policy = GreedyGcPolicy()
+        for _ in range(100):
+            if ftl.free_block_ratio() < 0.3:
+                before = ftl.free_blocks_total()
+                policy.collect_until(ftl, target_ratio=0.4)
+                assert ftl.free_blocks_total() >= before
+            ftl.place_write(rng.randrange(ftl.logical_pages))

@@ -1,0 +1,101 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.percentiles import percentile
+
+
+class TestLogHistogram:
+    def test_mean_and_max_are_exact(self):
+        hist = LogHistogram()
+        for v in (10.0, 20.0, 30.0):
+            hist.record(v)
+        assert hist.mean() == 20.0
+        assert hist.max() == 30.0
+
+    def test_percentile_within_error_bound(self):
+        hist = LogHistogram(buckets_per_decade=64)
+        rng = random.Random(1)
+        values = [rng.lognormvariate(5.0, 1.0) for _ in range(5000)]
+        for v in values:
+            hist.record(v)
+        bound = hist.relative_error_bound()
+        for q in (50.0, 90.0, 99.0, 99.9):
+            exact = percentile(values, q)
+            approx = hist.percentile(q)
+            assert approx == pytest.approx(exact, rel=bound * 2 + 0.01)
+
+    def test_underflow_and_overflow(self):
+        hist = LogHistogram(min_value_us=10.0, max_value_us=1000.0)
+        hist.record(1.0)      # underflow
+        hist.record(5000.0)   # overflow
+        assert hist.total == 2
+        assert hist.percentile(1.0) == 10.0
+        assert hist.max() == 5000.0
+
+    def test_empty_rejects_stats(self):
+        hist = LogHistogram()
+        with pytest.raises(ConfigError):
+            hist.mean()
+        with pytest.raises(ConfigError):
+            hist.percentile(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LogHistogram(min_value_us=0.0)
+        with pytest.raises(ConfigError):
+            LogHistogram(min_value_us=10.0, max_value_us=5.0)
+        with pytest.raises(ConfigError):
+            LogHistogram(buckets_per_decade=0)
+        hist = LogHistogram()
+        with pytest.raises(ConfigError):
+            hist.record(-1.0)
+        with pytest.raises(ConfigError):
+            hist.percentile(200.0)
+
+    def test_merge(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record(100.0)
+        b.record(1000.0)
+        a.merge(b)
+        assert a.total == 2
+        assert a.max() == 1000.0
+
+    def test_merge_shape_mismatch_rejected(self):
+        a = LogHistogram(buckets_per_decade=16)
+        b = LogHistogram(buckets_per_decade=32)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_nonzero_buckets(self):
+        hist = LogHistogram()
+        hist.record(50.0)
+        hist.record(51.0)
+        buckets = list(hist.nonzero_buckets())
+        assert sum(count for _, count in buckets) == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1,
+                    max_size=500))
+    def test_quantiles_monotone(self, values):
+        hist = LogHistogram()
+        for v in values:
+            hist.record(v)
+        qs = [hist.percentile(q) for q in (10, 50, 90, 99)]
+        assert all(a <= b + 1e-9 for a, b in zip(qs, qs[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1,
+                    max_size=300))
+    def test_total_preserved(self, values):
+        hist = LogHistogram()
+        for v in values:
+            hist.record(v)
+        bucket_sum = sum(count for _, count in hist.nonzero_buckets())
+        assert bucket_sum + hist._underflow + hist._overflow == hist.total

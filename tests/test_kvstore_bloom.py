@@ -1,0 +1,54 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kvstore import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=500, false_positive_rate=0.01)
+        keys = [f"key-{i}" for i in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=1000, false_positive_rate=0.01)
+        for i in range(1000):
+            bloom.add(f"present-{i}")
+        probes = 5000
+        false_positives = sum(
+            1 for i in range(probes) if bloom.might_contain(f"absent-{i}")
+        )
+        assert false_positives / probes < 0.05  # target 1%, generous bound
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(capacity=10)
+        assert not bloom.might_contain("anything")
+
+    def test_sizing_scales_with_capacity(self):
+        small = BloomFilter(capacity=100)
+        large = BloomFilter(capacity=10_000)
+        assert large.num_bits > small.num_bits
+        assert large.size_bytes > small.size_bytes
+
+    def test_tighter_fp_rate_uses_more_bits(self):
+        loose = BloomFilter(capacity=1000, false_positive_rate=0.1)
+        tight = BloomFilter(capacity=1000, false_positive_rate=0.001)
+        assert tight.num_bits > loose.num_bits
+        assert tight.num_hashes >= loose.num_hashes
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(capacity=100)
+        assert bloom.fill_ratio() == 0.0
+        for i in range(100):
+            bloom.add(f"k{i}")
+        assert 0.0 < bloom.fill_ratio() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ConfigError):
+            BloomFilter(capacity=10, false_positive_rate=1.0)

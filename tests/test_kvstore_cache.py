@@ -1,0 +1,97 @@
+"""Tests for the client-side LRU cache over the KV store."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kvstore.cache import CachedKvStore, LruCache
+from tests.test_kvstore_store import make_store, run
+
+
+class TestLruCache:
+    def test_hit_and_miss(self):
+        cache = LruCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", "1")
+        assert cache.get("a") == "1"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_lru(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.get("a")           # 'a' is now most recent
+        cache.put("c", "3")      # evicts 'b'
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.evictions == 1
+
+    def test_overwrite_does_not_grow(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", "1")
+        cache.put("a", "2")
+        assert len(cache) == 1
+        assert cache.get("a") == "2"
+
+    def test_invalidate(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", "1")
+        cache.invalidate("a")
+        assert cache.get("a") is None
+        cache.invalidate("ghost")  # no-op
+
+    def test_hit_ratio(self):
+        cache = LruCache(capacity=4)
+        assert cache.hit_ratio() == 0.0
+        cache.put("a", "1")
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_ratio() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LruCache(capacity=0)
+
+
+class TestCachedKvStore:
+    def test_second_get_served_from_cache(self):
+        rack, store = make_store()
+        cached = CachedKvStore(store, capacity=16)
+        run(rack, cached.put("k", "v"))
+        # put() warms the cache, so the first get is already local.
+        value, latency, from_cache = run(rack, cached.get("k"))
+        assert value == "v" and from_cache and latency == 0.0
+        assert store.gets == 0  # never touched the rack for reads
+
+    def test_miss_goes_to_rack_then_caches(self):
+        rack, store = make_store()
+        cached = CachedKvStore(store, capacity=16)
+        run(rack, store.put("k", "v"))  # bypass the cache on write
+        value, latency, from_cache = run(rack, cached.get("k"))
+        assert value == "v" and not from_cache and latency > 0
+        _, _, second = run(rack, cached.get("k"))
+        assert second is True
+
+    def test_delete_invalidates(self):
+        rack, store = make_store()
+        cached = CachedKvStore(store, capacity=16)
+        run(rack, cached.put("k", "v"))
+        run(rack, cached.delete("k"))
+        value, _, from_cache = run(rack, cached.get("k"))
+        assert value is None and not from_cache
+
+    def test_write_through_refreshes(self):
+        rack, store = make_store()
+        cached = CachedKvStore(store, capacity=16)
+        run(rack, cached.put("k", "v1"))
+        run(rack, cached.put("k", "v2"))
+        value, _, from_cache = run(rack, cached.get("k"))
+        assert value == "v2" and from_cache
+
+    def test_missing_keys_not_cached(self):
+        rack, store = make_store()
+        cached = CachedKvStore(store, capacity=16)
+        value, _, from_cache = run(rack, cached.get("ghost"))
+        assert value is None and not from_cache
+        # A second miss still goes to the rack (no negative caching).
+        _, _, again = run(rack, cached.get("ghost"))
+        assert again is False

@@ -1,0 +1,182 @@
+"""Tests for the LSM tree on a vSSD."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.flash import FlashGeometry, Ssd
+from repro.kvstore import LsmTree
+from repro.sim import Simulator
+from repro.vssd import VssdAllocator
+
+
+def make_lsm(memtable_entries=8, level_fanout=2, entries_per_page=4,
+             blocks=128, pages=16):
+    sim = Simulator()
+    geo = FlashGeometry(channels=2, chips_per_channel=2, blocks_per_chip=blocks,
+                        pages_per_block=pages)
+    ssd = Ssd(sim, "kv-ssd", geometry=geo)
+    vssd = VssdAllocator(ssd).create_hardware_isolated("kv", channels=[0, 1])
+    lsm = LsmTree(
+        vssd, memtable_entries=memtable_entries, level_fanout=level_fanout,
+        entries_per_page=entries_per_page,
+    )
+    return sim, lsm
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    assert proc.ok, proc._exception
+    return proc.value
+
+
+class TestBasicOps:
+    def test_put_get_from_memtable(self):
+        sim, lsm = make_lsm()
+        run(sim, lsm.put("a", "1"))
+        assert run(sim, lsm.get("a")) == "1"
+        assert lsm.flushes == 0  # never left memory
+
+    def test_get_missing(self):
+        sim, lsm = make_lsm()
+        assert run(sim, lsm.get("ghost")) is None
+
+    def test_flush_then_get_reads_flash(self):
+        sim, lsm = make_lsm(memtable_entries=4)
+        for i in range(4):
+            run(sim, lsm.put(f"k{i}", f"v{i}"))
+        assert lsm.flushes == 1
+        before = lsm.pages_read
+        assert run(sim, lsm.get("k2")) == "v2"
+        assert lsm.pages_read == before + 1  # one timed page read
+
+    def test_overwrite_visible_after_flush(self):
+        sim, lsm = make_lsm(memtable_entries=4)
+        run(sim, lsm.put("key", "old"))
+        for i in range(3):
+            run(sim, lsm.put(f"pad{i}", "x"))  # forces flush with 'old'
+        run(sim, lsm.put("key", "new"))
+        assert run(sim, lsm.get("key")) == "new"
+
+    def test_delete_masks_flushed_value(self):
+        sim, lsm = make_lsm(memtable_entries=4)
+        run(sim, lsm.put("doomed", "v"))
+        for i in range(3):
+            run(sim, lsm.put(f"pad{i}", "x"))
+        run(sim, lsm.delete("doomed"))
+        assert run(sim, lsm.get("doomed")) is None
+
+    def test_explicit_flush_empties_memtable(self):
+        sim, lsm = make_lsm()
+        run(sim, lsm.put("a", "1"))
+        run(sim, lsm.flush())
+        assert lsm.flushes == 1
+        assert run(sim, lsm.get("a")) == "1"
+
+    def test_flush_of_empty_memtable_is_noop(self):
+        sim, lsm = make_lsm()
+        run(sim, lsm.flush())
+        assert lsm.flushes == 0
+
+    def test_validation(self):
+        sim, lsm = make_lsm()
+        with pytest.raises(ConfigError):
+            LsmTree(lsm.vssd, memtable_entries=0)
+        with pytest.raises(ConfigError):
+            LsmTree(lsm.vssd, level_fanout=1)
+
+
+class TestCompaction:
+    def test_compaction_triggers_on_fanout(self):
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        # 3 flushes > fanout 2 -> compaction into level 1.
+        for i in range(12):
+            run(sim, lsm.put(f"k{i}", f"v{i}"))
+        assert lsm.flushes == 3
+        assert lsm.compactions >= 1
+        assert lsm.level_sizes()[1] >= 1
+
+    def test_data_survives_compaction(self):
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        expected = {}
+        for i in range(40):
+            key = f"k{i % 10}"
+            value = f"v{i}"
+            run(sim, lsm.put(key, value))
+            expected[key] = value
+        for key, value in expected.items():
+            assert run(sim, lsm.get(key)) == value, key
+        lsm.check_invariants()
+
+    def test_compaction_reclaims_space(self):
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        # Rewriting the same keys: compaction dedupes shadowed versions.
+        for i in range(64):
+            run(sim, lsm.put(f"k{i % 4}", f"v{i}"))
+        assert lsm.resident_entries() < 64
+        lsm.check_invariants()
+
+    def test_trim_frees_flash_pages(self):
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        for i in range(48):
+            run(sim, lsm.put(f"k{i % 6}", f"v{i}"))
+        # Old extents were trimmed: mapped pages track live tables only,
+        # not the full write history.
+        assert lsm.vssd.ftl.mapped_page_count() <= lsm.space_pages()
+
+    def test_tombstones_dropped_at_bottom_level(self):
+        sim, lsm = make_lsm(memtable_entries=2, level_fanout=2)
+        lsm.max_levels = 2  # bottom is level 1
+        run(sim, lsm.put("dead", "v"))
+        run(sim, lsm.put("pad", "x"))     # flush 1 (with 'dead')
+        run(sim, lsm.delete("dead"))
+        run(sim, lsm.put("pad2", "x"))    # flush 2 (with tombstone)
+        run(sim, lsm.put("pad3", "x"))
+        run(sim, lsm.put("pad4", "x"))    # flush 3 -> compaction to bottom
+        assert run(sim, lsm.get("dead")) is None
+        # After a bottom-level merge no tombstone entries survive.
+        from repro.kvstore.lsm import _TOMBSTONE
+
+        bottom = lsm._levels[1]
+        for table in bottom:
+            for page in table.pages.values():
+                assert _TOMBSTONE not in page.values()
+
+
+class TestLsmProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]),
+                  st.integers(min_value=0, max_value=15),
+                  st.integers(min_value=0, max_value=99)),
+        min_size=1, max_size=120,
+    ))
+    def test_matches_dict_semantics(self, ops):
+        """Property: the LSM agrees with a plain dict under any op mix."""
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        model = {}
+        for op, key_i, val_i in ops:
+            key = f"k{key_i}"
+            if op == "put":
+                run(sim, lsm.put(key, f"v{val_i}"))
+                model[key] = f"v{val_i}"
+            else:
+                run(sim, lsm.delete(key))
+                model.pop(key, None)
+        for key_i in range(16):
+            key = f"k{key_i}"
+            assert run(sim, lsm.get(key)) == model.get(key), key
+        lsm.check_invariants()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=999))
+    def test_extent_allocator_never_overlaps(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        for _ in range(60):
+            run(sim, lsm.put(f"k{rng.randrange(12)}", "v"))
+        lsm.check_invariants()

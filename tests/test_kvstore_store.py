@@ -1,0 +1,101 @@
+"""Tests for the replicated rack-backed KV store."""
+
+import pytest
+
+from repro.cluster import Rack, RackConfig, SystemType
+from repro.errors import ConfigError
+from repro.experiments.runner import run_until
+from repro.kvstore import RackKvStore
+from repro.sim import AllOf
+
+
+def make_store(system=SystemType.RACKBLOX):
+    config = RackConfig(system=system, num_servers=3, num_pairs=3, seed=31)
+    rack = Rack(config)
+    return rack, RackKvStore(rack)
+
+
+def run(rack, gen):
+    proc = rack.sim.spawn(gen)
+    run_until(rack.sim, proc)
+    assert proc.ok
+    return proc.value
+
+
+class TestRackKvStore:
+    def test_put_get_roundtrip(self):
+        rack, store = make_store()
+        latency = run(rack, store.put("user:1", "alice"))
+        assert latency > 0
+        value, read_latency = run(rack, store.get("user:1"))
+        assert value == "alice"
+        assert read_latency > 0
+
+    def test_missing_key(self):
+        rack, store = make_store()
+        value, _ = run(rack, store.get("nope"))
+        assert value is None
+        assert store.misses == 1
+
+    def test_overwrite(self):
+        rack, store = make_store()
+        run(rack, store.put("k", "v1"))
+        run(rack, store.put("k", "v2"))
+        value, _ = run(rack, store.get("k"))
+        assert value == "v2"
+        assert len(store) == 1
+
+    def test_delete(self):
+        rack, store = make_store()
+        run(rack, store.put("k", "v"))
+        run(rack, store.delete("k"))
+        value, _ = run(rack, store.get("k"))
+        assert value is None
+        assert not store.contains("k")
+
+    def test_keys_spread_across_pairs(self):
+        rack, store = make_store()
+        pairs_used = {store._route(f"key-{i}")[0] for i in range(200)}
+        assert pairs_used == {0, 1, 2}
+
+    def test_routing_is_stable(self):
+        rack, store = make_store()
+        assert store._route("stable-key") == store._route("stable-key")
+
+    def test_writes_reach_both_replicas(self):
+        rack, store = make_store()
+        run(rack, store.put("k", "v"))
+        assert rack.switch.writes_forwarded == 2
+
+    def test_oversized_value_rejected_eagerly(self):
+        rack, store = make_store()
+        with pytest.raises(ConfigError):
+            store.put("big", "x" * 5000)  # validation is pre-process
+
+    def test_metrics_recorded(self):
+        rack, store = make_store()
+        run(rack, store.put("a", "1"))
+        run(rack, store.get("a"))
+        assert store.metrics.write_total.count == 1
+        assert store.metrics.read_total.count == 1
+
+    def test_bulk_load_and_read_back(self):
+        rack, store = make_store()
+        items = {f"key-{i}": f"value-{i}" for i in range(60)}
+
+        def load():
+            for key, value in items.items():
+                yield rack.sim.spawn(store.put(key, value))
+
+        run(rack, load())
+        for key, value in list(items.items())[:20]:
+            got, _ = run(rack, store.get(key))
+            assert got == value
+
+    def test_empty_rack_rejected(self):
+        config = RackConfig(system=SystemType.RACKBLOX, num_servers=3,
+                            num_pairs=3, seed=31)
+        rack = Rack(config)
+        rack.pairs = []
+        with pytest.raises(ConfigError):
+            RackKvStore(rack)

@@ -1,0 +1,63 @@
+"""Tests for LSM range scans (the YCSB-E primitive)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from tests.test_kvstore_lsm import make_lsm, run
+
+
+class TestScan:
+    def _loaded(self):
+        sim, lsm = make_lsm(memtable_entries=4, level_fanout=2)
+        for i in range(20):
+            run(sim, lsm.put(f"key{i:03d}", f"v{i}"))
+        return sim, lsm
+
+    def test_scan_returns_sorted_range(self):
+        sim, lsm = self._loaded()
+        results = run(sim, lsm.scan("key005", 5))
+        keys = [k for k, _ in results]
+        assert keys == ["key005", "key006", "key007", "key008", "key009"]
+        assert results[0][1] == "v5"
+
+    def test_scan_spans_memtable_and_tables(self):
+        sim, lsm = self._loaded()
+        # Last keys are still in the memtable; early ones are on flash.
+        results = run(sim, lsm.scan("key000", 20))
+        assert len(results) == 20
+
+    def test_scan_charges_page_reads(self):
+        sim, lsm = self._loaded()
+        run(sim, lsm.flush())  # everything on flash
+        before = lsm.pages_read
+        run(sim, lsm.scan("key000", 8))
+        assert lsm.pages_read > before
+
+    def test_scan_sees_newest_version(self):
+        sim, lsm = self._loaded()
+        run(sim, lsm.put("key003", "fresh"))
+        results = dict(run(sim, lsm.scan("key003", 1)))
+        assert results["key003"] == "fresh"
+
+    def test_scan_skips_tombstones(self):
+        sim, lsm = self._loaded()
+        run(sim, lsm.delete("key006"))
+        results = run(sim, lsm.scan("key005", 3))
+        keys = [k for k, _ in results]
+        assert "key006" not in keys
+        assert keys == ["key005", "key007", "key008"]
+
+    def test_scan_past_end(self):
+        sim, lsm = self._loaded()
+        results = run(sim, lsm.scan("key018", 10))
+        assert [k for k, _ in results] == ["key018", "key019"]
+
+    def test_empty_range(self):
+        sim, lsm = self._loaded()
+        assert run(sim, lsm.scan("zzz", 5)) == []
+
+    def test_validation(self):
+        sim, lsm = self._loaded()
+        proc = sim.spawn(lsm.scan("a", 0))
+        sim.run()
+        assert proc.triggered and not proc.ok  # ConfigError inside

@@ -1,0 +1,136 @@
+"""Tests for the multi-rack extension (future work of §3.7)."""
+
+import pytest
+
+from repro.cluster.multirack import (
+    INTER_SWITCH_DELAY_US,
+    CrossRackEntry,
+    MultiRackFabric,
+)
+from repro.errors import ConfigError, SwitchError
+from repro.net.packet import GcKind, OpType, Packet, gc_op
+from repro.sim import Simulator
+
+V_PRIMARY, V_REPLICA, V_REMOTE = 101, 102, 103
+IP_PRIMARY, IP_REPLICA, IP_REMOTE = "10.0.0.16", "10.0.0.20", "10.1.0.16"
+
+
+def make_fabric(sync_delay=INTER_SWITCH_DELAY_US):
+    sim = Simulator()
+    fabric = MultiRackFabric(sim, num_racks=2, sync_delay_us=sync_delay)
+    fabric.register_vssd(
+        V_PRIMARY, home_rack=0, server_ip=IP_PRIMARY,
+        in_rack_replica_id=V_REPLICA, in_rack_replica_ip=IP_REPLICA,
+        cross_rack=CrossRackEntry(V_REMOTE, rack_id=1, server_ip=IP_REMOTE),
+    )
+    fabric.register_vssd(
+        V_REPLICA, home_rack=0, server_ip=IP_REPLICA,
+        in_rack_replica_id=V_PRIMARY, in_rack_replica_ip=IP_PRIMARY,
+    )
+    return sim, fabric
+
+
+class TestRegistration:
+    def test_vssd_visible_in_every_switch(self):
+        _, fabric = make_fabric()
+        for switch in fabric.switches:
+            assert V_PRIMARY in switch.replica_table
+            assert switch.destination_table.server_ip(V_PRIMARY) == IP_PRIMARY
+
+    def test_duplicate_registration_rejected(self):
+        _, fabric = make_fabric()
+        with pytest.raises(SwitchError):
+            fabric.register_vssd(V_PRIMARY, 0, IP_PRIMARY, V_REPLICA, IP_REPLICA)
+
+    def test_cross_rack_replica_must_be_remote(self):
+        sim = Simulator()
+        fabric = MultiRackFabric(sim, num_racks=2)
+        with pytest.raises(ConfigError):
+            fabric.register_vssd(
+                1, home_rack=0, server_ip="a", in_rack_replica_id=2,
+                in_rack_replica_ip="b",
+                cross_rack=CrossRackEntry(3, rack_id=0, server_ip="c"),
+            )
+
+    def test_fabric_needs_two_racks(self):
+        with pytest.raises(ConfigError):
+            MultiRackFabric(Simulator(), num_racks=1)
+
+
+class TestGcStateSync:
+    def test_peer_switch_converges_after_delay(self):
+        sim, fabric = make_fabric(sync_delay=40.0)
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        # Immediately after: the peer is stale.
+        assert fabric.gc_status_views(V_PRIMARY) == [1, 0]
+        assert not fabric.consistent(V_PRIMARY)
+        sim.run(until=50.0)
+        assert fabric.gc_status_views(V_PRIMARY) == [1, 1]
+        assert fabric.consistent(V_PRIMARY)
+        assert fabric.syncs_sent == 1
+
+    def test_finish_propagates_too(self):
+        sim, fabric = make_fabric(sync_delay=40.0)
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        sim.run(until=50.0)
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.FINISH, src=IP_PRIMARY))
+        sim.run(until=100.0)
+        assert fabric.gc_status_views(V_PRIMARY) == [0, 0]
+
+    def test_remote_rack_can_route_and_redirect(self):
+        # A read arriving at the *peer* rack's switch uses its synced view.
+        sim, fabric = make_fabric(sync_delay=10.0)
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        sim.run(until=20.0)
+        action = fabric.process_read(1, Packet(op=OpType.READ, vssd_id=V_PRIMARY))
+        assert action.redirected
+        assert action.dst_ip == IP_REPLICA
+
+
+class TestCrossRackRedirect:
+    def test_both_replicas_busy_goes_out_of_rack(self):
+        sim, fabric = make_fabric()
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        fabric.process_gc_op(0, gc_op(V_REPLICA, GcKind.REGULAR, src=IP_REPLICA))
+        action = fabric.process_read(0, Packet(op=OpType.READ, vssd_id=V_PRIMARY))
+        assert action.redirected
+        assert action.dst_ip == IP_REMOTE
+        assert action.packet.vssd_id == V_REMOTE
+        assert fabric.cross_rack_redirects == 1
+
+    def test_in_rack_redirect_preferred(self):
+        sim, fabric = make_fabric()
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        action = fabric.process_read(0, Packet(op=OpType.READ, vssd_id=V_PRIMARY))
+        assert action.redirected
+        assert action.dst_ip == IP_REPLICA  # not the remote rack
+        assert fabric.cross_rack_redirects == 0
+
+    def test_no_cross_rack_entry_falls_back_to_forward(self):
+        sim, fabric = make_fabric()
+        # V_REPLICA has no cross-rack replica registered.
+        fabric.process_gc_op(0, gc_op(V_REPLICA, GcKind.REGULAR, src=IP_REPLICA))
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        action = fabric.process_read(0, Packet(op=OpType.READ, vssd_id=V_REPLICA))
+        assert not action.redirected
+        assert action.dst_ip == IP_REPLICA
+
+    def test_idle_vssd_forwards_normally(self):
+        sim, fabric = make_fabric()
+        action = fabric.process_read(0, Packet(op=OpType.READ, vssd_id=V_PRIMARY))
+        assert not action.redirected
+        assert action.dst_ip == IP_PRIMARY
+
+
+class TestStalenessWindow:
+    def test_stale_peer_misroutes_until_sync(self):
+        """The documented consistency/staleness trade-off: during the sync
+        delay, a peer switch still believes the vSSD is idle."""
+        sim, fabric = make_fabric(sync_delay=100.0)
+        fabric.process_gc_op(0, gc_op(V_PRIMARY, GcKind.REGULAR, src=IP_PRIMARY))
+        # Peer rack, inside the staleness window: no redirect.
+        action = fabric.process_read(1, Packet(op=OpType.READ, vssd_id=V_PRIMARY))
+        assert not action.redirected
+        sim.run(until=150.0)
+        action = fabric.process_read(1, Packet(op=OpType.READ, vssd_id=V_PRIMARY))
+        assert action.redirected

@@ -1,0 +1,175 @@
+"""Tests for switch egress schedulers: FIFO, token bucket, FQ, priority."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import (
+    EgressPort,
+    FairQueueScheduler,
+    FifoScheduler,
+    PriorityScheduler,
+    TokenBucketScheduler,
+)
+from repro.net.packet import OpType, Packet
+from repro.sim import Simulator
+
+
+def pkt(size_kb=1.0, vssd=1):
+    return Packet(op=OpType.READ, vssd_id=vssd, size_kb=size_kb)
+
+
+class TestFifoScheduler:
+    def test_order_preserved(self):
+        sched = FifoScheduler()
+        a, b = pkt(), pkt()
+        sched.enqueue(a, "f1")
+        sched.enqueue(b, "f2")
+        assert sched.next(0.0)[0] is a
+        assert sched.next(0.0)[0] is b
+
+    def test_empty_returns_none(self):
+        assert FifoScheduler().next(0.0) is None
+
+
+class TestTokenBucketScheduler:
+    def test_within_burst_is_immediate(self):
+        sched = TokenBucketScheduler(flow_rate_kb_per_sec=1000.0, burst_kb=10.0)
+        sched.enqueue(pkt(size_kb=4.0), "f1")
+        packet, ready = sched.next(0.0)
+        assert ready == 0.0
+
+    def test_exceeding_rate_delays(self):
+        sched = TokenBucketScheduler(flow_rate_kb_per_sec=1000.0, burst_kb=4.0)
+        sched.enqueue(pkt(size_kb=4.0), "f1")
+        sched.enqueue(pkt(size_kb=4.0), "f1")
+        _, ready1 = sched.next(0.0)
+        _, ready2 = sched.next(0.0)
+        assert ready1 == 0.0
+        # Second packet needs 4KB of tokens at 1000 KB/s = 4 ms = 4000 us.
+        assert ready2 == pytest.approx(4000.0)
+
+    def test_flows_isolated(self):
+        sched = TokenBucketScheduler(flow_rate_kb_per_sec=1000.0, burst_kb=4.0)
+        sched.enqueue(pkt(size_kb=4.0), "hog")
+        sched.enqueue(pkt(size_kb=4.0), "hog")
+        sched.enqueue(pkt(size_kb=4.0), "victim")
+        sched.next(0.0)  # hog's first
+        packet, ready = sched.next(0.0)
+        # The victim's packet goes before the hog's delayed second packet.
+        assert ready == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            TokenBucketScheduler(flow_rate_kb_per_sec=0)
+
+
+class TestFairQueueScheduler:
+    def test_round_robin_across_flows(self):
+        sched = FairQueueScheduler()
+        a1, a2, b1 = pkt(vssd=1), pkt(vssd=1), pkt(vssd=2)
+        sched.enqueue(a1, "a")
+        sched.enqueue(a2, "a")
+        sched.enqueue(b1, "b")
+        order = [sched.next(0.0)[0] for _ in range(3)]
+        assert order == [a1, b1, a2]
+
+    def test_single_flow_is_fifo(self):
+        sched = FairQueueScheduler()
+        a, b = pkt(), pkt()
+        sched.enqueue(a, "f")
+        sched.enqueue(b, "f")
+        assert [sched.next(0.0)[0], sched.next(0.0)[0]] == [a, b]
+
+    def test_empty(self):
+        assert FairQueueScheduler().next(0.0) is None
+
+
+class TestPriorityScheduler:
+    def test_high_priority_preempts_queue_order(self):
+        sched = PriorityScheduler()
+        low, high = pkt(), pkt()
+        sched.enqueue(low, "f", priority=5)
+        sched.enqueue(high, "f", priority=0)
+        assert sched.next(0.0)[0] is high
+
+    def test_same_priority_fifo(self):
+        sched = PriorityScheduler()
+        a, b = pkt(), pkt()
+        sched.enqueue(a, "f", priority=3)
+        sched.enqueue(b, "f", priority=3)
+        assert sched.next(0.0)[0] is a
+
+    def test_priority_range_checked(self):
+        sched = PriorityScheduler(levels=4)
+        with pytest.raises(ConfigError):
+            sched.enqueue(pkt(), "f", priority=4)
+
+    def test_levels_validated(self):
+        with pytest.raises(ConfigError):
+            PriorityScheduler(levels=0)
+
+
+class TestEgressPort:
+    def test_transmission_takes_serialisation_time(self):
+        sim = Simulator()
+        port = EgressPort(sim, FifoScheduler(), rate_kb_per_us=1.0)
+        done = port.enqueue(pkt(size_kb=5.0))
+        sim.run()
+        assert done.triggered
+        assert sim.now == pytest.approx(5.0)
+
+    def test_queueing_delay_accumulates(self):
+        sim = Simulator()
+        port = EgressPort(sim, FifoScheduler(), rate_kb_per_us=1.0)
+        times = {}
+
+        def waiter(tag, event):
+            yield event
+            times[tag] = sim.now
+
+        e1 = port.enqueue(pkt(size_kb=5.0))
+        e2 = port.enqueue(pkt(size_kb=5.0))
+        sim.spawn(waiter("first", e1))
+        sim.spawn(waiter("second", e2))
+        sim.run()
+        assert times["first"] == pytest.approx(5.0)
+        assert times["second"] == pytest.approx(10.0)
+
+    def test_port_idles_then_resumes(self):
+        sim = Simulator()
+        port = EgressPort(sim, FifoScheduler(), rate_kb_per_us=1.0)
+        port.enqueue(pkt(size_kb=1.0))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+        # Late arrival after idle period.
+        sim.call_after(100.0, lambda: port.enqueue(pkt(size_kb=2.0)))
+        sim.run()
+        assert sim.now == pytest.approx(103.0)
+        assert port.packets_sent == 2
+
+    def test_token_bucket_port_enforces_rate(self):
+        sim = Simulator()
+        sched = TokenBucketScheduler(flow_rate_kb_per_sec=1000.0, burst_kb=4.0)
+        port = EgressPort(sim, sched, rate_kb_per_us=100.0)
+        for _ in range(3):
+            port.enqueue(pkt(size_kb=4.0), flow_id="f")
+        sim.run()
+        # Two extra packets each wait 4ms for tokens.
+        assert sim.now >= 8000.0
+
+    def test_on_transmit_hook(self):
+        sim = Simulator()
+        seen = []
+        port = EgressPort(
+            sim, FifoScheduler(), rate_kb_per_us=1.0,
+            on_transmit=lambda p, t: seen.append((p.packet_id, t)),
+        )
+        p = pkt(size_kb=2.0)
+        port.enqueue(p)
+        sim.run()
+        assert seen == [(p.packet_id, 2.0)]
+
+    def test_invalid_rate(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            EgressPort(sim, FifoScheduler(), rate_kb_per_us=0.0)

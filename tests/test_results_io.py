@@ -1,0 +1,67 @@
+"""Tests for figure-result persistence."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult
+from repro.experiments.results_io import (
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    load_figures,
+    save_figure,
+    save_figures,
+)
+
+
+def sample_figure(name="Figure 9"):
+    return FigureResult(
+        figure=name,
+        title="demo sweep",
+        columns=["x", "y"],
+        rows=[{"x": "20%", "y": 12.5}, {"x": "40%", "y": None}],
+        notes="a note",
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = sample_figure()
+        restored = figure_from_dict(figure_to_dict(original))
+        assert restored.figure == original.figure
+        assert restored.rows == original.rows
+        assert restored.to_table() == original.to_table()
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "fig.json")
+        save_figure(sample_figure(), path)
+        restored = load_figure(path)
+        assert restored.title == "demo sweep"
+        assert restored.rows[1]["y"] is None
+
+    def test_directory_roundtrip(self, tmp_path):
+        results = {"fig9": sample_figure("Figure 9"),
+                   "fig10": sample_figure("Figure 10")}
+        paths = save_figures(results, str(tmp_path / "out"))
+        assert set(paths) == {"fig9", "fig10"}
+        restored = load_figures(str(tmp_path / "out"))
+        assert set(restored) == {"fig9", "fig10"}
+        assert restored["fig10"].figure == "Figure 10"
+
+
+class TestValidation:
+    def test_version_checked(self):
+        payload = figure_to_dict(sample_figure())
+        payload["format_version"] = 99
+        with pytest.raises(ConfigError):
+            figure_from_dict(payload)
+
+    def test_missing_fields_rejected(self):
+        payload = figure_to_dict(sample_figure())
+        del payload["rows"]
+        with pytest.raises(ConfigError):
+            figure_from_dict(payload)
+
+    def test_load_figures_requires_directory(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_figures(str(tmp_path / "missing"))

@@ -1,0 +1,94 @@
+"""Tests for background media scrubbing."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash import EccConfig, EccEngine, FlashGeometry, Ssd
+from repro.flash.scrubber import Scrubber
+from repro.sim import Simulator
+from repro.sim.core import MSEC, SEC
+from repro.vssd import VssdAllocator
+
+
+def make_world(wear=0, rber=1e-7, wear_scale=3000.0, written_pages=64):
+    sim = Simulator()
+    geo = FlashGeometry(channels=2, chips_per_channel=2, blocks_per_chip=16,
+                        pages_per_block=8)
+    ssd = Ssd(sim, "s", geometry=geo)
+    vssd = VssdAllocator(ssd).create_hardware_isolated("v", channels=[0, 1])
+    for lpn in range(written_pages):
+        vssd.ftl.place_write(lpn)
+    if wear:
+        for chip in ssd.chips:
+            for block in chip.blocks:
+                block.erase_count = wear
+    ecc = EccEngine(EccConfig(rber_fresh=rber, wear_scale=wear_scale),
+                    rng=random.Random(5))
+    return sim, ssd, ecc
+
+
+class TestScrubber:
+    def test_round_scans_written_pages(self):
+        sim, ssd, ecc = make_world()
+        scrubber = Scrubber(ssd, ecc, pages_per_round=8)
+        done = sim.spawn(scrubber.scrub_round())
+        sim.run(until=1 * SEC)
+        assert done.triggered
+        assert scrubber.report.pages_scrubbed == 8
+
+    def test_patrol_reads_take_channel_time(self):
+        sim, ssd, ecc = make_world()
+        scrubber = Scrubber(ssd, ecc, pages_per_round=4)
+        sim.spawn(scrubber.scrub_round())
+        sim.run(until=1 * SEC)
+        # Four patrol reads at ~120 us each were issued on channels.
+        reads = sum(c.op_counts["read"] for c in ssd.channels)
+        assert reads == 4
+
+    def test_healthy_media_is_never_flagged(self):
+        sim, ssd, ecc = make_world(wear=0)
+        scrubber = Scrubber(ssd, ecc, pages_per_round=64)
+        sim.spawn(scrubber.scrub_round())
+        sim.run(until=1 * SEC)
+        assert scrubber.report.flagged_blocks == []
+        assert scrubber.report.uncorrectable_pages == 0
+
+    def test_worn_media_gets_flagged(self):
+        sim, ssd, ecc = make_world(wear=6000, rber=1e-5, wear_scale=800.0)
+        scrubber = Scrubber(ssd, ecc, pages_per_round=64,
+                            flag_threshold_bits=10)
+        sim.spawn(scrubber.scrub_round())
+        sim.run(until=5 * SEC)
+        assert (
+            scrubber.report.flagged_blocks
+            or scrubber.report.uncorrectable_pages > 0
+            or scrubber.report.bits_corrected > 0
+        )
+
+    def test_periodic_loop_progresses(self):
+        sim, ssd, ecc = make_world()
+        scrubber = Scrubber(ssd, ecc, pages_per_round=4,
+                            round_interval_us=10 * MSEC)
+        scrubber.start()
+        sim.run(until=100 * MSEC)
+        assert scrubber.report.pages_scrubbed >= 8  # several rounds ran
+
+    def test_flagged_block_not_rescrubbed(self):
+        sim, ssd, ecc = make_world(wear=8000, rber=1e-4, wear_scale=500.0)
+        scrubber = Scrubber(ssd, ecc, pages_per_round=64,
+                            flag_threshold_bits=5)
+        sim.spawn(scrubber.scrub_round())
+        sim.run(until=5 * SEC)
+        flagged = set(scrubber.report.flagged_blocks)
+        assert len(flagged) == len(scrubber.report.flagged_blocks)  # no dupes
+
+    def test_validation(self):
+        sim, ssd, ecc = make_world()
+        with pytest.raises(ConfigError):
+            Scrubber(ssd, ecc, pages_per_round=0)
+        with pytest.raises(ConfigError):
+            Scrubber(ssd, ecc, round_interval_us=0)
+        with pytest.raises(ConfigError):
+            Scrubber(ssd, ecc, flag_threshold_bits=0)

@@ -1,0 +1,443 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    PriorityStore,
+    Process,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+class TestSimulatorClock:
+    def test_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_call_after_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_call_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(10.0, lambda: seen.append("x"))
+        sim.run()
+        assert seen == ["x"] and sim.now == 10.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_after(3.0, lambda: order.append("c"))
+        sim.call_after(1.0, lambda: order.append("a"))
+        sim.call_after(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_is_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.call_after(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        sim.call_after(100.0, lambda: None)
+        final = sim.run(until=50.0)
+        assert final == 50.0
+        assert sim.peek() == 100.0
+
+    def test_run_until_past_all_events(self):
+        sim = Simulator()
+        sim.call_after(10.0, lambda: None)
+        assert sim.run(until=500.0) == 500.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_after(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.call_after(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_after(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+        assert handle.cancelled
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_after(float(i), lambda: None)
+        sim.run(max_events=3)
+        assert sim.event_count == 3
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed(42)
+        assert ev.triggered and ev.ok and ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = Event(sim).succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_raises_on_value_access(self):
+        sim = Simulator()
+        ev = Event(sim).fail(ValueError("boom"))
+        assert ev.triggered and not ev.ok
+        with pytest.raises(ValueError):
+            _ = ev.value
+
+    def test_callback_after_trigger_runs_immediately(self):
+        sim = Simulator()
+        ev = Event(sim).succeed("v")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["v"]
+
+    def test_value_before_trigger_is_error(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = Event(sim).value
+
+
+class TestProcess:
+    def test_process_returns_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(sim, 5.0)
+            return "done"
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.value == "done"
+        assert sim.now == 5.0
+
+    def test_timeout_value_passthrough(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            v = yield Timeout(sim, 1.0, value="payload")
+            got.append(v)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def inner():
+            yield Timeout(sim, 3.0)
+            return 7
+
+        def outer():
+            v = yield sim.spawn(inner())
+            return v * 2
+
+        p = sim.spawn(outer())
+        sim.run()
+        assert p.value == 14
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def failing():
+            yield Timeout(sim, 1.0)
+            raise RuntimeError("inner failure")
+
+        def outer():
+            try:
+                yield sim.spawn(failing())
+            except RuntimeError as exc:
+                return f"caught: {exc}"
+
+        p = sim.spawn(outer())
+        sim.run()
+        assert p.value == "caught: inner failure"
+
+    def test_yielding_non_event_fails_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        p = sim.spawn(bad())
+        sim.run()
+        assert p.triggered and not p.ok
+
+    def test_spawn_rejects_non_generator(self):
+        sim = Simulator()
+
+        def not_a_generator():
+            return 1
+
+        with pytest.raises(SimulationError):
+            Process(sim, not_a_generator)  # type: ignore[arg-type]
+
+    def test_tight_loop_over_ready_events_does_not_recurse(self):
+        # A process consuming thousands of immediately-available items must
+        # not exhaust the interpreter stack.
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5000):
+            store.put(i)
+        total = []
+
+        def consumer():
+            for _ in range(5000):
+                item = yield store.get()
+                total.append(item)
+
+        sim.spawn(consumer())
+        sim.run()
+        assert len(total) == 5000 and total[-1] == 4999
+
+    def test_interrupt_wakes_blocked_process(self):
+        sim = Simulator()
+        from repro.sim import Interrupt
+
+        log = []
+
+        def sleeper():
+            try:
+                yield Timeout(sim, 1000.0)
+                log.append("slept")
+            except Interrupt as intr:
+                log.append((sim.now, f"interrupted:{intr.cause}"))
+
+        p = sim.spawn(sleeper())
+        sim.call_after(5.0, lambda: p.interrupt("wakeup"))
+        sim.run()
+        # The interrupt is delivered at t=5; the abandoned timeout later
+        # fires harmlessly into the void.
+        assert log == [(5.0, "interrupted:wakeup")]
+
+
+class TestComposites:
+    def test_allof_collects_values(self):
+        sim = Simulator()
+        evs = [Timeout(sim, d, value=d) for d in (3.0, 1.0, 2.0)]
+        combo = AllOf(sim, evs)
+        sim.run()
+        assert combo.value == [3.0, 1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_allof_empty_fires_immediately(self):
+        sim = Simulator()
+        combo = AllOf(sim, [])
+        assert combo.triggered and combo.value == []
+
+    def test_anyof_fires_on_first(self):
+        sim = Simulator()
+        slow = Timeout(sim, 10.0, value="slow")
+        fast = Timeout(sim, 1.0, value="fast")
+        combo = AnyOf(sim, [slow, fast])
+        sim.run(until=2.0)
+        assert combo.triggered
+        assert combo.value.value == "fast"
+
+    def test_anyof_requires_events(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [])
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        assert store.get().value == "a"
+        assert store.get().value == "b"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.spawn(consumer())
+        sim.call_after(7.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [(7.0, "late")]
+
+    def test_try_get_nonblocking(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        assert store.try_get() == 1
+
+    def test_len_and_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2 and store.items == (1, 2)
+
+
+class TestPriorityStore:
+    def test_min_priority_first(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        ps.put(5.0, "low")
+        ps.put(1.0, "high")
+        ps.put(3.0, "mid")
+        assert ps.get().value == "high"
+        assert ps.get().value == "mid"
+        assert ps.get().value == "low"
+
+    def test_ties_break_fifo(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        ps.put(1.0, "first")
+        ps.put(1.0, "second")
+        assert ps.get().value == "first"
+
+    def test_blocked_getter_served_on_put(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        got = []
+
+        def consumer():
+            item = yield ps.get()
+            got.append(item)
+
+        sim.spawn(consumer())
+        sim.call_after(1.0, lambda: ps.put(9.0, "item"))
+        sim.run()
+        assert got == ["item"]
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        timeline = []
+
+        def holder(name, hold):
+            yield res.acquire()
+            timeline.append((sim.now, name, "acquired"))
+            yield Timeout(sim, hold)
+            res.release()
+
+        sim.spawn(holder("a", 10.0))
+        sim.spawn(holder("b", 10.0))
+        sim.spawn(holder("c", 10.0))
+        sim.run()
+        acquire_times = [t for t, _, _ in timeline]
+        assert acquire_times == [0.0, 0.0, 10.0]
+
+    def test_release_without_acquire_is_error(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_capacity_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_queued_count(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire()
+        res.acquire()  # queued
+        assert res.in_use == 1 and res.queued == 1
+
+
+class TestRandomSource:
+    def test_streams_are_deterministic(self):
+        from repro.sim import RandomSource
+
+        a = RandomSource(42).stream("net")
+        b = RandomSource(42).stream("net")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        from repro.sim import RandomSource
+
+        src = RandomSource(42)
+        net = src.stream("net")
+        disk = src.stream("disk")
+        assert [net.random() for _ in range(3)] != [disk.random() for _ in range(3)]
+
+    def test_spawn_derives_child(self):
+        from repro.sim import RandomSource
+
+        a = RandomSource(1).spawn("server-0")
+        b = RandomSource(1).spawn("server-0")
+        c = RandomSource(1).spawn("server-1")
+        assert a.seed == b.seed and a.seed != c.seed
+
+
+class TestZipfian:
+    def test_weights_sum_to_one(self):
+        from repro.sim.rng import zipfian_weights
+
+        weights = zipfian_weights(100)
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+    def test_weights_decrease(self):
+        from repro.sim.rng import zipfian_weights
+
+        weights = zipfian_weights(50, theta=0.99)
+        assert all(weights[i] >= weights[i + 1] for i in range(49))
+
+    def test_sampler_skews_to_low_ranks(self):
+        import random
+
+        from repro.sim.rng import ZipfianSampler
+
+        sampler = ZipfianSampler(1000, rng=random.Random(7))
+        draws = [sampler.sample() for _ in range(2000)]
+        head = sum(1 for d in draws if d < 100)
+        assert head > len(draws) * 0.5  # top 10% of keys get most traffic
+
+    def test_sampler_range(self):
+        import random
+
+        from repro.sim.rng import ZipfianSampler
+
+        sampler = ZipfianSampler(10, rng=random.Random(3))
+        assert all(0 <= sampler.sample() < 10 for _ in range(500))
+
+    def test_zero_keys_rejected(self):
+        from repro.sim.rng import zipfian_weights
+
+        with pytest.raises(ValueError):
+            zipfian_weights(0)

@@ -1,0 +1,85 @@
+"""Tests for the match-action pipeline model."""
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.net.packet import GcKind
+from repro.switch.dataplane import SwitchDataPlane
+from repro.switch.pipeline import (
+    RACKBLOX_PIPELINE,
+    MatchActionPipeline,
+    StatefulAccess,
+    rackblox_passes,
+)
+
+
+class TestMatchActionPipeline:
+    def test_forward_only_program_is_one_pass(self):
+        pipe = MatchActionPipeline({"a": 0, "b": 3, "c": 7})
+        program = [StatefulAccess("a", "read"), StatefulAccess("b", "write"),
+                   StatefulAccess("c", "read")]
+        assert pipe.passes_required(program) == 1
+
+    def test_backward_access_recirculates(self):
+        pipe = MatchActionPipeline({"a": 0, "b": 3})
+        program = [StatefulAccess("b", "read"), StatefulAccess("a", "write")]
+        assert pipe.passes_required(program) == 2
+
+    def test_same_stage_twice_recirculates(self):
+        pipe = MatchActionPipeline({"a": 2})
+        program = [StatefulAccess("a", "read"), StatefulAccess("a", "write")]
+        assert pipe.passes_required(program) == 2
+
+    def test_multiple_recirculations(self):
+        pipe = MatchActionPipeline({"a": 1})
+        program = [StatefulAccess("a", "read")] * 3
+        assert pipe.passes_required(program) == 3
+
+    def test_empty_program_one_pass(self):
+        pipe = MatchActionPipeline({"a": 0})
+        assert pipe.passes_required([]) == 1
+
+    def test_unknown_table_rejected(self):
+        pipe = MatchActionPipeline({"a": 0})
+        with pytest.raises(SwitchError):
+            pipe.passes_required([StatefulAccess("ghost", "read")])
+
+    def test_layout_validation(self):
+        with pytest.raises(SwitchError):
+            MatchActionPipeline({"a": 12}, num_stages=12)
+        with pytest.raises(SwitchError):
+            MatchActionPipeline({}, num_stages=0)
+        with pytest.raises(SwitchError):
+            StatefulAccess("a", "increment")
+
+
+class TestRackBloxPrograms:
+    def test_soft_gc_needs_exactly_one_recirculation(self):
+        """The §3.5.1 claim, derived from the pipeline model rather than
+        asserted: soft gc_op = 2 passes, everything else = 1."""
+        assert rackblox_passes("gc_soft") == 2
+        for operation in ("read", "write", "gc_regular", "gc_bg", "gc_finish"):
+            assert rackblox_passes(operation) == 1, operation
+
+    def test_unknown_operation(self):
+        with pytest.raises(SwitchError):
+            rackblox_passes("gc_mystery")
+
+    def test_dataplane_prices_from_pipeline(self):
+        plane = SwitchDataPlane()
+        assert plane.gc_op_delay_us(GcKind.SOFT) == pytest.approx(
+            2 * plane.PIPELINE_PASS_US
+        )
+        assert plane.gc_op_delay_us(GcKind.REGULAR) == pytest.approx(
+            plane.PIPELINE_PASS_US
+        )
+        assert plane.gc_op_delay_us(GcKind.FINISH) == pytest.approx(
+            plane.PIPELINE_PASS_US
+        )
+
+    def test_replica_table_precedes_destination(self):
+        # The read path consults the replica table before forwarding.
+        assert (
+            RACKBLOX_PIPELINE.table_stages["replica"]
+            < RACKBLOX_PIPELINE.table_stages["destination"]
+        )

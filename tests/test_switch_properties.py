@@ -1,0 +1,101 @@
+"""Property-based tests of the switch data plane's state machine.
+
+Drives random sequences of gc_op and read packets through Algorithm 1 and
+checks the invariants the design depends on:
+
+* the two tables' GC bits never disagree after a packet completes;
+* a read is redirected iff its vSSD is collecting and its replica is not;
+* redirected reads always land on the replica's registered server.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.net.packet import GcKind, OpType, Packet, gc_op
+from repro.switch import SwitchControlPlane, SwitchDataPlane
+
+VSSD_A, VSSD_B = 1, 2
+IP_A, IP_B = "10.0.0.16", "10.0.0.20"
+
+
+class SwitchMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.plane = SwitchDataPlane()
+        cp = SwitchControlPlane(self.plane)
+        cp.register_vssd(VSSD_A, IP_A, VSSD_B, IP_B)
+        cp.register_vssd(VSSD_B, IP_B, VSSD_A, IP_A)
+        #: Our model of who is collecting, updated from switch replies.
+        self.collecting = {VSSD_A: False, VSSD_B: False}
+
+    def _send_gc(self, vssd_id: int, kind: GcKind) -> GcKind:
+        src = IP_A if vssd_id == VSSD_A else IP_B
+        action = self.plane.process_packet(gc_op(vssd_id, kind, src=src))
+        return action.packet.gc_kind
+
+    @rule(vssd=st.sampled_from([VSSD_A, VSSD_B]))
+    def soft_request(self, vssd):
+        if self.collecting[vssd]:
+            return  # a collecting vSSD would not re-request
+        reply = self._send_gc(vssd, GcKind.SOFT)
+        other = VSSD_B if vssd == VSSD_A else VSSD_A
+        if self.collecting[other]:
+            assert reply is GcKind.DELAY, (
+                "soft GC must be delayed while the replica collects"
+            )
+        else:
+            assert reply is GcKind.ACCEPT
+            self.collecting[vssd] = True
+
+    @rule(vssd=st.sampled_from([VSSD_A, VSSD_B]))
+    def regular_request(self, vssd):
+        if self.collecting[vssd]:
+            return
+        reply = self._send_gc(vssd, GcKind.REGULAR)
+        assert reply is GcKind.ACCEPT, "regular GC is never denied"
+        self.collecting[vssd] = True
+
+    @rule(vssd=st.sampled_from([VSSD_A, VSSD_B]))
+    def finish(self, vssd):
+        if not self.collecting[vssd]:
+            return
+        self._send_gc(vssd, GcKind.FINISH)
+        self.collecting[vssd] = False
+
+    @rule(vssd=st.sampled_from([VSSD_A, VSSD_B]))
+    def read(self, vssd):
+        other = VSSD_B if vssd == VSSD_A else VSSD_A
+        action = self.plane.process_packet(Packet(op=OpType.READ, vssd_id=vssd))
+        should_redirect = self.collecting[vssd] and not self.collecting[other]
+        assert action.redirected == should_redirect
+        if action.redirected:
+            expected_ip = IP_B if other == VSSD_B else IP_A
+            assert action.dst_ip == expected_ip
+            assert action.packet.vssd_id == other
+
+    @rule(vssd=st.sampled_from([VSSD_A, VSSD_B]))
+    def write(self, vssd):
+        action = self.plane.process_packet(Packet(op=OpType.WRITE, vssd_id=vssd))
+        assert not getattr(action, "redirected", False)
+
+    @invariant()
+    def tables_agree(self):
+        for vssd in (VSSD_A, VSSD_B):
+            assert (
+                self.plane.replica_table.gc_status(vssd)
+                == self.plane.destination_table.gc_status(vssd)
+            ), "replica/destination GC bits diverged"
+
+    @invariant()
+    def switch_matches_model(self):
+        for vssd in (VSSD_A, VSSD_B):
+            assert self.plane.replica_table.gc_status(vssd) == int(
+                self.collecting[vssd]
+            )
+
+
+TestSwitchStateMachine = SwitchMachine.TestCase
+TestSwitchStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

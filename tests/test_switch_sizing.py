@@ -1,0 +1,66 @@
+"""Tests for the §3.3 switch-sizing arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.switch.sizing import (
+    DEFAULT_SRAM_BUDGET_BYTES,
+    RackScale,
+    max_rack_scale_for_budget,
+    size_tables,
+)
+
+
+class TestPaperNumbers:
+    def test_vssd_population_at_paper_scale(self):
+        # 64 servers x 16 SSDs x 128 vSSDs.  (The paper quotes "up to 64K
+        # vSSDs" for this product; the raw arithmetic gives 128K -- either
+        # way the table budget below holds.)
+        assert RackScale().max_vssds == 64 * 16 * 128
+
+    def test_footnote_capacity_division(self):
+        # 4 TB SSD / 32 GB minimum vSSD = 128 vSSDs (footnote 1).
+        scale = RackScale()
+        assert scale.vssds_per_ssd_from_capacity == 128
+
+    def test_table_size_near_paper_figure(self):
+        # The paper: "the maximum size of each table is 1.3MB" for its
+        # counted vSSD population.  At 64K vSSDs each 9-byte-entry table
+        # is ~0.6 MB; at the raw 128K it is ~1.2 MB -- both within the
+        # paper's 1.3 MB bound.
+        budget = size_tables(RackScale())
+        assert budget.replica_table_bytes <= 1.3 * 1024 * 1024
+        assert budget.destination_table_bytes <= 1.3 * 1024 * 1024
+
+    def test_gc_registers_within_128kb_per_table_population(self):
+        # The paper spends 128 KB of stateful memory on GC registers.
+        budget = size_tables(RackScale(servers=32))  # 64K vSSDs
+        assert budget.gc_register_bytes <= 128 * 1024
+
+    def test_fits_tofino_budget(self):
+        assert size_tables(RackScale()).fits()
+
+
+class TestScaling:
+    def test_footprint_scales_linearly(self):
+        small = size_tables(RackScale(servers=8))
+        large = size_tables(RackScale(servers=16))
+        assert large.total_bytes == 2 * small.total_bytes
+
+    def test_max_scale_search(self):
+        max_servers = max_rack_scale_for_budget(
+            sram_budget_bytes=4 * 1024 * 1024
+        )
+        assert max_servers >= 1
+        assert size_tables(RackScale(servers=max_servers)).total_bytes <= (
+            4 * 1024 * 1024
+        )
+        too_big = size_tables(RackScale(servers=max_servers + 1))
+        assert too_big.total_bytes > 4 * 1024 * 1024
+
+    def test_default_budget_takes_large_racks(self):
+        assert max_rack_scale_for_budget() >= 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RackScale(servers=0)

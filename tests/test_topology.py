@@ -1,0 +1,95 @@
+"""Tests for the multi-hop topology and per-hop INT accumulation."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, NetworkError
+from repro.net.packet import OpType, Packet
+from repro.net.topology import NetworkPath, SwitchHop, fat_tree_path
+from repro.sim import Simulator
+
+
+class TestSwitchHop:
+    def test_zero_jitter_is_deterministic(self):
+        hop = SwitchHop("tor", 5.0, jitter=0.0)
+        rng = random.Random(1)
+        assert hop.sample(rng) == 5.0
+
+    def test_jitter_bounds(self):
+        hop = SwitchHop("tor", 10.0, jitter=0.5)
+        rng = random.Random(2)
+        for _ in range(200):
+            sample = hop.sample(rng)
+            assert 10.0 / 1.5 <= sample <= 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SwitchHop("bad", 0.0)
+        with pytest.raises(ConfigError):
+            SwitchHop("bad", 1.0, jitter=-1)
+
+
+class TestNetworkPath:
+    def test_needs_hops(self):
+        with pytest.raises(NetworkError):
+            NetworkPath([], random.Random(1))
+
+    def test_expected_latency_sums_hops(self):
+        path = NetworkPath(
+            [SwitchHop("a", 2.0), SwitchHop("b", 3.0)], random.Random(1)
+        )
+        assert path.expected_latency_us() == 5.0
+
+    def test_int_accumulates_exactly_the_per_hop_sum(self):
+        """§3.4's invariant: the LAT field equals the per-hop latency sum."""
+        sim = Simulator()
+        # Deterministic hops so the sum is checkable.
+        path = NetworkPath(
+            [SwitchHop("a", 2.0, jitter=0.0),
+             SwitchHop("b", 6.0, jitter=0.0),
+             SwitchHop("c", 2.0, jitter=0.0)],
+            random.Random(3),
+        )
+        pkt = Packet(op=OpType.READ, vssd_id=1)
+        done = sim.spawn(path.traverse(sim, pkt))
+        sim.run()
+        assert done.triggered
+        assert pkt.lat == pytest.approx(10.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_int_matches_wall_time_with_jitter(self):
+        sim = Simulator()
+        path = NetworkPath(
+            [SwitchHop("a", 3.0), SwitchHop("b", 7.0)], random.Random(9)
+        )
+        pkt = Packet(op=OpType.READ, vssd_id=1)
+        sim.spawn(path.traverse(sim, pkt))
+        sim.run()
+        # Whatever the draws were, INT recorded the true elapsed time.
+        assert pkt.lat == pytest.approx(sim.now)
+
+    def test_packets_carried_counter(self):
+        sim = Simulator()
+        path = NetworkPath([SwitchHop("a", 1.0)], random.Random(4))
+        for _ in range(3):
+            sim.spawn(path.traverse(sim, Packet(op=OpType.READ, vssd_id=1)))
+        sim.run()
+        assert path.packets_carried == 3
+
+
+class TestFatTree:
+    def test_intra_pod_has_three_hops(self):
+        path = fat_tree_path(random.Random(1), cross_pod=False)
+        assert len(path) == 3
+        assert [h.name for h in path.hops] == ["client-tor", "agg-up", "rack-tor"]
+
+    def test_cross_pod_adds_core(self):
+        path = fat_tree_path(random.Random(1), cross_pod=True)
+        assert len(path) == 5
+        assert "core" in [h.name for h in path.hops]
+
+    def test_cross_pod_costs_more(self):
+        intra = fat_tree_path(random.Random(1), cross_pod=False)
+        cross = fat_tree_path(random.Random(1), cross_pod=True)
+        assert cross.expected_latency_us() > intra.expected_latency_us()

@@ -1,0 +1,159 @@
+"""Tests for request/latency trace recording and replay."""
+
+import io
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.latency import FAST_NETWORK, LatencyProcess
+from repro.workloads.traces import (
+    LatencySample,
+    LatencyTrace,
+    RequestTrace,
+    TraceLatencyProcess,
+    TraceOp,
+    TraceWorkloadGenerator,
+    record_latency_process,
+)
+
+
+def small_trace():
+    return RequestTrace([
+        TraceOp(0.0, "read", 5),
+        TraceOp(100.0, "write", 9),
+        TraceOp(250.0, "read", 5),
+    ])
+
+
+class TestRequestTrace:
+    def test_ops_sorted_by_time(self):
+        trace = RequestTrace([TraceOp(50.0, "read", 1), TraceOp(10.0, "write", 2)])
+        assert [op.time_us for op in trace.ops] == [10.0, 50.0]
+
+    def test_stats(self):
+        trace = small_trace()
+        assert len(trace) == 3
+        assert trace.duration_us == 250.0
+        assert trace.write_ratio() == pytest.approx(1 / 3)
+
+    def test_save_load_roundtrip(self):
+        trace = small_trace()
+        buffer = io.StringIO()
+        trace.save(buffer)
+        buffer.seek(0)
+        loaded = RequestTrace.load(buffer)
+        assert loaded.ops == trace.ops
+
+    def test_load_skips_comments_and_blank_lines(self):
+        text = "# header\n\n0.0 read 1\n# mid comment\n5.0 write 2\n"
+        trace = RequestTrace.load(io.StringIO(text))
+        assert len(trace) == 2
+
+    def test_load_rejects_malformed(self):
+        with pytest.raises(ConfigError):
+            RequestTrace.load(io.StringIO("1.0 read\n"))
+
+    def test_replay_computes_gaps(self):
+        gaps = [r.gap_us for r in small_trace().replay_requests()]
+        assert gaps == [0.0, 100.0, 150.0]
+
+    def test_invalid_op(self):
+        with pytest.raises(ConfigError):
+            TraceOp(0.0, "erase", 1)
+        with pytest.raises(ConfigError):
+            TraceOp(-1.0, "read", 1)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        small_trace().save(path)
+        loaded = RequestTrace.load(path)
+        assert len(loaded) == 3
+
+
+class TestTraceWorkloadGenerator:
+    def test_replays_exact_count(self):
+        generator = TraceWorkloadGenerator(small_trace())
+        requests = list(generator.requests(2))
+        assert [(r.kind, r.lpn) for r in requests] == [("read", 5), ("write", 9)]
+
+    def test_wraps_for_long_runs(self):
+        generator = TraceWorkloadGenerator(small_trace())
+        requests = list(generator.requests(7))
+        assert len(requests) == 7
+        assert requests[3].kind == "read"  # wrapped to the start
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceWorkloadGenerator(RequestTrace([]))
+
+
+class TestLatencyTrace:
+    def _trace(self):
+        return LatencyTrace([
+            LatencySample(0.0, 100.0),
+            LatencySample(1000.0, 200.0),
+            LatencySample(2000.0, 150.0),
+        ])
+
+    def test_lookup_nearest_before(self):
+        trace = self._trace()
+        assert trace.at(0.0) == 100.0
+        assert trace.at(999.0) == 100.0
+        assert trace.at(1000.0) == 200.0
+        assert trace.at(1500.0) == 200.0
+
+    def test_wraps_in_time(self):
+        trace = self._trace()
+        assert trace.at(2000.0 + 1000.0) == 200.0
+
+    def test_scaling_preserves_pattern(self):
+        trace = self._trace()
+        scaled = trace.scaled(4.0)
+        assert scaled.at(0.0) == 400.0
+        assert scaled.mean() == pytest.approx(trace.mean() * 4.0)
+
+    def test_scaling_validation(self):
+        with pytest.raises(ConfigError):
+            self._trace().scaled(0.0)
+
+    def test_save_load_roundtrip(self):
+        buffer = io.StringIO()
+        self._trace().save(buffer)
+        buffer.seek(0)
+        loaded = LatencyTrace.load(buffer)
+        assert loaded.times == self._trace().times
+        assert loaded.latencies == self._trace().latencies
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyTrace([])
+
+
+class TestTraceLatencyProcess:
+    def test_sampler_interface(self):
+        process = TraceLatencyProcess(LatencyTrace([
+            LatencySample(0.0, 50.0),
+            LatencySample(50.0, 60.0),
+            LatencySample(80.0, 55.0),
+            LatencySample(100.0, 5000.0),
+        ]))
+        assert process.sample(0.0) == 50.0
+        assert process.sample(100.0) == 5000.0
+        assert not process.congested(0.0)
+        assert process.congested(100.0)
+
+    def test_record_synthetic_then_replay(self):
+        # The full §3.7 loop: synthesize -> record -> scale -> replay.
+        synthetic = LatencyProcess(FAST_NETWORK, random.Random(5))
+        trace = record_latency_process(synthetic, duration_us=10_000.0,
+                                       step_us=100.0)
+        assert len(trace) == 101
+        slow_version = trace.scaled(20.0)
+        replay = TraceLatencyProcess(slow_version)
+        assert replay.sample(500.0) == pytest.approx(trace.at(500.0) * 20.0)
+
+    def test_record_validation(self):
+        synthetic = LatencyProcess(FAST_NETWORK, random.Random(5))
+        with pytest.raises(ConfigError):
+            record_latency_process(synthetic, duration_us=0, step_us=1)

@@ -1,0 +1,45 @@
+"""Unit tests for the emulator-validation helpers (cheap checks only;
+the full battery runs in benchmarks/test_validation_emulator.py)."""
+
+import pytest
+
+from repro.experiments.validation import (
+    ValidationRow,
+    _single_op_latencies,
+    validation_table,
+)
+from repro.flash.timing import OPTANE
+
+
+class TestValidationRow:
+    def test_error_percentage(self):
+        row = ValidationRow("x", expected=100.0, measured=105.0)
+        assert row.error_pct == pytest.approx(5.0)
+        assert row.ok
+
+    def test_deviation_flagged(self):
+        row = ValidationRow("x", expected=100.0, measured=150.0)
+        assert not row.ok
+
+    def test_zero_expected(self):
+        row = ValidationRow("x", expected=0.0, measured=1.0)
+        assert row.error_pct == 0.0
+
+
+class TestSingleOpChecks:
+    def test_latencies_exact_for_optane(self):
+        rows = _single_op_latencies(OPTANE)
+        assert all(row.error_pct < 0.01 for row in rows)
+        names = [row.check for row in rows]
+        assert any("program" in n for n in names)
+        assert any("read" in n for n in names)
+
+
+class TestTableRendering:
+    def test_table_contains_flags(self):
+        rows = [
+            ValidationRow("good", 10.0, 10.0),
+            ValidationRow("bad", 10.0, 20.0),
+        ]
+        table = validation_table(rows)
+        assert "ok" in table and "DEVIATION" in table

@@ -1,0 +1,223 @@
+"""Tests for two-level rack-scale wear leveling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.wear import (
+    GlobalWearBalancer,
+    LocalWearBalancer,
+    SsdWearState,
+    VssdWorkload,
+    WearRack,
+    WearServer,
+    WearSimulation,
+)
+
+
+def ssd(ssd_id="s", wear=0.0, rate=1.0):
+    state = SsdWearState(ssd_id=ssd_id, wear=wear)
+    state.workloads.append(VssdWorkload(name=f"{ssd_id}-w", erase_rate_per_day=rate))
+    return state
+
+
+class TestWearModel:
+    def test_advance_accrues_wear(self):
+        s = ssd(rate=2.0)
+        s.advance(3.0)
+        assert s.wear == 6.0
+
+    def test_wear_rate_sums_workloads(self):
+        s = ssd(rate=1.0)
+        s.workloads.append(VssdWorkload(name="x", erase_rate_per_day=0.5))
+        assert s.wear_rate == 1.5
+
+    def test_exchange_swaps_rates_and_charges_cost(self):
+        hot = ssd("hot", wear=100.0, rate=5.0)
+        cold = ssd("cold", wear=10.0, rate=0.1)
+        hot.exchange_workloads(cold, swap_cost=1.0)
+        assert hot.wear == 101.0 and cold.wear == 11.0
+        assert hot.wear_rate == 0.1 and cold.wear_rate == 5.0
+        assert hot.swaps == 1 and cold.swaps == 1
+
+    def test_server_wear_is_mean(self):
+        server = WearServer("srv", [ssd("a", wear=10.0), ssd("b", wear=30.0)])
+        assert server.wear == 20.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            VssdWorkload(name="x", erase_rate_per_day=-1.0)
+
+    def test_empty_server_rejected(self):
+        with pytest.raises(ConfigError):
+            WearServer("empty", [])
+
+
+class TestLocalBalancer:
+    def _server(self):
+        # Two hot, two cold SSDs.
+        return WearServer("srv", [
+            ssd("h1", rate=2.0), ssd("h2", rate=1.8),
+            ssd("c1", rate=0.1), ssd("c2", rate=0.05),
+        ])
+
+    def test_no_swap_before_period(self):
+        server = self._server()
+        balancer = LocalWearBalancer(server, period_days=12.0)
+        server.advance(5.0)
+        assert not balancer.tick(5.0)
+
+    def test_swap_targets_max_wear_and_min_rate(self):
+        server = self._server()
+        balancer = LocalWearBalancer(server, period_days=12.0)
+        server.advance(12.0)
+        assert balancer.needs_swap()
+        pick = balancer.pick_swap()
+        assert pick is not None
+        hottest, coldest = pick
+        assert hottest.ssd_id == "h1"  # max wear after 12 days
+        assert coldest.ssd_id == "c2"  # min rate
+
+    def test_tick_performs_swap_when_due(self):
+        server = self._server()
+        balancer = LocalWearBalancer(server, period_days=12.0)
+        server.advance(12.0)
+        assert balancer.tick(12.0)
+        assert balancer.swaps_performed >= 1
+
+    def test_no_swap_when_balanced(self):
+        server = WearServer("srv", [ssd("a", rate=1.0), ssd("b", rate=1.0)])
+        balancer = LocalWearBalancer(server, period_days=1.0)
+        server.advance(10.0)
+        assert not balancer.tick(10.0)
+
+    def test_unproductive_swap_refused(self):
+        # Most-worn SSD already hosts the coldest stream.
+        hot_history_cold_future = ssd("a", wear=100.0, rate=0.1)
+        fresh_hot_future = ssd("b", wear=1.0, rate=2.0)
+        server = WearServer("srv", [hot_history_cold_future, fresh_hot_future])
+        balancer = LocalWearBalancer(server, period_days=1.0)
+        assert balancer.pick_swap() is None
+
+    def test_balancer_bounds_long_run_imbalance(self):
+        server = self._server()
+        unbalanced = self._server()
+        balancer = LocalWearBalancer(server, gamma=0.1, period_days=12.0)
+        for _ in range(365 * 3):
+            server.advance(1.0)
+            unbalanced.advance(1.0)
+            balancer.tick(1.0)
+        from repro.flash.wear import wear_imbalance
+
+        balanced_lambda = wear_imbalance([s.wear for s in server.ssds])
+        unbalanced_lambda = wear_imbalance([s.wear for s in unbalanced.ssds])
+        assert balanced_lambda < unbalanced_lambda / 1.5
+
+    def test_validation(self):
+        server = self._server()
+        with pytest.raises(ConfigError):
+            LocalWearBalancer(server, gamma=0.0)
+        with pytest.raises(ConfigError):
+            LocalWearBalancer(server, period_days=0.0)
+        with pytest.raises(ConfigError):
+            LocalWearBalancer(server, max_swaps_per_check=0)
+
+
+class TestGlobalBalancer:
+    def _rack(self):
+        hot_server = WearServer("hot", [ssd("h1", rate=2.0), ssd("h2", rate=1.5)])
+        cold_server = WearServer("cold", [ssd("c1", rate=0.1), ssd("c2", rate=0.2)])
+        return WearRack([hot_server, cold_server])
+
+    def test_swap_crosses_servers(self):
+        rack = self._rack()
+        balancer = GlobalWearBalancer(rack, period_days=56.0)
+        rack.advance(56.0)
+        assert balancer.tick(56.0)
+        # The hot server's worst SSD now carries a cold stream.
+        hot_rates = sorted(s.wear_rate for s in rack.servers[0].ssds)
+        assert hot_rates[0] <= 0.2
+
+    def test_relaxed_cadence(self):
+        rack = self._rack()
+        balancer = GlobalWearBalancer(rack, period_days=56.0)
+        rack.advance(30.0)
+        assert not balancer.tick(30.0)  # not due yet
+
+    def test_variance_reduction_over_time(self):
+        rack_swap = self._rack()
+        rack_noswap = self._rack()
+        balancer = GlobalWearBalancer(rack_swap, period_days=56.0)
+        for _ in range(730):
+            rack_swap.advance(1.0)
+            rack_noswap.advance(1.0)
+            balancer.tick(1.0)
+        from repro.flash.wear import wear_variance
+
+        var_swap = wear_variance([s.wear for s in rack_swap.servers])
+        var_noswap = wear_variance([s.wear for s in rack_noswap.servers])
+        assert var_swap < var_noswap / 2
+
+    def test_balanced_rack_never_swaps(self):
+        rack = WearRack([
+            WearServer("a", [ssd("a1", rate=1.0)]),
+            WearServer("b", [ssd("b1", rate=1.0)]),
+        ])
+        balancer = GlobalWearBalancer(rack, period_days=1.0)
+        for _ in range(100):
+            rack.advance(1.0)
+            balancer.tick(1.0)
+        assert balancer.swaps_performed == 0
+
+
+class TestWearSimulation:
+    def test_local_balancer_beats_no_swap(self):
+        kw = dict(num_servers=4, ssds_per_server=8, seed=11,
+                  replacement_rate_per_year=0.0)
+        noswap = WearSimulation(enable_local=False, enable_global=False, **kw).run(
+            days=365, sample_every=30
+        )
+        balanced = WearSimulation(enable_local=True, enable_global=False, **kw).run(
+            days=365, sample_every=30
+        )
+        assert balanced.mean_final_server_imbalance() < (
+            noswap.mean_final_server_imbalance()
+        )
+        assert balanced.local_swaps > 0
+
+    def test_global_balancer_reduces_rack_variance(self):
+        kw = dict(num_servers=8, ssds_per_server=8, seed=5,
+                  replacement_rate_per_year=0.1)
+        local_only = WearSimulation(enable_local=True, enable_global=False, **kw).run(
+            days=730, sample_every=30
+        )
+        both = WearSimulation(enable_local=True, enable_global=True, **kw).run(
+            days=730, sample_every=30
+        )
+        assert both.final_rack_variance() < local_only.final_rack_variance()
+        assert both.global_swaps > 0
+
+    def test_round_robin_covers_all_ssds(self):
+        sim = WearSimulation(num_servers=2, ssds_per_server=4, vssds_per_ssd=2,
+                             seed=1)
+        for ssd_state in sim.rack.all_ssds():
+            assert len(ssd_state.workloads) == 2
+
+    def test_trajectories_sampled(self):
+        sim = WearSimulation(num_servers=2, ssds_per_server=4, seed=1)
+        result = sim.run(days=60, sample_every=10)
+        assert len(result.days) >= 6
+        assert all(len(s) == len(result.days) for s in result.server_imbalance.values())
+        assert len(result.rack_variance) == len(result.days)
+
+    def test_table2_rates_proportional_to_write_ratio(self):
+        from repro.wear.simulate import table2_erase_rates
+
+        rates = {w.name: w.erase_rate_per_day for w in table2_erase_rates()}
+        assert rates["twitter"] > rates["tpcc"] > rates["seats"] > rates["tpch"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WearSimulation(num_servers=0)
+        sim = WearSimulation(num_servers=2, ssds_per_server=2)
+        with pytest.raises(ConfigError):
+            sim.run(days=0)

@@ -1,0 +1,105 @@
+"""Tests for the named YCSB core workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.ycsb_suite import (
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_F,
+    YCSB_SUITE,
+    YcsbGenerator,
+    YcsbWorkload,
+)
+
+
+def gen(workload, seed=1, key_space=1000, rate=1000.0):
+    return YcsbGenerator(workload, key_space=key_space, rate_iops=rate,
+                         rng=random.Random(seed))
+
+
+class TestWorkloadDefinitions:
+    def test_suite_members(self):
+        assert set(YCSB_SUITE) == {"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d",
+                                   "ycsb-f"}
+
+    def test_canonical_mixes(self):
+        assert YCSB_A.read_ratio == 0.5
+        assert YCSB_B.read_ratio == 0.95
+        assert YCSB_C.read_ratio == 1.0
+        assert YCSB_D.insert_ratio == 0.05
+        assert YCSB_D.distribution == "latest"
+        assert YCSB_F.read_modify_write
+
+    def test_ratio_validation(self):
+        with pytest.raises(ConfigError):
+            YcsbWorkload("bad", read_ratio=0.5, update_ratio=0.2)
+        with pytest.raises(ConfigError):
+            YcsbWorkload("bad", read_ratio=1.0, update_ratio=0.0,
+                         distribution="gaussian")
+
+
+class TestGenerator:
+    def test_exact_count(self):
+        requests = list(gen(YCSB_A).requests(500))
+        assert len(requests) == 500
+
+    def test_mix_matches_a(self):
+        requests = list(gen(YCSB_A).requests(4000))
+        writes = sum(1 for r in requests if r.kind == "write")
+        assert writes / len(requests) == pytest.approx(0.5, abs=0.03)
+
+    def test_c_is_read_only(self):
+        assert all(r.kind == "read" for r in gen(YCSB_C).requests(500))
+
+    def test_b_is_read_mostly(self):
+        requests = list(gen(YCSB_B).requests(4000))
+        writes = sum(1 for r in requests if r.kind == "write")
+        assert writes / len(requests) == pytest.approx(0.05, abs=0.02)
+
+    def test_f_rmw_pairs_back_to_back(self):
+        requests = list(gen(YCSB_F).requests(2000))
+        # Every write immediately follows a read of the same key, gap 0.
+        for i, request in enumerate(requests):
+            if request.kind == "write":
+                assert requests[i - 1].kind == "read"
+                assert requests[i - 1].lpn == request.lpn
+                assert request.gap_us == 0.0
+
+    def test_d_reads_concentrate_on_latest(self):
+        generator = gen(YCSB_D, key_space=10_000)
+        requests = list(generator.requests(6000))
+        reads = [r.lpn for r in requests if r.kind == "read"]
+        cursor = generator._insert_cursor
+        # Most reads land within the most recent 10% of inserted keys.
+        recent = sum(1 for lpn in reads if (cursor - 1 - lpn) % 10_000 < cursor // 10)
+        assert recent / len(reads) > 0.5
+
+    def test_d_inserts_advance_cursor(self):
+        generator = gen(YCSB_D)
+        before = generator._insert_cursor
+        list(generator.requests(3000))
+        assert generator._insert_cursor > before
+
+    def test_keys_in_range(self):
+        for workload in YCSB_SUITE.values():
+            requests = gen(workload, key_space=64).requests(300)
+            assert all(0 <= r.lpn < 64 for r in requests)
+
+    def test_rmw_count_boundary(self):
+        # Requesting an odd count must not overrun even if it lands
+        # mid-pair.
+        requests = list(gen(YCSB_F).requests(7))
+        assert len(requests) == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            YcsbGenerator(YCSB_A, key_space=0, rate_iops=10)
+        with pytest.raises(ConfigError):
+            YcsbGenerator(YCSB_A, key_space=10, rate_iops=0)
+        with pytest.raises(ConfigError):
+            list(gen(YCSB_A).requests(-1))

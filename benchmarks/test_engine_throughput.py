@@ -1,0 +1,130 @@
+"""Engine speed benchmarks: raw simulator events/sec and parallel fan-out.
+
+Unlike the figure benches (which record *rack behaviour*), these record
+*engine* speed so the perf trajectory captures regressions in the event
+loop and the experiment fan-out from this PR onward.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.cluster.config import SystemType
+from repro.experiments.figures import clear_cache, fig9_p999_latency
+from repro.experiments.parallel import ParallelRunner, RunCache, RunSpec, using_jobs
+from repro.sim import Simulator, Timeout
+from repro.workloads.spec import ycsb
+
+#: Enough events for stable events/sec numbers but < 1 s of wall clock.
+_EVENT_TARGET = 200_000
+
+
+def _event_churn(events: int) -> float:
+    """Drive a self-rescheduling callback chain for ``events`` callbacks;
+    returns wall-clock seconds."""
+    sim = Simulator()
+
+    def tick():
+        sim.call_after(1.0, tick)
+
+    # A handful of independent chains exercises heap ordering, not just
+    # the single-hot-entry fast path.
+    for i in range(8):
+        sim.call_after(float(i), tick)
+    started = time.perf_counter()
+    sim.run(max_events=events)
+    elapsed = time.perf_counter() - started
+    assert sim.event_count == events
+    return elapsed
+
+
+def test_simulator_event_throughput(benchmark):
+    elapsed = run_once(benchmark, _event_churn, _EVENT_TARGET)
+    rate = _EVENT_TARGET / elapsed
+    print()
+    print(f"raw event loop: {rate:,.0f} events/sec "
+          f"({_EVENT_TARGET} events in {elapsed:.3f}s)")
+    # Loose floor: a regression that makes the loop 10x slower should fail
+    # loudly; normal machines do millions of events/sec.
+    assert rate > 50_000
+
+
+def test_simulator_cancel_churn_throughput(benchmark):
+    """Timeout-guard churn: schedule + cancel must stay O(log n) per op
+    (the cancelled-entry compaction keeps the heap from growing)."""
+
+    def churn() -> int:
+        sim = Simulator()
+        for _ in range(50_000):
+            sim.call_after(1e6, lambda: None).cancel()
+        return sim.pending_count
+
+    pending = run_once(benchmark, churn)
+    print()
+    print(f"heap entries after 50k schedule+cancel cycles: {pending}")
+    assert pending < 200
+
+
+def test_rack_run_reports_engine_throughput(benchmark):
+    spec = RunSpec.create(
+        SystemType.RACKBLOX, ycsb(0.5), 300, 1500.0, 42,
+        num_servers=2, num_pairs=2,
+    )
+    result = run_once(benchmark, spec.execute)
+    print()
+    print(f"rack run: {result.events} events in {result.wall_clock_s:.2f}s "
+          f"-> {result.events_per_sec():,.0f} events/sec")
+    assert result.events_per_sec() > 0
+
+
+def test_serial_vs_parallel_figure_sweep(benchmark):
+    """Wall clock of the same figure sweep, serial vs --jobs fan-out.
+
+    On a single-core box the parallel run may not win (fork + pickle
+    overhead with no extra hardware), so this records both numbers and
+    asserts only correctness: bit-identical rows.
+    """
+    kwargs = dict(write_ratios=(0.0, 0.4, 0.8), requests=400, seed=42)
+
+    def measured() -> dict:
+        clear_cache()
+        with using_jobs(1):
+            t0 = time.perf_counter()
+            serial = fig9_p999_latency(**kwargs)
+            serial_s = time.perf_counter() - t0
+        clear_cache()
+        with using_jobs(4):
+            t0 = time.perf_counter()
+            fanned = fig9_p999_latency(**kwargs)
+            parallel_s = time.perf_counter() - t0
+        clear_cache()
+        return dict(serial=serial, fanned=fanned,
+                    serial_s=serial_s, parallel_s=parallel_s)
+
+    out = run_once(benchmark, measured)
+    print()
+    print(f"figure sweep (9 racks): serial {out['serial_s']:.1f}s, "
+          f"--jobs 4 {out['parallel_s']:.1f}s "
+          f"(speedup {out['serial_s'] / out['parallel_s']:.2f}x)")
+    assert out["serial"].rows == out["fanned"].rows
+
+
+def test_run_cache_dedup_avoids_rework(benchmark):
+    """The shared cache makes repeated spec lists nearly free."""
+    cache = RunCache()
+    runner = ParallelRunner(jobs=1, cache=cache)
+    spec = RunSpec.create(
+        SystemType.VDC, ycsb(0.5), 200, 1500.0, 42,
+        num_servers=2, num_pairs=2,
+    )
+
+    def first_then_hot() -> float:
+        runner.run_specs([spec] * 4)  # one execution, three dedup hits
+        t0 = time.perf_counter()
+        runner.run_specs([spec] * 4)  # pure cache hits
+        return time.perf_counter() - t0
+
+    hot_s = run_once(benchmark, first_then_hot)
+    print()
+    print(f"hot cache re-read of 4 specs: {hot_s * 1e6:.0f} us")
+    assert hot_s < 0.1

@@ -49,6 +49,9 @@ def _build_parser() -> argparse.ArgumentParser:
     figures_p.add_argument("names", nargs="*",
                            help=f"subset of {sorted(ALL_FIGURES)} (default all)")
     figures_p.add_argument("--quick", action="store_true")
+    figures_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="fan independent rack runs out over N worker "
+                                "processes (0 = all cores; default serial)")
 
     wear_p = sub.add_parser("wear", help="run the wear-leveling campaign")
     wear_p.add_argument("--servers", type=int, default=8)
@@ -154,7 +157,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "figures":
-        run_figures(args.names or None, quick=args.quick)
+        if args.jobs is not None and args.jobs < 0:
+            raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+        run_figures(args.names or None, quick=args.quick, jobs=args.jobs)
         return 0
     if args.command == "wear":
         return _cmd_wear(args)

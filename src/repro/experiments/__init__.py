@@ -7,6 +7,15 @@ renders results as the text tables recorded in EXPERIMENTS.md.
 """
 
 from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunCache,
+    RunSpec,
+    default_jobs,
+    get_runner,
+    set_jobs,
+    using_jobs,
+)
 from repro.experiments.regression import compare_figures, compare_runs
 from repro.experiments.report import run_figures
 from repro.experiments.results_io import load_figures, save_figures
@@ -26,4 +35,11 @@ __all__ = [
     "compare_runs",
     "Sweep",
     "best_point",
+    "ParallelRunner",
+    "RunCache",
+    "RunSpec",
+    "default_jobs",
+    "get_runner",
+    "set_jobs",
+    "using_jobs",
 ]

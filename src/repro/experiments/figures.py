@@ -8,13 +8,19 @@ factor) rather than microseconds.
 
 Runs are memoized per parameter set within the process, so figures that
 share a sweep (9/10/11/12 all read the same YCSB runs) pay for it once.
+
+Every figure runner *declares* its full point list up front and executes
+it through the active :class:`~repro.experiments.parallel.ParallelRunner`
+(see ``--jobs``), so independent rack simulations fan out across worker
+processes while row assembly stays serial and deterministic.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.cluster.config import RackConfig, SystemType
-from repro.experiments.runner import RackResult, run_rack_experiment
+from repro.cluster.config import SystemType
+from repro.experiments.parallel import RunSpec, get_runner, shared_cache
+from repro.experiments.runner import RackResult
 from repro.flash.timing import profile_by_name
 from repro.net.latency import profile_by_name as net_profile_by_name
 from repro.wear.simulate import WearSimulation
@@ -110,12 +116,31 @@ BREAKDOWN_SYSTEMS = (
 
 DEFAULT_WRITE_RATIOS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 
-_run_cache: Dict[Tuple, RackResult] = {}
+#: The shared, bounded run cache (kept under its historical name for
+#: callers and tests that reach in).
+_run_cache = shared_cache
 
 
 def clear_cache() -> None:
     """Drop memoized runs (tests use this to force fresh racks)."""
-    _run_cache.clear()
+    shared_cache.clear()
+
+
+def _spec(
+    system: SystemType,
+    workload: WorkloadSpec,
+    requests: int,
+    rate: float,
+    seed: int,
+    **config_overrides,
+) -> RunSpec:
+    return RunSpec.create(system, workload, requests, rate, seed, **config_overrides)
+
+
+def _run_all(specs: Sequence[RunSpec]) -> Dict[RunSpec, RackResult]:
+    """Execute a figure's declared point list through the active runner."""
+    results = get_runner().run_specs(list(specs))
+    return dict(zip(specs, results))
 
 
 def _cached_run(
@@ -126,22 +151,9 @@ def _cached_run(
     seed: int,
     **config_overrides,
 ) -> RackResult:
-    key = (
-        system,
-        workload.name,
-        workload.write_ratio,
-        workload.pattern.value,
-        requests,
-        rate,
-        seed,
-        tuple(sorted(config_overrides.items())),
+    return get_runner().run_spec(
+        _spec(system, workload, requests, rate, seed, **config_overrides)
     )
-    if key not in _run_cache:
-        config = RackConfig(system=system, seed=seed, **config_overrides)
-        _run_cache[key] = run_rack_experiment(
-            config, workload, requests_per_pair=requests, rate_iops_per_pair=rate
-        )
-    return _run_cache[key]
 
 
 def _safe(recorder, method: str) -> Optional[float]:
@@ -162,11 +174,16 @@ def _ycsb_sweep_rows(
     rate: float,
     seed: int,
 ) -> List[Dict[str, object]]:
+    results = _run_all([
+        _spec(system, ycsb(ratio), requests, rate, seed)
+        for ratio in write_ratios
+        for system in systems
+    ])
     rows = []
     for ratio in write_ratios:
         row: Dict[str, object] = {"write_ratio": f"{int(ratio * 100)}%"}
         for system in systems:
-            result = _cached_run(system, ycsb(ratio), requests, rate, seed)
+            result = results[_spec(system, ycsb(ratio), requests, rate, seed)]
             read_val, write_val = metric_fn(result)
             row[f"{_LABEL[system]} read {columns_suffix}"] = read_val
             row[f"{_LABEL[system]} write {columns_suffix}"] = write_val
@@ -251,11 +268,16 @@ def fig12_throughput(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 12: throughput parity across systems."""
+    results = _run_all([
+        _spec(system, ycsb(ratio), requests, rate, seed)
+        for ratio in write_ratios
+        for system in MAIN_SYSTEMS
+    ])
     rows = []
     for ratio in write_ratios:
         row: Dict[str, object] = {"write_ratio": f"{int(ratio * 100)}%"}
         for system in MAIN_SYSTEMS:
-            result = _cached_run(system, ycsb(ratio), requests, rate, seed)
+            result = results[_spec(system, ycsb(ratio), requests, rate, seed)]
             row[f"{_LABEL[system]} kIOPS"] = result.metrics.total_kiops()
         rows.append(row)
     columns = ["write_ratio"] + [f"{_LABEL[s]} kIOPS" for s in MAIN_SYSTEMS]
@@ -275,15 +297,19 @@ def fig13_workloads_tail(
     percentile: float = 99.9,
 ) -> FigureResult:
     """Figure 13: tail latency across the BenchBase workloads (Table 2)."""
+    ordered = sorted(TABLE2_WORKLOADS.items(), key=lambda kv: kv[1].write_ratio)
+    results = _run_all([
+        _spec(system, spec, requests, rate, seed)
+        for _name, spec in ordered
+        for system in MAIN_SYSTEMS
+    ])
     rows = []
-    for name, spec in sorted(
-        TABLE2_WORKLOADS.items(), key=lambda kv: kv[1].write_ratio
-    ):
+    for name, spec in ordered:
         row: Dict[str, object] = {
             "workload": name, "write%": f"{spec.write_ratio * 100:.1f}",
         }
         for system in MAIN_SYSTEMS:
-            result = _cached_run(system, spec, requests, rate, seed)
+            result = results[_spec(system, spec, requests, rate, seed)]
             row[f"{_LABEL[system]} read P{percentile}"] = (
                 result.metrics.read_total.p(percentile)
                 if result.metrics.read_total.count else None
@@ -310,13 +336,17 @@ def fig14_workloads_tput(
     requests: int = 3000, rate: float = 1500.0, seed: int = 42
 ) -> FigureResult:
     """Figure 14: throughput across the BenchBase workloads."""
+    ordered = sorted(TABLE2_WORKLOADS.items(), key=lambda kv: kv[1].write_ratio)
+    results = _run_all([
+        _spec(system, spec, requests, rate, seed)
+        for _name, spec in ordered
+        for system in MAIN_SYSTEMS
+    ])
     rows = []
-    for name, spec in sorted(
-        TABLE2_WORKLOADS.items(), key=lambda kv: kv[1].write_ratio
-    ):
+    for name, spec in ordered:
         row: Dict[str, object] = {"workload": name}
         for system in MAIN_SYSTEMS:
-            result = _cached_run(system, spec, requests, rate, seed)
+            result = results[_spec(system, spec, requests, rate, seed)]
             row[f"{_LABEL[system]} kIOPS"] = result.metrics.total_kiops()
         rows.append(row)
     columns = ["workload"] + [f"{_LABEL[s]} kIOPS" for s in MAIN_SYSTEMS]
@@ -336,10 +366,15 @@ def fig15_breakdown(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 15: storage vs end-to-end P99.9, with the Coord-I/O ablation."""
+    results = _run_all([
+        _spec(system, ycsb(ratio), requests, rate, seed)
+        for ratio in write_ratios
+        for system in BREAKDOWN_SYSTEMS
+    ])
     rows = []
     for ratio in write_ratios:
         for system in BREAKDOWN_SYSTEMS:
-            result = _cached_run(system, ycsb(ratio), requests, rate, seed)
+            result = results[_spec(system, ycsb(ratio), requests, rate, seed)]
             m = result.metrics
             rows.append({
                 "write_ratio": f"{int(ratio * 100)}%",
@@ -372,11 +407,15 @@ def fig16_read_cdf(
 ) -> FigureResult:
     """Figure 16: cumulative distribution of read latency."""
     quantiles = [50.0, 90.0, 95.0, 99.0, 99.5, 99.9][: max(2, points)]
+    results = _run_all([
+        _spec(system, ycsb(write_ratio), requests, rate, seed)
+        for system in BREAKDOWN_SYSTEMS
+    ])
     rows = []
     for q in quantiles:
         row: Dict[str, object] = {"percentile": f"P{q}"}
         for system in BREAKDOWN_SYSTEMS:
-            result = _cached_run(system, ycsb(write_ratio), requests, rate, seed)
+            result = results[_spec(system, ycsb(write_ratio), requests, rate, seed)]
             row[_LABEL[system]] = result.metrics.read_total.p(q)
         rows.append(row)
     return FigureResult(
@@ -398,16 +437,22 @@ def fig17_storage_schedulers(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 17: coordinated I/O scheduling under each storage scheduler."""
+    results = _run_all([
+        _spec(system, ycsb(write_ratio), requests, rate, seed,
+              storage_scheduler=scheduler)
+        for scheduler in schedulers
+        for system in (SystemType.VDC, SystemType.RACKBLOX)
+    ])
     rows = []
     for scheduler in schedulers:
-        base = _cached_run(
+        base = results[_spec(
             SystemType.VDC, ycsb(write_ratio), requests, rate, seed,
             storage_scheduler=scheduler,
-        )
-        coordinated = _cached_run(
+        )]
+        coordinated = results[_spec(
             SystemType.RACKBLOX, ycsb(write_ratio), requests, rate, seed,
             storage_scheduler=scheduler,
-        )
+        )]
         base_p999 = base.metrics.read_total.p999()
         coord_p999 = coordinated.metrics.read_total.p999()
         rows.append({
@@ -436,8 +481,7 @@ def fig18_network_schedulers(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 18: coordinated I/O under each network scheduling policy."""
-    rows = []
-    for policy in policies:
+    def _overrides(policy: str) -> Dict[str, object]:
         # Constrain the egress line rate so the policy actually binds (the
         # paper's setup has four clients competing for one server); the
         # Priority run injects the periodic high-priority traffic of
@@ -450,13 +494,24 @@ def fig18_network_schedulers(
         if policy == "tb":
             # Low enough to shape bursts, high enough to carry the load.
             overrides["tb_flow_rate_kb_per_sec"] = 6_000.0
-        base = _cached_run(
+        return overrides
+
+    results = _run_all([
+        _spec(system, ycsb(write_ratio), requests, rate, seed,
+              **_overrides(policy))
+        for policy in policies
+        for system in (SystemType.VDC, SystemType.RACKBLOX)
+    ])
+    rows = []
+    for policy in policies:
+        overrides = _overrides(policy)
+        base = results[_spec(
             SystemType.VDC, ycsb(write_ratio), requests, rate, seed, **overrides
-        )
-        coordinated = _cached_run(
+        )]
+        coordinated = results[_spec(
             SystemType.RACKBLOX, ycsb(write_ratio), requests, rate, seed,
             **overrides,
-        )
+        )]
         base_p999 = base.metrics.read_total.p999()
         coord_p999 = coordinated.metrics.read_total.p999()
         rows.append({
@@ -486,17 +541,25 @@ def fig19_device_network_matrix(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 19: read latency distribution across SSD x network."""
+    def _pairing(device: str, network: str) -> Dict[str, object]:
+        return dict(
+            device_profile=profile_by_name(device),
+            network_profile=net_profile_by_name(network),
+        )
+
+    results = _run_all([
+        _spec(SystemType.RACKBLOX, ycsb(write_ratio), requests, rate, seed,
+              **_pairing(device, network))
+        for device in devices
+        for network in networks
+    ])
     rows = []
     for device in devices:
         for network in networks:
-            overrides = dict(
-                device_profile=profile_by_name(device),
-                network_profile=net_profile_by_name(network),
-            )
-            result = _cached_run(
+            result = results[_spec(
                 SystemType.RACKBLOX, ycsb(write_ratio), requests, rate, seed,
-                **overrides,
-            )
+                **_pairing(device, network),
+            )]
             reads = result.metrics.read_total
             rows.append({
                 "ssd": device, "network": network,
@@ -519,22 +582,33 @@ def fig20_improvement_matrix(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 20: VDC -> RackBlox P99.9 read improvement per pairing."""
+    def _pairing(device: str, network: str) -> Dict[str, object]:
+        return dict(
+            device_profile=profile_by_name(device),
+            network_profile=net_profile_by_name(network),
+        )
+
+    results = _run_all([
+        _spec(system, ycsb(ratio), requests, rate, seed,
+              **_pairing(device, network))
+        for device in devices
+        for network in networks
+        for ratio in write_ratios
+        for system in (SystemType.VDC, SystemType.RACKBLOX)
+    ])
     rows = []
     for device in devices:
         for network in networks:
-            overrides = dict(
-                device_profile=profile_by_name(device),
-                network_profile=net_profile_by_name(network),
-            )
+            overrides = _pairing(device, network)
             improvements = []
             for ratio in write_ratios:
-                vdc = _cached_run(
+                vdc = results[_spec(
                     SystemType.VDC, ycsb(ratio), requests, rate, seed, **overrides
-                )
-                rb = _cached_run(
+                )]
+                rb = results[_spec(
                     SystemType.RACKBLOX, ycsb(ratio), requests, rate, seed,
                     **overrides,
-                )
+                )]
                 improvements.append(
                     vdc.metrics.read_total.p999() / rb.metrics.read_total.p999()
                 )
@@ -559,16 +633,21 @@ def fig21_isolation(
     seed: int = 42,
 ) -> FigureResult:
     """Figure 21: software- vs hardware-isolated vSSDs."""
+    results = _run_all([
+        _spec(system, ycsb(write_ratio), requests, rate, seed, sw_isolated=sw)
+        for sw in (False, True)
+        for system in (SystemType.VDC, SystemType.RACKBLOX)
+    ])
     rows = []
     for label, sw in (("HW-isolated", False), ("SW-isolated", True)):
-        overrides = dict(sw_isolated=sw)
-        vdc = _cached_run(
-            SystemType.VDC, ycsb(write_ratio), requests, rate, seed, **overrides
-        )
-        rb = _cached_run(
+        vdc = results[_spec(
+            SystemType.VDC, ycsb(write_ratio), requests, rate, seed,
+            sw_isolated=sw,
+        )]
+        rb = results[_spec(
             SystemType.RACKBLOX, ycsb(write_ratio), requests, rate, seed,
-            **overrides,
-        )
+            sw_isolated=sw,
+        )]
         vdc_p999 = vdc.metrics.read_total.p999()
         rb_p999 = rb.metrics.read_total.p999()
         rows.append({
@@ -588,6 +667,14 @@ def fig21_isolation(
 # -------------------------------------------------------------- Figs 22-23
 
 
+def _wear_point(params: Dict[str, object]):
+    """Top-level worker: one wear-campaign configuration (picklable)."""
+    kwargs = dict(params)
+    days = kwargs.pop("days")
+    sample_every = kwargs.pop("sample_every")
+    return WearSimulation(**kwargs).run(days=days, sample_every=sample_every)
+
+
 def fig22_local_wear(
     num_servers: int = 8,
     ssds_per_server: int = 16,
@@ -597,14 +684,12 @@ def fig22_local_wear(
     """Figure 22: per-server wear balance, local balancer vs No Swap."""
     kwargs = dict(
         num_servers=num_servers, ssds_per_server=ssds_per_server, seed=seed,
-        replacement_rate_per_year=0.0,
+        replacement_rate_per_year=0.0, days=days, sample_every=30,
     )
-    noswap = WearSimulation(enable_local=False, enable_global=False, **kwargs).run(
-        days=days, sample_every=30
-    )
-    balanced = WearSimulation(enable_local=True, enable_global=False, **kwargs).run(
-        days=days, sample_every=30
-    )
+    noswap, balanced = get_runner().map(_wear_point, [
+        dict(enable_local=False, enable_global=False, **kwargs),
+        dict(enable_local=True, enable_global=False, **kwargs),
+    ])
     rows = [
         {
             "policy": "No Swap",
@@ -638,17 +723,13 @@ def fig23_rack_wear(
     """Figure 23: rack-scale wear balance, global balancer vs No Swap."""
     kwargs = dict(
         num_servers=num_servers, ssds_per_server=ssds_per_server, seed=seed,
-        replacement_rate_per_year=0.08,
+        replacement_rate_per_year=0.08, days=days, sample_every=30,
     )
-    noswap = WearSimulation(enable_local=False, enable_global=False, **kwargs).run(
-        days=days, sample_every=30
-    )
-    local_only = WearSimulation(enable_local=True, enable_global=False, **kwargs).run(
-        days=days, sample_every=30
-    )
-    both = WearSimulation(enable_local=True, enable_global=True, **kwargs).run(
-        days=days, sample_every=30
-    )
+    noswap, local_only, both = get_runner().map(_wear_point, [
+        dict(enable_local=False, enable_global=False, **kwargs),
+        dict(enable_local=True, enable_global=False, **kwargs),
+        dict(enable_local=True, enable_global=True, **kwargs),
+    ])
     rows = [
         {"policy": "No Swap", "rack wear variance": noswap.final_rack_variance(),
          "rack lambda": noswap.final_rack_imbalance(), "global swaps": 0},

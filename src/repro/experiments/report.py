@@ -2,9 +2,11 @@
 
 import sys
 import time
+from contextlib import nullcontext
 from typing import Dict, Iterable, Optional
 
 from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.parallel import using_jobs
 
 
 def run_figures(
@@ -12,32 +14,39 @@ def run_figures(
     quick: bool = False,
     stream=None,
     out_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, FigureResult]:
     """Run the named figures (all by default) and return their results.
 
     ``quick`` shrinks request counts ~4x for smoke runs; the full settings
     are what EXPERIMENTS.md records.  When ``out_dir`` is given, each
     figure is also persisted as JSON (see
-    :mod:`repro.experiments.results_io`).
+    :mod:`repro.experiments.results_io`).  ``jobs`` fans each figure's
+    independent rack runs out over that many worker processes (0 = all
+    cores); results are bit-identical to a serial run.
     """
     stream = stream if stream is not None else sys.stdout
     selected = list(names) if names is not None else list(ALL_FIGURES)
     results: Dict[str, FigureResult] = {}
-    for name in selected:
-        if name not in ALL_FIGURES:
-            raise KeyError(f"unknown figure {name!r}; know {sorted(ALL_FIGURES)}")
-        fn = ALL_FIGURES[name]
-        kwargs = {}
-        if quick and "requests" in fn.__code__.co_varnames:
-            kwargs["requests"] = 800
-        if quick and "days" in fn.__code__.co_varnames:
-            kwargs["days"] = 365
-        started = time.time()
-        result = fn(**kwargs)
-        elapsed = time.time() - started
-        results[name] = result
-        print(result.to_table(), file=stream)
-        print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
+    scope = using_jobs(jobs) if jobs is not None else nullcontext()
+    with scope:
+        for name in selected:
+            if name not in ALL_FIGURES:
+                raise KeyError(
+                    f"unknown figure {name!r}; know {sorted(ALL_FIGURES)}"
+                )
+            fn = ALL_FIGURES[name]
+            kwargs = {}
+            if quick and "requests" in fn.__code__.co_varnames:
+                kwargs["requests"] = 800
+            if quick and "days" in fn.__code__.co_varnames:
+                kwargs["days"] = 365
+            started = time.time()
+            result = fn(**kwargs)
+            elapsed = time.time() - started
+            results[name] = result
+            print(result.to_table(), file=stream)
+            print(f"[{name} took {elapsed:.1f}s]\n", file=stream)
     if out_dir is not None:
         from repro.experiments.results_io import save_figures
 
@@ -47,8 +56,8 @@ def run_figures(
 
 
 def main(argv=None) -> int:
-    """CLI: ``python -m repro.experiments.report [--quick] [--out DIR]
-    [fig9 fig10 ...]``."""
+    """CLI: ``python -m repro.experiments.report [--quick] [--jobs N]
+    [--out DIR] [fig9 fig10 ...]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in argv
     out_dir = None
@@ -59,8 +68,18 @@ def main(argv=None) -> int:
         except IndexError:
             raise SystemExit("--out needs a directory argument")
         del argv[idx:idx + 2]
+    jobs = None
+    if "--jobs" in argv:
+        idx = argv.index("--jobs")
+        try:
+            jobs = int(argv[idx + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("--jobs needs an integer argument")
+        if jobs < 0:
+            raise SystemExit(f"--jobs must be >= 0, got {jobs}")
+        del argv[idx:idx + 2]
     names = [a for a in argv if not a.startswith("-")] or None
-    run_figures(names, quick=quick, out_dir=out_dir)
+    run_figures(names, quick=quick, out_dir=out_dir, jobs=jobs)
     return 0
 
 

@@ -1,5 +1,6 @@
 """Run one rack under one workload and collect metrics."""
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -40,11 +41,24 @@ class RackResult:
     gc_runs: int
     switch_counters: Dict[str, int] = field(default_factory=dict)
     sim_duration_us: float = 0.0
+    #: Host wall-clock seconds spent simulating (measures engine speed,
+    #: not rack behaviour; this is what --jobs fan-out divides down).
+    wall_clock_s: float = 0.0
+    #: Simulator callbacks executed during the run.
+    events: int = 0
+
+    def events_per_sec(self) -> float:
+        """Raw engine throughput: simulator events per wall-clock second."""
+        if self.wall_clock_s <= 0.0:
+            return 0.0
+        return self.events / self.wall_clock_s
 
     def summary(self) -> Dict[str, float]:
         out = self.metrics.summary()
         out["redirects"] = float(self.redirects)
         out["gc_runs"] = float(self.gc_runs)
+        out["wall_clock_s"] = self.wall_clock_s
+        out["events_per_sec"] = self.events_per_sec()
         return out
 
 
@@ -57,8 +71,10 @@ def run_rack_experiment(
     rack: Optional[Rack] = None,
 ) -> RackResult:
     """Build a rack, precondition it, and drive the workload to completion."""
+    started = time.perf_counter()
     if rack is None:
         rack = Rack(config)
+    events_before = rack.sim.event_count
     rack.precondition(working_set_fraction=working_set_fraction)
     metrics = ExperimentMetrics()
     processes = []
@@ -94,4 +110,6 @@ def run_rack_experiment(
             "recirculations": rack.switch.recirculations,
         },
         sim_duration_us=rack.sim.now,
+        wall_clock_s=time.perf_counter() - started,
+        events=rack.sim.event_count - events_before,
     )

@@ -16,10 +16,11 @@ then renders as a table/chart and persists/diffs like any built-in figure.
 """
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.experiments.figures import FigureResult
+from repro.experiments.parallel import ParallelRunner
 
 
 class Sweep:
@@ -59,20 +60,46 @@ class Sweep:
         self,
         run_fn: Callable[..., Mapping[str, object]],
         progress_fn: Callable[[int, int, Dict[str, object]], None] = None,
+        jobs: int = 1,
+        runner: Optional[ParallelRunner] = None,
     ) -> FigureResult:
-        """Execute ``run_fn(**point)`` at every point.
+        """Execute ``run_fn(**point)`` at every *distinct* point.
 
         ``run_fn`` returns a mapping of metric name -> value; axis values
-        and metrics merge into one row per point.  ``progress_fn`` (if
-        given) is called as ``(index, total, point)`` before each run.
+        and metrics merge into one row per point.  Duplicate points (axes
+        listing the same value twice) execute once and share a result.
+        ``progress_fn`` (if given) is called as ``(index, total, point)``
+        before each distinct run is dispatched.
+
+        With ``jobs > 1`` (or an explicit ``runner``) the distinct points
+        fan out over a process pool -- ``run_fn`` must then be a picklable
+        module-level function; anything else silently degrades to serial
+        in-process execution.  Result rows are ordered and bit-identical
+        either way.
         """
+        if runner is None:
+            runner = ParallelRunner(jobs=jobs)
+        points = list(self.points())
+        unique_points: List[Dict[str, object]] = []
+        unique_keys: List[Tuple] = []
+        seen = set()
+        for point in points:
+            key = _point_key(point)
+            if key not in seen:
+                seen.add(key)
+                unique_keys.append(key)
+                unique_points.append(point)
+        total = len(unique_points)
+        if progress_fn is not None:
+            for index, point in enumerate(unique_points):
+                progress_fn(index, total, point)
+        outcomes = runner.starmap_kwargs(run_fn, unique_points)
+        by_key = dict(zip(unique_keys, outcomes))
+
         rows: List[Dict[str, object]] = []
         metric_columns: List[str] = []
-        total = self.num_points
-        for index, point in enumerate(self.points()):
-            if progress_fn is not None:
-                progress_fn(index, total, point)
-            metrics = run_fn(**point)
+        for point in points:
+            metrics = by_key[_point_key(point)]
             if not isinstance(metrics, Mapping):
                 raise ConfigError(
                     f"run_fn must return a mapping of metrics, got "
@@ -94,6 +121,18 @@ class Sweep:
         return FigureResult(
             figure=self.name, title=self.title, columns=columns, rows=rows,
         )
+
+
+def _point_key(point: Dict[str, object]) -> Tuple:
+    """A hashable identity for one sweep point (dedup + result lookup)."""
+    parts = []
+    for axis, value in point.items():
+        try:
+            hash(value)
+        except TypeError:
+            value = repr(value)
+        parts.append((axis, value))
+    return tuple(parts)
 
 
 def _render(value: object) -> object:

@@ -16,6 +16,10 @@ USEC = 1.0
 MSEC = 1_000.0
 SEC = 1_000_000.0
 
+#: Compact the heap once cancelled entries could be half of it (and there
+#: are enough of them for a rebuild to be worth the O(n) pass).
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Simulator:
     """A discrete-event simulator with a virtual microsecond clock.
@@ -23,7 +27,15 @@ class Simulator:
     Callbacks are ordered by ``(time, sequence)`` where the sequence number
     preserves FIFO order among events scheduled for the same instant, making
     runs fully deterministic.
+
+    Cancellation is lazy -- a cancelled entry stays in the heap until it
+    surfaces -- but bounded: the simulator counts live cancellations and
+    compacts the heap in place once they could make up half of it, so
+    timeout-churn workloads (schedule, cancel, repeat) cannot grow the
+    heap without limit.
     """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_event_count", "_cancelled")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -31,6 +43,7 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
+        self._cancelled = 0  # cancelled entries still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -42,6 +55,11 @@ class Simulator:
         """Number of callbacks executed so far (useful for budget checks)."""
         return self._event_count
 
+    @property
+    def pending_count(self) -> int:
+        """Heap entries still scheduled (including not-yet-reaped cancels)."""
+        return len(self._heap)
+
     def call_at(self, when: float, fn: Callable[[], None]) -> "EventHandle":
         """Schedule ``fn`` to run at absolute time ``when``."""
         if when < self._now:
@@ -50,7 +68,7 @@ class Simulator:
             )
         entry = _Entry(fn)
         heapq.heappush(self._heap, (when, next(self._seq), entry))
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> "EventHandle":
         """Schedule ``fn`` to run ``delay`` microseconds from now."""
@@ -63,6 +81,19 @@ class Simulator:
         from repro.sim.process import Process
 
         return Process(self, generator)
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for a newly cancelled pending entry."""
+        self._cancelled += 1
+        heap = self._heap
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(heap)
+        ):
+            # In-place so aliases held by a running loop stay valid.
+            heap[:] = [item for item in heap if not item[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def run(
         self,
@@ -82,18 +113,29 @@ class Simulator:
                 f"run(until={until:.3f}) is in the past (now={self._now:.3f})"
             )
         self._running = True
+        # Hot loop: bind invariants to locals.  ``heap`` aliases the live
+        # list -- compaction mutates it in place, and callbacks push into
+        # the same object -- while the executed-event count is kept local
+        # and flushed in ``finally``.
+        heap = self._heap
+        heappop = heapq.heappop
+        count = self._event_count
         try:
             budget = max_events if max_events is not None else -1
-            while self._heap:
-                when, _seq, entry = self._heap[0]
+            while heap:
+                head = heap[0]
+                when = head[0]
                 if until is not None and when > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
+                entry = head[2]
                 if entry.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
                     continue
                 self._now = when
-                self._event_count += 1
+                count += 1
                 entry.fn()
                 if budget > 0:
                     budget -= 1
@@ -104,16 +146,20 @@ class Simulator:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
+            self._event_count = count
             self._running = False
         return self._now
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            if self._cancelled > 0:
+                self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
 
 class _Entry:
@@ -129,14 +175,19 @@ class _Entry:
 class EventHandle:
     """A handle to a scheduled callback that allows cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, sim: Optional[Simulator] = None) -> None:
         self._entry = entry
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if not entry.cancelled:
+            entry.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:

@@ -94,6 +94,60 @@ class TestSimulatorClock:
         assert sim.event_count == 3
 
 
+class TestCancelledEntryCompaction:
+    def test_heap_stays_bounded_under_cancel_churn(self):
+        # Schedule-then-cancel churn (timeout guards that never fire) must
+        # not grow the heap without limit: cancelled entries are compacted
+        # once they could make up half of it.
+        sim = Simulator()
+        live = [sim.call_after(1e9 + i, lambda: None) for i in range(10)]
+        for _ in range(5000):
+            sim.call_after(1e6, lambda: None).cancel()
+        assert sim.pending_count < 200
+        assert all(not h.cancelled for h in live)
+
+    def test_compaction_preserves_pending_events(self):
+        sim = Simulator()
+        seen = []
+        for i in range(50):
+            sim.call_after(100.0 + i, lambda i=i: seen.append(i))
+        for _ in range(1000):
+            sim.call_after(50.0, lambda: None).cancel()
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_compaction_during_run_keeps_order(self):
+        # Cancelling from inside a callback triggers compaction while the
+        # run loop holds its heap alias; execution order must not change.
+        sim = Simulator()
+        order = []
+
+        def churn():
+            for _ in range(200):
+                sim.call_after(1000.0, lambda: None).cancel()
+
+        sim.call_after(1.0, lambda: order.append("a"))
+        sim.call_after(2.0, churn)
+        sim.call_after(3.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_cancel_is_idempotent_in_accounting(self):
+        sim = Simulator()
+        handle = sim.call_after(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim._cancelled == 1  # noqa: SLF001 - accounting invariant
+
+    def test_peek_reaps_cancelled_entries(self):
+        sim = Simulator()
+        cancelled = sim.call_after(1.0, lambda: None)
+        sim.call_after(2.0, lambda: None)
+        cancelled.cancel()
+        assert sim.peek() == 2.0
+        assert sim.pending_count == 1
+
+
 class TestEvent:
     def test_succeed_delivers_value(self):
         sim = Simulator()

@@ -55,6 +55,55 @@ class TestSweep:
             Sweep("s", axes={"a": []})
 
 
+def _square_metrics(n):
+    """Module-level so parallel sweep workers can pickle it."""
+    return {"square": float(n * n)}
+
+
+class TestSweepDedupAndParallel:
+    def test_single_axis_single_point(self):
+        sweep = Sweep("s", axes={"n": [7]})
+        result = sweep.run(_square_metrics)
+        assert result.rows == [{"n": "7", "square": 49.0}]
+
+    def test_duplicate_points_run_once(self):
+        calls = []
+
+        def run_fn(n):
+            calls.append(n)
+            return {"v": float(n)}
+
+        sweep = Sweep("s", axes={"n": [1, 2, 1, 1]})
+        result = sweep.run(run_fn)
+        assert calls == [1, 2]  # deduped execution...
+        assert result.series("v") == [1.0, 2.0, 1.0, 1.0]  # ...full rows
+
+    def test_progress_reports_unique_points(self):
+        seen = []
+        sweep = Sweep("s", axes={"n": [3, 3, 4]})
+        sweep.run(lambda n: {"v": n},
+                  progress_fn=lambda i, total, point: seen.append((i, total)))
+        assert seen == [(0, 2), (1, 2)]
+
+    def test_parallel_matches_serial(self):
+        sweep = Sweep("s", axes={"n": [1, 2, 3, 4]})
+        serial = sweep.run(_square_metrics, jobs=1)
+        fanned = sweep.run(_square_metrics, jobs=2)
+        assert serial.rows == fanned.rows
+
+    def test_parallel_with_unpicklable_fn_degrades(self):
+        sweep = Sweep("s", axes={"n": [1, 2]})
+        result = sweep.run(lambda n: {"v": float(n)}, jobs=4)
+        assert result.series("v") == [1.0, 2.0]
+
+    def test_explicit_runner(self):
+        from repro.experiments.parallel import ParallelRunner
+
+        sweep = Sweep("s", axes={"n": [2, 3]})
+        result = sweep.run(_square_metrics, runner=ParallelRunner(jobs=2))
+        assert result.series("square") == [4.0, 9.0]
+
+
 class TestBestPoint:
     def test_minimize(self):
         sweep = Sweep("s", axes={"n": [1, 2, 3]})

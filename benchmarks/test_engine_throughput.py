@@ -12,7 +12,8 @@ from conftest import run_once
 from repro.cluster.config import SystemType
 from repro.experiments.figures import clear_cache, fig9_p999_latency
 from repro.experiments.parallel import ParallelRunner, RunCache, RunSpec, using_jobs
-from repro.sim import Simulator, Timeout
+from repro.sim import Simulator
+from repro.trace import NullTracer
 from repro.workloads.spec import ycsb
 
 #: Enough events for stable events/sec numbers but < 1 s of wall clock.
@@ -107,6 +108,66 @@ def test_serial_vs_parallel_figure_sweep(benchmark):
           f"--jobs 4 {out['parallel_s']:.1f}s "
           f"(speedup {out['serial_s'] / out['parallel_s']:.2f}x)")
     assert out["serial"].rows == out["fanned"].rows
+
+
+def test_null_tracer_overhead_under_two_percent(benchmark):
+    """Untraced runs must not pay for the tracing instrumentation.
+
+    With `trace_sample_rate=0` every instrumentation site degrades to a
+    `NullTracer.start_request` call (returns None) plus `payload.get`
+    misses.  This measures that degraded path directly -- per-call cost x
+    calls-per-request against the measured run wall clock -- and asserts
+    the instrumentation accounts for < 2% of an untraced run.  Full
+    tracing (sample rate 1.0) is also timed for the printed comparison.
+    """
+    untraced = RunSpec.create(
+        SystemType.RACKBLOX, ycsb(0.5), 300, 1500.0, 42,
+        num_servers=2, num_pairs=2,
+    )
+    traced = RunSpec.create(
+        SystemType.RACKBLOX, ycsb(0.5), 300, 1500.0, 42,
+        num_servers=2, num_pairs=2, trace_sample_rate=1.0,
+    )
+    # One start_request per request; the request path then performs a
+    # bounded number of `payload.get("trace")` misses and None checks
+    # (client, switch x2, egress, server queue, media, return path).
+    calls_per_request = 1
+    gets_per_request = 16
+
+    def measured() -> dict:
+        base = min((untraced.execute() for _ in range(3)),
+                   key=lambda r: r.wall_clock_s)
+        full = min((traced.execute() for _ in range(3)),
+                   key=lambda r: r.wall_clock_s)
+        requests = base.metrics.read_total.count + base.metrics.write_total.count
+
+        tracer = NullTracer()
+        payload: dict = {}
+        reps = 200_000
+        t0 = time.perf_counter()
+        for i in range(reps):
+            tracer.start_request(i, "read", "bench", 0.0)
+        call_s = (time.perf_counter() - t0) / reps
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            payload.get("trace")
+        get_s = (time.perf_counter() - t0) / reps
+
+        instrumentation_s = requests * (
+            calls_per_request * call_s + gets_per_request * get_s
+        )
+        return dict(
+            base_s=base.wall_clock_s, full_s=full.wall_clock_s,
+            instr_s=instrumentation_s,
+            ratio=instrumentation_s / base.wall_clock_s,
+        )
+
+    out = run_once(benchmark, measured)
+    print()
+    print(f"untraced run {out['base_s']:.3f}s, fully traced "
+          f"{out['full_s']:.3f}s; NullTracer instrumentation cost "
+          f"{out['instr_s'] * 1e3:.2f}ms ({out['ratio']:.3%} of untraced run)")
+    assert out["ratio"] < 0.02
 
 
 def test_run_cache_dedup_avoids_rework(benchmark):

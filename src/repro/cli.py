@@ -3,6 +3,8 @@
 Commands:
 
 * ``run`` -- one rack experiment with chosen system/workload parameters;
+* ``trace`` -- a traced rack run: per-stage spans, tail-latency
+  attribution, optional Chrome trace-event (Perfetto) export;
 * ``figures`` -- reproduce paper figures (same as
   ``python -m repro.experiments.report``);
 * ``wear`` -- the long-horizon wear-leveling campaign;
@@ -30,20 +32,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run one rack experiment")
-    run_p.add_argument("--system", default="rackblox",
+    def add_rack_args(p) -> None:
+        p.add_argument("--system", default="rackblox",
                        choices=[s.value for s in SystemType])
-    run_p.add_argument("--workload", default="ycsb-50",
+        p.add_argument("--workload", default="ycsb-50",
                        help="'ycsb-<write%%>' or a Table 2 name "
                             f"({', '.join(sorted(TABLE2_WORKLOADS))})")
-    run_p.add_argument("--requests", type=int, default=2000)
-    run_p.add_argument("--rate", type=float, default=1500.0)
-    run_p.add_argument("--servers", type=int, default=4)
-    run_p.add_argument("--pairs", type=int, default=4)
-    run_p.add_argument("--device", default="pssd", choices=sorted(DEVICE_PROFILES))
-    run_p.add_argument("--network", default="medium",
+        p.add_argument("--requests", type=int, default=2000)
+        p.add_argument("--rate", type=float, default=1500.0)
+        p.add_argument("--servers", type=int, default=4)
+        p.add_argument("--pairs", type=int, default=4)
+        p.add_argument("--device", default="pssd", choices=sorted(DEVICE_PROFILES))
+        p.add_argument("--network", default="medium",
                        choices=sorted(NETWORK_PROFILES))
-    run_p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--seed", type=int, default=42)
+
+    run_p = sub.add_parser("run", help="run one rack experiment")
+    add_rack_args(run_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="run one rack experiment with request tracing"
+    )
+    add_rack_args(trace_p)
+    trace_p.add_argument("--sample-rate", type=float, default=1.0,
+                         help="head-sampling probability in (0,1] "
+                              "(default: trace every request)")
+    trace_p.add_argument("--trace-out", metavar="PATH",
+                         help="write Chrome trace-event JSON here "
+                              "(load in Perfetto / chrome://tracing)")
+    trace_p.add_argument("--percentile", type=float, default=99.0,
+                         help="tail percentile to attribute (default 99)")
 
     figures_p = sub.add_parser("figures", help="reproduce paper figures")
     figures_p.add_argument("names", nargs="*",
@@ -88,7 +106,7 @@ def _resolve_workload(name: str):
     )
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args, trace_sample_rate: float = 0.0) -> int:
     workload = _resolve_workload(args.workload)
     config = RackConfig(
         system=SystemType(args.system),
@@ -97,6 +115,7 @@ def _cmd_run(args) -> int:
         device_profile=profile_by_name(args.device),
         network_profile=net_profile_by_name(args.network),
         seed=args.seed,
+        trace_sample_rate=trace_sample_rate,
     )
     result = run_rack_experiment(
         config, workload, requests_per_pair=args.requests,
@@ -108,7 +127,24 @@ def _cmd_run(args) -> int:
         print(f"  {key:24s} {value:12.1f}")
     for key, value in sorted(result.switch_counters.items()):
         print(f"  switch.{key:17s} {value:12d}")
+    if trace_sample_rate > 0.0 and result.traces is not None:
+        _report_traces(args, result.traces)
     return 0
+
+
+def _report_traces(args, traces) -> None:
+    from repro.trace.chrome import write_chrome_trace
+
+    print()
+    print(traces.attribution(percentile=args.percentile, kind="read").describe())
+    writes = traces.of_kind("write")
+    if writes:
+        print()
+        print(traces.attribution(percentile=args.percentile, kind="write").describe())
+    if args.trace_out:
+        events = write_chrome_trace(traces.traces, args.trace_out)
+        print(f"\nwrote {events} trace events ({len(traces)} requests) "
+              f"to {args.trace_out}")
 
 
 def _cmd_wear(args) -> int:
@@ -156,6 +192,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        if not 0.0 < args.sample_rate <= 1.0:
+            raise SystemExit(
+                f"--sample-rate must be in (0, 1], got {args.sample_rate}"
+            )
+        return _cmd_run(args, trace_sample_rate=args.sample_rate)
     if args.command == "figures":
         if args.jobs is not None and args.jobs < 0:
             raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")

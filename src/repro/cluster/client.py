@@ -70,10 +70,17 @@ class Client:
         pkt = read_request(self.pair.primary.vssd_id, self.name, "", t0)
         rid = self.rack.new_request_id()
         pkt.payload.update(lpn=lpn, rid=rid)
+        trace = self.rack.tracer.start_request(
+            rid, "read", self.name, t0, lpn=lpn, vssd=pkt.vssd_id
+        )
+        if trace is not None:
+            pkt.payload["trace"] = trace
         done = self.rack.register_pending(rid)
         self.rack.send_from_client(pkt, flow_id=self.name)
         response = yield done
         storage_us = response.payload.get("storage_us")
+        if trace is not None:
+            self.rack.tracer.finish(trace, self.sim.now)
         self.metrics.record(
             "read", self.sim.now - t0, at=self.sim.now, storage_us=storage_us
         )
@@ -101,11 +108,25 @@ class Client:
             return
         events = []
         responses = []
+        tracer = self.rack.tracer
         for vssd, _server_ip in targets:
             pkt = write_request(vssd.vssd_id, self.name, "", t0)
             rid = self.rack.new_request_id()
             pkt.payload.update(lpn=lpn, rid=rid)
+            # Each replica leg is its own trace: the legs run concurrently
+            # through different servers, so per-leg span threads keep the
+            # Perfetto rendering linear.
+            trace = tracer.start_request(
+                rid, "write", self.name, t0,
+                lpn=lpn, vssd=vssd.vssd_id,
+                role="primary" if vssd is self.pair.primary else "replica",
+            )
             done = self.rack.register_pending(rid)
+            if trace is not None:
+                pkt.payload["trace"] = trace
+                done.add_callback(
+                    lambda ev, t=trace: tracer.finish(t, self.sim.now)
+                )
             done.add_callback(lambda ev: responses.append(ev.value))
             events.append(done)
             self.rack.send_from_client(pkt, flow_id=self.name)

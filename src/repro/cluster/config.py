@@ -93,6 +93,11 @@ class RackConfig:
     #: token buckets, and GC as a channel group (§3.5.2, Figure 21).
     #: Requires an even number of pairs (collocated two at a time).
     sw_isolated: bool = False
+    #: Head-sampling probability for request-level tracing (0 disables;
+    #: the rack then installs the zero-overhead NullTracer).  Sampling
+    #: draws come from a dedicated RNG, so tracing never perturbs the
+    #: simulated behaviour -- only records it.
+    trace_sample_rate: float = 0.0
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -106,6 +111,8 @@ class RackConfig:
             raise ConfigError("need 0 < gc_threshold <= soft_threshold < 1")
         if not 0.0 <= self.precondition_fill < 1.0:
             raise ConfigError("precondition_fill must be in [0,1)")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigError("trace_sample_rate must be in [0,1]")
 
     @property
     def effective_network_scheduler(self) -> str:

@@ -50,6 +50,7 @@ from repro.sim.rng import RandomSource
 from repro.switch.controlplane import SwitchControlPlane
 from repro.switch.dataplane import SwitchDataPlane
 from repro.switch.telemetry import FlowTelemetry
+from repro.trace.tracer import make_tracer
 from repro.vssd.allocator import VssdAllocator
 from repro.vssd.channel_group import ChannelGroup
 from repro.vssd.token_bucket import TokenBucket
@@ -87,6 +88,9 @@ class Rack:
         #: that heterogeneity is what coordinated I/O scheduling exploits.
         self.latency = LatencyProcess(config.network_profile, self.rng.stream("net"))
         self._client_latency: Dict[str, LatencyProcess] = {}
+        #: Request-level tracing (§3.4's latency decomposition, recorded
+        #: span by span).  NullTracer unless the config samples.
+        self.tracer = make_tracer(config.trace_sample_rate, seed=config.seed)
 
         # --- ToR switch -------------------------------------------------
         self.switch = SwitchDataPlane()
@@ -370,17 +374,32 @@ class Rack:
         self.sim.spawn(self._client_to_server(pkt, flow_id, priority))
 
     def _client_to_server(self, pkt: Packet, flow_id: str, priority: int) -> Generator:
+        trace = pkt.payload.get("trace")
+        sent_at = self.sim.now
         outbound = self.latency_for_client(pkt.src).sample(self.sim.now, "out")
         yield Timeout(self.sim, outbound)
         add_hop_latency(pkt, outbound)
+        if trace is not None:
+            trace.add_span("net.client_to_tor", sent_at, self.sim.now)
         action = self.switch.process_packet(pkt)
+        if trace is not None:
+            trace.instant(
+                "switch.pipeline", self.sim.now,
+                redirected=getattr(action, "redirected", False),
+                dst=action.dst_ip, vssd=action.packet.vssd_id,
+            )
         port = self._egress[action.dst_ip]
         enqueued_at = self.sim.now
         yield port.enqueue(action.packet, flow_id=flow_id, priority=priority)
         hop = (self.sim.now - enqueued_at) + self.switch.pipeline_delay_us
         add_hop_latency(action.packet, hop)
         self.telemetry.record(flow_id, action.packet.size_kb, hop)
+        if trace is not None:
+            trace.add_span("net.tor_egress", enqueued_at, self.sim.now, flow=flow_id)
+            hop_start = self.sim.now
         yield Timeout(self.sim, IN_RACK_HOP_US)
+        if trace is not None:
+            trace.add_span("net.tor_to_server", hop_start, self.sim.now)
         server = self.server_by_ip[action.dst_ip]
         if not server.alive:
             # A crashed server silently drops traffic until the heartbeat
@@ -394,21 +413,35 @@ class Rack:
         self.sim.spawn(self._server_to_client(pkt))
 
     def _server_to_client(self, pkt: Packet) -> Generator:
+        trace = pkt.payload.get("trace")
         proxy_ip = pkt.payload.pop("proxy_ip", None)
         if proxy_ip is not None:
             # RackBlox (Software): the user-level redirect is a proxy, so
             # the reply relays through the original server before heading
             # back to the client -- one more fabric traversal the
             # switch-based redirect never pays.
+            relay_start = self.sim.now
             relay = self.latency.sample(self.sim.now, "ret")
             yield Timeout(self.sim, relay + SOFTWARE_REDIRECT_OVERHEAD_US)
             add_hop_latency(pkt, relay)
+            if trace is not None:
+                trace.add_span(
+                    "net.redirect_relay", relay_start, self.sim.now, proxy=proxy_ip
+                )
+        hop_start = self.sim.now
         yield Timeout(self.sim, IN_RACK_HOP_US)
+        if trace is not None:
+            trace.add_span("net.server_to_tor", hop_start, self.sim.now)
         enqueued_at = self.sim.now
         yield self._client_egress.enqueue(pkt, flow_id=pkt.src)
         add_hop_latency(pkt, self.sim.now - enqueued_at)
+        if trace is not None:
+            trace.add_span("net.client_egress", enqueued_at, self.sim.now)
+            return_start = self.sim.now
         return_latency = self.latency_for_client(pkt.dst).sample(self.sim.now, "ret")
         yield Timeout(self.sim, return_latency)
+        if trace is not None:
+            trace.add_span("net.tor_to_client", return_start, self.sim.now)
         rid = pkt.payload.get("rid")
         event = self._pending.pop(rid, None) if rid is not None else None
         if event is not None and not event.triggered:
@@ -445,9 +478,15 @@ class Rack:
         # every traversal), plus user-level forwarding overhead -- the
         # "additional networking overhead" that keeps RackBlox (Software)
         # below RackBlox (§4.3).
+        forward_start = self.sim.now
         hop = self.latency.sample(self.sim.now)
         yield Timeout(self.sim, hop + SOFTWARE_REDIRECT_OVERHEAD_US)
         add_hop_latency(pkt, hop)
+        trace = pkt.payload.get("trace")
+        if trace is not None:
+            trace.add_span(
+                "net.redirect_relay", forward_start, self.sim.now, dst=dst_ip
+            )
         self.server_by_ip[dst_ip].receive_packet(pkt)
 
     # -------------------------------------------------- background traffic
@@ -516,6 +555,10 @@ class Rack:
         switch_redirects = self.switch.reads_redirected
         software_redirects = sum(s.software_redirects for s in self.servers)
         return switch_redirects + software_redirects
+
+    def gc_blocked_read_count(self) -> int:
+        """Reads whose flash service overlapped a GC pass (Fig. 2's stall)."""
+        return sum(s.gc_blocked_reads for s in self.servers)
 
     def total_gc_runs(self) -> int:
         return sum(v.gc_runs for v in self.vssd_by_id.values())

@@ -8,7 +8,7 @@ notes.
 
 import json
 import os
-from typing import Dict, Union
+from typing import Dict
 
 from repro.errors import ConfigError
 from repro.experiments.figures import FigureResult

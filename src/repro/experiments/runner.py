@@ -11,6 +11,7 @@ from repro.errors import SimulationError
 from repro.metrics.collector import ExperimentMetrics
 from repro.sim import AllOf, Event, Simulator
 from repro.sim.core import MSEC, SEC
+from repro.trace.tracer import TraceCollection
 from repro.workloads.generator import OpenLoopGenerator
 from repro.workloads.spec import WorkloadSpec
 
@@ -46,6 +47,10 @@ class RackResult:
     wall_clock_s: float = 0.0
     #: Simulator callbacks executed during the run.
     events: int = 0
+    #: Per-request span traces (None unless the run sampled tracing).
+    #: Plain data, so it pickles with the result across the process-pool
+    #: fan-out.
+    traces: Optional[TraceCollection] = None
 
     def events_per_sec(self) -> float:
         """Raw engine throughput: simulator events per wall-clock second."""
@@ -59,6 +64,8 @@ class RackResult:
         out["gc_runs"] = float(self.gc_runs)
         out["wall_clock_s"] = self.wall_clock_s
         out["events_per_sec"] = self.events_per_sec()
+        if self.traces is not None:
+            out.update(self.traces.summary())
         return out
 
 
@@ -97,6 +104,7 @@ def run_rack_experiment(
     done = AllOf(rack.sim, processes)
     run_until(rack.sim, done)
     metrics.redirected_reads = rack.redirect_count()
+    metrics.gc_blocked_reads = rack.gc_blocked_read_count()
     return RackResult(
         metrics=metrics,
         redirects=rack.redirect_count(),
@@ -112,4 +120,5 @@ def run_rack_experiment(
         sim_duration_us=rack.sim.now,
         wall_clock_s=time.perf_counter() - started,
         events=rack.sim.event_count - events_before,
+        traces=rack.tracer.collection(),
     )

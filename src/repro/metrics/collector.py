@@ -60,6 +60,8 @@ class ExperimentMetrics:
             if recorder.count:
                 out[f"{label}_p999_us"] = recorder.p999()
                 out[f"{label}_avg_us"] = recorder.mean()
+        out["redirected_reads"] = float(self.redirected_reads)
+        out["gc_blocked_reads"] = float(self.gc_blocked_reads)
         return out
 
     def total_kiops(self) -> float:
@@ -73,6 +75,8 @@ class ExperimentMetrics:
             return 0.0
         start = min(s for s, _ in spans)
         end = max(e for _, e in spans)
-        if end <= start:
-            return 0.0
-        return count / ((end - start) / 1000.0)
+        # All completions at one timestamp still represent real work: fall
+        # back to a 1-µs span so a burst reports a finite (huge) rate
+        # instead of a silent 0.
+        elapsed_us = max(end - start, 1.0)
+        return count / (elapsed_us / 1000.0)

@@ -69,6 +69,8 @@ class StorageServer:
         self.reads_completed = 0
         self.flushes_completed = 0
         self.software_redirects = 0
+        #: Reads whose flash service overlapped a GC pass on their vSSD.
+        self.gc_blocked_reads = 0
         # Route cache flushes through this server's scheduler, so
         # background writes contend with reads like any other request.
         self.write_cache.submit_fn = self._submit_flush
@@ -129,6 +131,13 @@ class StorageServer:
         # Line 2-4: cache the write (blocking only when the cache is full);
         # the write is complete once the DRAM copy exists.
         yield self.sim.spawn(self.write_cache.admit(vssd, lpn))
+        trace = pkt.payload.get("trace")
+        if trace is not None:
+            trace.add_span(
+                "server.write_cache", arrived, self.sim.now,
+                server=self.name, vssd=pkt.vssd_id,
+                dirty_pages=self.write_cache.dirty_pages,
+            )
         response = pkt.make_response(size_kb=0.1)
         response.payload["storage_us"] = self.sim.now - arrived
         self._respond(response)
@@ -202,6 +211,18 @@ class StorageServer:
 
     def _service(self, request: IoRequest) -> Generator:
         vssd = self.vssd(request.vssd_id)
+        trace = None
+        context = request.context
+        if isinstance(context, Packet):
+            trace = context.payload.get("trace")
+            if trace is not None:
+                trace.add_span(
+                    "server.queue", request.arrival_time, self.sim.now,
+                    server=self.name, vssd=request.vssd_id,
+                    queue_depth=len(self.scheduler),
+                )
+        service_start = self.sim.now
+        gc_seen = vssd.gc_active
         try:
             if request.kind == "read":
                 yield self.sim.spawn(vssd.read(request.lpn))
@@ -211,6 +232,14 @@ class StorageServer:
             self._inflight -= 1
             self._vssd_inflight[request.vssd_id] -= 1
             self._kick()
+        gc_seen = gc_seen or vssd.gc_active
+        if request.kind == "read" and gc_seen:
+            self.gc_blocked_reads += 1
+        if trace is not None:
+            trace.add_span(
+                "storage.media", service_start, self.sim.now,
+                server=self.name, vssd=request.vssd_id, gc=gc_seen,
+            )
         latency = self.sim.now - request.arrival_time
         self.scheduler.record_completion(request.kind, latency, request=request)
         if request.kind == "read":

@@ -1,0 +1,46 @@
+"""Request-level distributed tracing for the simulated rack.
+
+The paper's co-design exists to answer "why was this p99 read slow?"
+(§3.4, Fig. 2, Fig. 14-15); this package answers it from inside the
+reproduction: a :class:`Tracer` threads per-stage :class:`Span`s through
+the full request path, a Chrome trace-event exporter makes individual
+requests inspectable in Perfetto, and
+:func:`~repro.trace.attribution.attribute_tail` rebuilds the paper's
+tail-latency breakdown from traces alone.
+"""
+
+from repro.trace.attribution import AttributionReport, attribute_tail
+from repro.trace.chrome import (
+    chrome_trace_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.span import (
+    CATEGORIES,
+    STAGE_CATEGORIES,
+    RequestTrace,
+    Span,
+    category_of,
+    finished_traces,
+)
+from repro.trace.tracer import NullTracer, TraceCollection, Tracer, make_tracer
+
+__all__ = [
+    "AttributionReport",
+    "attribute_tail",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "CATEGORIES",
+    "STAGE_CATEGORIES",
+    "RequestTrace",
+    "Span",
+    "category_of",
+    "finished_traces",
+    "NullTracer",
+    "TraceCollection",
+    "Tracer",
+    "make_tracer",
+]

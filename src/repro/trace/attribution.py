@@ -1,0 +1,117 @@
+"""Tail-latency attribution: *why* were the slow requests slow?
+
+The paper's motivating evidence (Fig. 2, Fig. 14-15) decomposes tail
+latency into GC stalls, network time, and queueing.  This module
+reproduces that breakdown from traces alone: take the requests at or
+above a latency percentile, sum each one's span time per category
+(``gc`` / ``media`` / ``queue`` / ``net``), and bucket every tail request
+by its *dominant* category -- the stage that consumed the most of its
+end-to-end budget.
+
+``coverage`` reports the fraction of total tail latency the spans
+classify; anything below ~1.0 is instrumentation gaps, not measurement
+noise, since spans and end-to-end times share one simulated clock.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigError
+from repro.metrics.percentiles import percentile as exact_percentile
+from repro.trace.span import CATEGORIES, RequestTrace, finished_traces
+
+
+@dataclass
+class AttributionReport:
+    """The tail-latency breakdown of one traced run."""
+
+    kind: str
+    percentile: float
+    threshold_us: float
+    total_requests: int
+    tail_requests: int
+    #: Dominant-stage bucket -> number of tail requests.
+    by_category: Dict[str, int] = field(default_factory=dict)
+    #: Category -> summed span time across tail requests (µs).
+    tail_time_by_category: Dict[str, float] = field(default_factory=dict)
+    #: Summed end-to-end latency of the tail requests (µs).
+    tail_total_us: float = 0.0
+    #: Tail requests whose flash service overlapped GC.
+    gc_blocked: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of tail latency classified into named stages."""
+        if self.tail_total_us <= 0.0:
+            return 0.0
+        return min(1.0, sum(self.tail_time_by_category.values()) / self.tail_total_us)
+
+    def dominant(self) -> str:
+        """The bucket holding the most tail requests."""
+        if not self.by_category:
+            return "none"
+        return max(
+            CATEGORIES, key=lambda c: (self.by_category.get(c, 0), -CATEGORIES.index(c))
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"p{self.percentile:g} {self.kind} tail attribution "
+            f"({self.tail_requests}/{self.total_requests} requests >= "
+            f"{self.threshold_us:.0f}us):",
+        ]
+        for category in CATEGORIES:
+            count = self.by_category.get(category, 0)
+            time_us = self.tail_time_by_category.get(category, 0.0)
+            if count == 0 and time_us == 0.0:
+                continue
+            share = time_us / self.tail_total_us if self.tail_total_us else 0.0
+            lines.append(
+                f"  {category:6s} dominant in {count:4d} requests, "
+                f"{time_us:10.0f}us total ({share:5.1%} of tail time)"
+            )
+        lines.append(
+            f"  coverage {self.coverage:.1%} of tail latency classified; "
+            f"{self.gc_blocked} tail requests GC-blocked"
+        )
+        return "\n".join(lines)
+
+
+def attribute_tail(
+    traces: Iterable[RequestTrace],
+    percentile: float = 99.0,
+    kind: str = "read",
+) -> AttributionReport:
+    """Bucket the >= p``percentile`` requests of ``kind`` by dominant stage."""
+    if not 0.0 <= percentile <= 100.0:
+        raise ConfigError(f"percentile must be in [0, 100], got {percentile}")
+    finished: List[RequestTrace] = [
+        t for t in finished_traces(traces) if t.kind == kind
+    ]
+    if not finished:
+        return AttributionReport(
+            kind=kind, percentile=percentile, threshold_us=0.0,
+            total_requests=0, tail_requests=0,
+        )
+    totals = [t.total_us for t in finished]
+    threshold = exact_percentile(totals, percentile)
+    tail = [t for t in finished if t.total_us >= threshold]
+    report = AttributionReport(
+        kind=kind,
+        percentile=percentile,
+        threshold_us=threshold,
+        total_requests=len(finished),
+        tail_requests=len(tail),
+    )
+    for trace in tail:
+        report.tail_total_us += trace.total_us
+        for category, time_us in trace.category_totals().items():
+            report.tail_time_by_category[category] = (
+                report.tail_time_by_category.get(category, 0.0) + time_us
+            )
+        dominant = trace.dominant_category()
+        if dominant is not None:
+            report.by_category[dominant] = report.by_category.get(dominant, 0) + 1
+        if trace.gc_blocked():
+            report.gc_blocked += 1
+    return report

@@ -1,0 +1,112 @@
+"""Chrome trace-event export (Perfetto- and chrome://tracing-loadable).
+
+The exporter emits the JSON object format of the Trace Event spec: a
+top-level ``{"traceEvents": [...]}`` document whose events are complete
+(``"ph": "X"``) slices with microsecond timestamps -- conveniently the
+simulator's native unit, so spans export with no conversion.
+
+Each traced request becomes one *thread* (``tid`` = trace id) inside one
+process per client (``pid`` rotates per client name), labelled by a
+``thread_name`` metadata event, so Perfetto renders a run as one swimlane
+per request with its stage spans laid end to end.
+"""
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.trace.span import RequestTrace, category_of
+
+#: ``ph`` values this exporter emits (and the schema check accepts).
+COMPLETE_EVENT = "X"
+METADATA_EVENT = "M"
+
+
+def _sanitize(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of span attributes."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def chrome_trace_events(traces: Iterable[RequestTrace]) -> List[Dict[str, Any]]:
+    """Flatten traces into trace-event dicts, one ``X`` slice per span."""
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    for trace in traces:
+        pid = pids.setdefault(trace.client, len(pids) + 1)
+        tid = trace.trace_id
+        events.append({
+            "name": "thread_name",
+            "ph": METADATA_EVENT,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"{trace.kind} rid={trace.trace_id} {trace.client}"},
+        })
+        for span in trace.spans:
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "cat": category_of(span.name, span.attrs) or "marker",
+                "ph": COMPLETE_EVENT,
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": pid,
+                "tid": tid,
+            }
+            if span.attrs:
+                event["args"] = _sanitize(span.attrs)
+            events.append(event)
+    return events
+
+
+def to_chrome_trace(traces: Iterable[RequestTrace]) -> Dict[str, Any]:
+    """The complete Chrome trace document for a set of traces."""
+    return {
+        "traceEvents": chrome_trace_events(traces),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.trace", "time_unit": "us"},
+    }
+
+
+def write_chrome_trace(traces: Iterable[RequestTrace], path: str) -> int:
+    """Write the trace document to ``path``; returns the event count."""
+    document = to_chrome_trace(traces)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=None, separators=(",", ":"))
+    return len(document["traceEvents"])
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Schema check: raise ``ValueError`` unless ``document`` is loadable.
+
+    Checks the invariants Perfetto's importer relies on: a
+    ``traceEvents`` list whose members carry ``name``/``ph``/``pid``/
+    ``tid``, with non-negative numeric ``ts``/``dur`` on every complete
+    event -- and that the whole document survives a JSON round trip.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document needs a 'traceEvents' list")
+    for idx, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{idx}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{idx}] missing {key!r}")
+        ph = event["ph"]
+        if ph not in (COMPLETE_EVENT, METADATA_EVENT):
+            raise ValueError(f"traceEvents[{idx}] has unsupported ph {ph!r}")
+        if ph == COMPLETE_EVENT:
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{idx}].{key} must be a non-negative "
+                        f"number, got {value!r}"
+                    )
+    json.loads(json.dumps(document))  # must survive a JSON round trip

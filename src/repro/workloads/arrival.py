@@ -57,13 +57,13 @@ class MmppArrivals:
         # Consume state time; flip states as needed (memoryless, so the
         # residual gap can be resampled at the flip without bias).
         while gap >= self._state_left_us:
-            gap_into_new_state = 0.0  # resample from the new state's rate
+            # The gap into the new state is resampled from that state's
+            # rate rather than carried over (memoryless).
             self._in_burst = not self._in_burst
             mean = self.mean_burst_us if self._in_burst else self.mean_calm_us
             carried = self._state_left_us
             self._state_left_us = self._rng.expovariate(1.0 / mean)
             gap = carried + self._rng.expovariate(self._rate() / 1e6)
-            del gap_into_new_state
         self._state_left_us -= gap
         return gap
 

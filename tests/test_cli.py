@@ -38,6 +38,32 @@ class TestCli:
         assert "read_p999_us" in out
         assert "switch.reads_forwarded" in out
 
+    def test_trace_small(self, tmp_path, capsys):
+        import json
+
+        from repro.trace import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        code = main([
+            "trace", "--system", "rackblox", "--workload", "ycsb-50",
+            "--requests", "150", "--servers", "2", "--pairs", "2",
+            "--sample-rate", "1.0", "--trace-out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tail attribution" in out
+        assert "traced_requests" in out
+        assert "trace events" in out
+        document = json.loads(out_path.read_text())
+        validate_chrome_trace(document)
+        assert document["traceEvents"]
+
+    def test_trace_rejects_bad_sample_rate(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--sample-rate", "0.0"])
+        with pytest.raises(SystemExit):
+            main(["trace", "--sample-rate", "1.5"])
+
     def test_wear_small(self, capsys):
         code = main(["wear", "--servers", "2", "--ssds", "4", "--days", "120"])
         assert code == 0

@@ -1,12 +1,8 @@
 """Edge-case tests for the workload client."""
 
-import pytest
-
 from repro.cluster import Client, Rack, RackConfig, SystemType
-from repro.errors import ConfigError
 from repro.experiments.runner import run_until
 from repro.metrics import ExperimentMetrics
-from repro.sim import AllOf
 from repro.workloads import OpenLoopGenerator, ycsb
 
 

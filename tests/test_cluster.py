@@ -157,7 +157,7 @@ class TestEndToEnd:
         config = small_config(SystemType.RACKBLOX, network_scheduler="priority")
         rack = Rack(config)
         rack.start_background_traffic(burst=8, period_us=10 * MSEC)
-        result = run_rack_experiment(
+        run_rack_experiment(
             config, ycsb(0.2), requests_per_pair=200, rack=rack
         )
         assert rack.background_packets > 0

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.consistency import HermesCluster, KeyState, Timestamp
+from repro.cluster.consistency import HermesCluster, Timestamp
 from repro.errors import ConfigError
 from repro.sim import Simulator
 

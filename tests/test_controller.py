@@ -6,7 +6,6 @@ from repro.cluster.controller import VdcController
 from repro.cluster.coordinators import SwitchGcCoordinator
 from repro.errors import ConfigError
 from repro.flash import FlashGeometry, Ssd
-from repro.net.packet import GcKind
 from repro.server.gc_monitor import GcMonitor
 from repro.sim import Simulator
 from repro.sim.core import MSEC
@@ -167,7 +166,7 @@ class TestSwitchGcCoordinator:
             sim, plane, ip1, drop_rng=random.Random(1), drop_probability=1.0
         )
         monitor = GcMonitor(sim, [v1], coordinator, check_interval_us=5 * MSEC)
-        proc = sim.spawn(monitor.check_all_once())
+        sim.spawn(monitor.check_all_once())
         sim.run(until=sim.now + 500 * MSEC)
         assert coordinator.packets_dropped >= 3
         assert monitor.forced_after_retries == 1

@@ -6,7 +6,6 @@ from repro.cluster import Rack, RackConfig, SystemType
 from repro.errors import ConfigError
 from repro.experiments.runner import run_until
 from repro.kvstore import RackKvStore
-from repro.sim import AllOf
 
 
 def make_store(system=SystemType.RACKBLOX):

@@ -1,8 +1,5 @@
 """Tests for LSM range scans (the YCSB-E primitive)."""
 
-import pytest
-
-from repro.errors import ConfigError
 from tests.test_kvstore_lsm import make_lsm, run
 
 

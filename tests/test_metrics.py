@@ -129,3 +129,28 @@ class TestExperimentMetrics:
             m.record("read", 1.0, at=i * 1000.0)
             m.record("write", 1.0, at=i * 1000.0 + 500.0)
         assert m.total_kiops() == pytest.approx(2.0, rel=0.05)
+
+    def test_total_kiops_same_timestamp_falls_back_to_1us_floor(self):
+        # Every completion at one instant used to report 0.0 kIOPS; the
+        # 1-µs floor now reports the burst as count/1µs instead.
+        m = ExperimentMetrics()
+        for _ in range(5):
+            m.record("read", 10.0, at=1234.0)
+        assert m.total_kiops() == pytest.approx(5.0 * 1000.0)
+
+    def test_total_kiops_empty_is_zero(self):
+        assert ExperimentMetrics().total_kiops() == 0.0
+
+    def test_summary_exposes_redirect_and_gc_blocked_counters(self):
+        m = ExperimentMetrics()
+        m.record("read", 10.0, at=0.0)
+        m.redirected_reads = 7
+        m.gc_blocked_reads = 3
+        s = m.summary()
+        assert s["redirected_reads"] == 7.0
+        assert s["gc_blocked_reads"] == 3.0
+
+    def test_summary_counters_default_zero(self):
+        s = ExperimentMetrics().summary()
+        assert s["redirected_reads"] == 0.0
+        assert s["gc_blocked_reads"] == 0.0

@@ -1,6 +1,5 @@
 """Extra property-based tests: conservation laws in the core machinery."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -102,8 +101,8 @@ class TestTelemetryWiring:
         config = RackConfig(system=SystemType.RACKBLOX, num_servers=3,
                             num_pairs=3, seed=23)
         rack = Rack(config)
-        result = run_rack_experiment(config, ycsb(0.5),
-                                     requests_per_pair=300, rack=rack)
+        run_rack_experiment(config, ycsb(0.5),
+                            requests_per_pair=300, rack=rack)
         assert rack.telemetry.packets_seen > 0
         # Client flows are heavy enough to be promoted to exact tracking.
         top = rack.telemetry.top_flows()

@@ -1,9 +1,6 @@
 """Tests for post-failure re-replication (§3.7)."""
 
-import pytest
-
 from repro.cluster import FailureManager, Rack, RackConfig, SystemType
-from repro.errors import ConfigError
 from repro.experiments.runner import run_until
 from repro.net.packet import OpType, Packet
 from repro.sim.core import MSEC

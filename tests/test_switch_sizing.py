@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.switch.sizing import (
-    DEFAULT_SRAM_BUDGET_BYTES,
     RackScale,
     max_rack_scale_for_budget,
     size_tables,

@@ -1,0 +1,169 @@
+"""End-to-end tracing tests: spans through a live rack simulation.
+
+These pin the subsystem's acceptance criteria: a traced YCSB-A run
+exports a valid Chrome trace, the attribution report classifies >= 95%
+of p99 read latency, GC-heavy runs attribute reads to GC, sampling
+never perturbs the simulation, and traces survive the process-pool
+fan-out.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.cluster.rack import Rack
+from repro.experiments.parallel import ParallelRunner, RunSpec
+from repro.experiments.runner import run_rack_experiment
+from repro.trace import NullTracer, Tracer, validate_chrome_trace
+from repro.workloads.spec import ycsb
+
+
+def traced_run(sample_rate=1.0, seed=42, requests=300, **overrides):
+    config = RackConfig(
+        system=SystemType.RACKBLOX, num_servers=2, num_pairs=2,
+        seed=seed, trace_sample_rate=sample_rate, **overrides,
+    )
+    return run_rack_experiment(config, ycsb(0.5), requests_per_pair=requests,
+                               rate_iops_per_pair=2000.0)
+
+
+@pytest.fixture(scope="module")
+def ycsb_a_result():
+    """One fully-traced YCSB-A (50% update) run, shared across tests."""
+    return traced_run(sample_rate=1.0)
+
+
+class TestTracedRun:
+    def test_rack_builds_real_tracer(self):
+        config = RackConfig(system=SystemType.RACKBLOX, num_servers=2,
+                            num_pairs=2, trace_sample_rate=0.5)
+        assert isinstance(Rack(config).tracer, Tracer)
+        config_off = RackConfig(system=SystemType.RACKBLOX, num_servers=2,
+                                num_pairs=2)
+        assert isinstance(Rack(config_off).tracer, NullTracer)
+
+    def test_sample_rate_validated(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            RackConfig(system=SystemType.RACKBLOX, trace_sample_rate=1.5)
+
+    def test_result_carries_traces(self, ycsb_a_result):
+        traces = ycsb_a_result.traces
+        assert traces is not None
+        reads = traces.of_kind("read")
+        writes = traces.of_kind("write")
+        assert len(reads) > 100 and len(writes) > 100
+        assert all(t.finished for t in traces.traces)
+
+    def test_summary_merges_trace_counters(self, ycsb_a_result):
+        summary = ycsb_a_result.summary()
+        assert summary["traced_requests"] == float(len(ycsb_a_result.traces))
+        assert summary["trace_sample_rate"] == 1.0
+        assert "traced_gc_blocked_reads" in summary
+
+    def test_every_read_fully_covered(self, ycsb_a_result):
+        # Spans tile the whole request path: every stage of every read is
+        # accounted for, so coverage is exactly 1.0, not approximately.
+        reads = ycsb_a_result.traces.of_kind("read")
+        assert min(t.coverage() for t in reads) >= 0.999
+
+    def test_read_spans_include_all_path_stages(self, ycsb_a_result):
+        names = set()
+        for trace in ycsb_a_result.traces.of_kind("read"):
+            names.update(s.name for s in trace.spans)
+        assert {"net.client_to_tor", "switch.pipeline", "net.tor_to_server",
+                "server.queue", "storage.media", "net.server_to_tor",
+                "net.tor_to_client"} <= names
+
+    def test_chrome_export_is_valid(self, ycsb_a_result, tmp_path):
+        from repro.trace import write_chrome_trace
+        path = tmp_path / "ycsb_a.json"
+        events = write_chrome_trace(ycsb_a_result.traces.traces, str(path))
+        document = json.loads(path.read_text())
+        validate_chrome_trace(document)
+        assert events == len(document["traceEvents"])
+        assert events > len(ycsb_a_result.traces)  # >1 event per request
+
+    def test_p99_attribution_classifies_tail(self, ycsb_a_result):
+        # Acceptance: >= 95% of p99 read latency lands in a named stage.
+        report = ycsb_a_result.traces.attribution(percentile=99.0, kind="read")
+        assert report.tail_requests >= 1
+        assert report.coverage >= 0.95
+        assert sum(report.by_category.values()) == report.tail_requests
+        assert report.dominant() in ("gc", "media", "queue", "net")
+
+
+class TestGcAttribution:
+    @pytest.fixture(scope="class")
+    def gc_heavy_result(self):
+        # A nearly-full VDC rack (no GC coordination) under a write-heavy
+        # load: reads routinely land on a vSSD mid-GC.
+        config = RackConfig(
+            system=SystemType.VDC, num_servers=2, num_pairs=2, seed=7,
+            trace_sample_rate=1.0, precondition_fill=0.85,
+            gc_threshold=0.30, soft_threshold=0.40,
+        )
+        return run_rack_experiment(config, ycsb(0.8), requests_per_pair=400,
+                                   rate_iops_per_pair=4000.0)
+
+    def test_gc_actually_ran(self, gc_heavy_result):
+        assert gc_heavy_result.gc_runs > 0
+        assert gc_heavy_result.metrics.gc_blocked_reads > 0
+
+    def test_traces_attribute_gc_blocked_reads(self, gc_heavy_result):
+        traces = gc_heavy_result.traces
+        blocked = [t for t in traces.of_kind("read") if t.gc_blocked()]
+        assert blocked, "expected traced reads overlapping GC"
+        # The trace-derived count matches the server-side counter.
+        assert len(blocked) == gc_heavy_result.metrics.gc_blocked_reads
+        assert traces.summary()["traced_gc_blocked_reads"] == len(blocked)
+
+    def test_gc_shows_up_in_tail_attribution(self, gc_heavy_result):
+        report = gc_heavy_result.traces.attribution(percentile=90.0,
+                                                    kind="read")
+        assert report.tail_time_by_category.get("gc", 0.0) > 0.0
+        assert report.gc_blocked > 0
+        assert "GC-blocked" in report.describe()
+
+
+class TestTracingIsObservationOnly:
+    def test_tracing_does_not_perturb_simulation(self):
+        # Identical seeds, tracing off vs full tracing: the simulated
+        # latencies must be bit-identical (sampling uses its own RNG).
+        off = traced_run(sample_rate=0.0, requests=200)
+        on = traced_run(sample_rate=1.0, requests=200)
+        assert off.traces is None and on.traces is not None
+        assert off.metrics.read_total.values == on.metrics.read_total.values
+        assert off.metrics.write_total.values == on.metrics.write_total.values
+        assert off.redirects == on.redirects
+
+    def test_partial_sampling_subsamples_same_run(self):
+        full = traced_run(sample_rate=1.0, requests=200)
+        partial = traced_run(sample_rate=0.3, requests=200)
+        assert 0 < len(partial.traces) < len(full.traces)
+        # Sampling is head-based: whatever was sampled is complete.
+        assert all(t.finished for t in partial.traces.traces)
+        assert partial.metrics.read_total.values == full.metrics.read_total.values
+
+
+class TestParallelFanOut:
+    def test_traces_survive_process_pool(self):
+        specs = [
+            RunSpec.create(SystemType.RACKBLOX, ycsb(0.5), 150, 2000.0, seed,
+                           num_servers=2, num_pairs=2, trace_sample_rate=1.0)
+            for seed in (1, 2)
+        ]
+        results = ParallelRunner(jobs=2).run_specs(specs)
+        assert len(results) == 2
+        for result in results:
+            assert result.traces is not None and len(result.traces) > 0
+            validate_chrome_trace(result.traces.to_chrome())
+            assert result.summary()["trace_sample_rate"] == 1.0
+
+    def test_rack_result_with_traces_pickles(self):
+        result = traced_run(sample_rate=1.0, requests=150)
+        clone = pickle.loads(pickle.dumps(result))
+        assert len(clone.traces) == len(result.traces)
+        assert clone.summary() == result.summary()

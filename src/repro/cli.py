@@ -5,16 +5,26 @@ Commands:
 * ``run`` -- one rack experiment with chosen system/workload parameters;
 * ``trace`` -- a traced rack run: per-stage spans, tail-latency
   attribution, optional Chrome trace-event (Perfetto) export;
+* ``serve`` -- expose a rack as a live asyncio TCP service (sim-time
+  bridge, admission control, graceful drain on SIGINT/SIGTERM);
+* ``loadgen`` -- open/closed-loop load generation against ``serve``;
 * ``figures`` -- reproduce paper figures (same as
   ``python -m repro.experiments.report``);
 * ``wear`` -- the long-horizon wear-leveling campaign;
 * ``list`` -- enumerate available systems, workloads, and figures.
+
+Exit codes are uniform across subcommands: ``0`` success, ``1`` runtime
+failure (an experiment or service that ran and failed), ``2`` usage
+error (bad arguments -- argparse's own convention, matched here for the
+validation argparse cannot express).
 """
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.cluster.config import RackConfig, SystemType
+from repro.errors import ReproError
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import run_figures
 from repro.experiments.runner import run_rack_experiment
@@ -23,6 +33,10 @@ from repro.net.latency import NETWORK_PROFILES
 from repro.net.latency import profile_by_name as net_profile_by_name
 from repro.wear.simulate import WearSimulation
 from repro.workloads.spec import TABLE2_WORKLOADS, ycsb
+
+
+class UsageError(Exception):
+    """Bad subcommand arguments; exits 2 like argparse's own errors."""
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +77,65 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--percentile", type=float, default=99.0,
                          help="tail percentile to attribute (default 99)")
 
+    serve_p = sub.add_parser(
+        "serve", help="serve a rack live over TCP (length-prefixed JSON)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7337,
+                         help="TCP port (0 picks a free one; default 7337)")
+    serve_p.add_argument("--system", default="rackblox",
+                         choices=[s.value for s in SystemType])
+    serve_p.add_argument("--servers", type=int, default=2)
+    serve_p.add_argument("--pairs", type=int, default=2)
+    serve_p.add_argument("--device", default="pssd",
+                         choices=sorted(DEVICE_PROFILES))
+    serve_p.add_argument("--network", default="medium",
+                         choices=sorted(NETWORK_PROFILES))
+    serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.add_argument("--queue-depth", type=int, default=256,
+                         help="global in-flight cap before BUSY shedding")
+    serve_p.add_argument("--client-rate", type=float, default=0.0,
+                         help="per-client token-bucket rate in req/s "
+                              "(0 disables per-client metering)")
+    serve_p.add_argument("--client-burst", type=float, default=64.0,
+                         help="per-client token-bucket burst size")
+    serve_p.add_argument("--pace", type=float, default=0.0,
+                         help="sim-time speed vs wall-clock (1.0 = real "
+                              "time; 0 = free-running, the default)")
+    serve_p.add_argument("--trace-sample-rate", type=float, default=0.0,
+                         help="request-tracing head-sample rate in [0,1]")
+    serve_p.add_argument("--chunk-us", type=float, default=1000.0,
+                         help="simulated microseconds advanced per pump "
+                              "chunk; larger chunks batch more responses "
+                              "per socket write (default 1000)")
+
+    loadgen_p = sub.add_parser(
+        "loadgen", help="drive a served rack with generated load"
+    )
+    loadgen_p.add_argument("--host", default="127.0.0.1")
+    loadgen_p.add_argument("--port", type=int, default=7337)
+    loadgen_p.add_argument("--mode", default="closed",
+                           choices=["closed", "open"])
+    loadgen_p.add_argument("--clients", type=int, default=32,
+                           help="concurrent connections (default 32)")
+    loadgen_p.add_argument("--requests", type=int, default=200,
+                           help="requests per client (closed loop)")
+    loadgen_p.add_argument("--pipeline", type=int, default=1,
+                           help="outstanding requests per connection "
+                                "(closed loop; default 1)")
+    loadgen_p.add_argument("--duration", type=float, default=0.0,
+                           help="run for this many seconds instead "
+                                "(required for open loop)")
+    loadgen_p.add_argument("--rate", type=float, default=5000.0,
+                           help="aggregate req/s target (open loop)")
+    loadgen_p.add_argument("--write-ratio", type=float, default=0.3)
+    loadgen_p.add_argument("--kind", default="raw", choices=["raw", "kv"],
+                           help="raw vSSD read/write or kvstore get/put")
+    loadgen_p.add_argument("--pairs", type=int, default=2,
+                           help="pair indices to target (match the server)")
+    loadgen_p.add_argument("--keyspace", type=int, default=1024)
+    loadgen_p.add_argument("--seed", type=int, default=42)
+
     figures_p = sub.add_parser("figures", help="reproduce paper figures")
     figures_p.add_argument("names", nargs="*",
                            help=f"subset of {sorted(ALL_FIGURES)} (default all)")
@@ -91,6 +164,12 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _require(condition: bool, message: str) -> None:
+    """Uniform usage validation: falsy condition -> exit 2 with message."""
+    if not condition:
+        raise UsageError(message)
+
+
 def _resolve_workload(name: str):
     if name in TABLE2_WORKLOADS:
         return TABLE2_WORKLOADS[name]
@@ -98,15 +177,23 @@ def _resolve_workload(name: str):
         try:
             ratio = float(name.split("-", 1)[1]) / 100.0
         except ValueError:
-            raise SystemExit(f"bad YCSB spec {name!r}; use e.g. ycsb-50")
+            raise UsageError(f"bad YCSB spec {name!r}; use e.g. ycsb-50")
         return ycsb(ratio)
-    raise SystemExit(
+    raise UsageError(
         f"unknown workload {name!r}; use ycsb-<write%> or one of "
         f"{sorted(TABLE2_WORKLOADS)}"
     )
 
 
+def _validate_rack_args(args) -> None:
+    _require(args.requests > 0, f"--requests must be > 0, got {args.requests}")
+    _require(args.rate > 0, f"--rate must be > 0, got {args.rate}")
+    _require(args.servers >= 2, f"--servers must be >= 2, got {args.servers}")
+    _require(args.pairs >= 1, f"--pairs must be >= 1, got {args.pairs}")
+
+
 def _cmd_run(args, trace_sample_rate: float = 0.0) -> int:
+    _validate_rack_args(args)
     workload = _resolve_workload(args.workload)
     config = RackConfig(
         system=SystemType(args.system),
@@ -147,7 +234,109 @@ def _report_traces(args, traces) -> None:
               f"to {args.trace_out}")
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.admission import AdmissionController
+    from repro.service.server import RackService
+
+    _require(args.servers >= 2, f"--servers must be >= 2, got {args.servers}")
+    _require(args.pairs >= 1, f"--pairs must be >= 1, got {args.pairs}")
+    _require(args.queue_depth >= 1,
+             f"--queue-depth must be >= 1, got {args.queue_depth}")
+    _require(args.client_rate >= 0,
+             f"--client-rate must be >= 0, got {args.client_rate}")
+    _require(args.pace >= 0, f"--pace must be >= 0, got {args.pace}")
+    _require(args.chunk_us > 0, f"--chunk-us must be > 0, got {args.chunk_us}")
+    _require(0.0 <= args.trace_sample_rate <= 1.0,
+             "--trace-sample-rate must be in [0,1], "
+             f"got {args.trace_sample_rate}")
+    config = RackConfig(
+        system=SystemType(args.system),
+        num_servers=args.servers,
+        num_pairs=args.pairs,
+        device_profile=profile_by_name(args.device),
+        network_profile=net_profile_by_name(args.network),
+        seed=args.seed,
+        trace_sample_rate=args.trace_sample_rate,
+    )
+    service = RackService(
+        config, host=args.host, port=args.port,
+        admission=AdmissionController(
+            max_queue_depth=args.queue_depth,
+            client_rate_per_sec=args.client_rate,
+            client_burst=args.client_burst,
+        ),
+        pace=args.pace,
+        chunk_us=args.chunk_us,
+    )
+
+    async def serve() -> None:
+        import signal
+
+        await service.start()
+        print(f"serving {args.system} rack "
+              f"({args.pairs} pairs / {args.servers} servers) "
+              f"on {service.host}:{service.port}", flush=True)
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stopping.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stopping.wait()
+        print("draining in-flight requests...", flush=True)
+        await service.stop()
+        stats = service.bridge.stats()
+        print(f"served {stats.completed} requests "
+              f"({stats.timed_out} timed out) over "
+              f"{stats.sim_now_us / 1e6:.3f} simulated seconds", flush=True)
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.service.loadgen import run_loadgen
+
+    _require(args.clients >= 1, f"--clients must be >= 1, got {args.clients}")
+    _require(args.requests >= 1 or args.duration > 0,
+             "need --requests >= 1 or --duration > 0")
+    _require(0.0 <= args.write_ratio <= 1.0,
+             f"--write-ratio must be in [0,1], got {args.write_ratio}")
+    _require(args.mode != "open" or args.duration > 0,
+             "open-loop mode needs --duration > 0")
+    _require(args.rate > 0, f"--rate must be > 0, got {args.rate}")
+    _require(args.pairs >= 1, f"--pairs must be >= 1, got {args.pairs}")
+    _require(args.keyspace >= 1,
+             f"--keyspace must be >= 1, got {args.keyspace}")
+    _require(args.pipeline >= 1,
+             f"--pipeline must be >= 1, got {args.pipeline}")
+    try:
+        report = asyncio.run(run_loadgen(
+            args.host, args.port,
+            mode=args.mode, clients=args.clients,
+            requests_per_client=args.requests, duration_s=args.duration,
+            pipeline=args.pipeline,
+            rate_rps=args.rate, write_ratio=args.write_ratio,
+            kind=args.kind, pairs=args.pairs, keyspace=args.keyspace,
+            seed=args.seed,
+        ))
+    except OSError as exc:
+        print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0 if report.ok > 0 and report.errors == 0 else 1
+
+
 def _cmd_wear(args) -> int:
+    _require(args.servers >= 1, f"--servers must be >= 1, got {args.servers}")
+    _require(args.ssds >= 1, f"--ssds must be >= 1, got {args.ssds}")
+    _require(args.days >= 1, f"--days must be >= 1, got {args.days}")
     sim = WearSimulation(
         num_servers=args.servers,
         ssds_per_server=args.ssds,
@@ -178,29 +367,36 @@ def _cmd_compare(args) -> int:
     from repro.experiments.regression import compare_runs
     from repro.experiments.results_io import load_figures
 
-    report = compare_runs(
-        load_figures(args.baseline),
-        load_figures(args.candidate),
-        tolerance=args.tolerance,
-    )
+    _require(args.tolerance > 0,
+             f"--tolerance must be > 0, got {args.tolerance}")
+    try:
+        baseline = load_figures(args.baseline)
+        candidate = load_figures(args.candidate)
+    except (OSError, ValueError) as exc:
+        raise UsageError(f"cannot load figures: {exc}")
+    report = compare_runs(baseline, candidate, tolerance=args.tolerance)
     print(report.describe())
     return 0 if report.clean else 1
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: parse arguments and dispatch to a subcommand."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "trace":
-        if not 0.0 < args.sample_rate <= 1.0:
-            raise SystemExit(
-                f"--sample-rate must be in (0, 1], got {args.sample_rate}"
-            )
+        _require(0.0 < args.sample_rate <= 1.0,
+                 f"--sample-rate must be in (0, 1], got {args.sample_rate}")
         return _cmd_run(args, trace_sample_rate=args.sample_rate)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "figures":
-        if args.jobs is not None and args.jobs < 0:
-            raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+        _require(args.jobs is None or args.jobs >= 0,
+                 f"--jobs must be >= 0, got {args.jobs}")
+        unknown = [n for n in args.names if n not in ALL_FIGURES]
+        _require(not unknown,
+                 f"unknown figure(s) {unknown}; choose from "
+                 f"{sorted(ALL_FIGURES)}")
         run_figures(args.names or None, quick=args.quick, jobs=args.jobs)
         return 0
     if args.command == "wear":
@@ -209,7 +405,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "list":
         return _cmd_list()
-    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+    raise UsageError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to a subcommand.
+
+    Returns 0 on success, 1 on runtime failure, 2 on usage errors.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except UsageError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro {args.command}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
 
 
 if __name__ == "__main__":

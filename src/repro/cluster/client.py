@@ -12,8 +12,7 @@ from repro.cluster.rack import Rack
 from repro.cluster.replication import ReplicaPair
 from repro.errors import ConfigError
 from repro.metrics.collector import ExperimentMetrics
-from repro.net.packet import read_request, write_request
-from repro.sim import AllOf, Event, Timeout
+from repro.sim import Event, Timeout
 from repro.workloads.generator import OpenLoopGenerator, Request
 
 
@@ -67,20 +66,8 @@ class Client:
 
     def _issue_read(self, lpn: int) -> Generator:
         t0 = self.sim.now
-        pkt = read_request(self.pair.primary.vssd_id, self.name, "", t0)
-        rid = self.rack.new_request_id()
-        pkt.payload.update(lpn=lpn, rid=rid)
-        trace = self.rack.tracer.start_request(
-            rid, "read", self.name, t0, lpn=lpn, vssd=pkt.vssd_id
-        )
-        if trace is not None:
-            pkt.payload["trace"] = trace
-        done = self.rack.register_pending(rid)
-        self.rack.send_from_client(pkt, flow_id=self.name)
-        response = yield done
+        response = yield self.rack.issue_read(self.pair, lpn, client=self.name)
         storage_us = response.payload.get("storage_us")
-        if trace is not None:
-            self.rack.tracer.finish(trace, self.sim.now)
         self.metrics.record(
             "read", self.sim.now - t0, at=self.sim.now, storage_us=storage_us
         )
@@ -92,45 +79,13 @@ class Client:
         # failure detector has declared dead are skipped -- the membership
         # view clients get from the heartbeat machinery.
         t0 = self.sim.now
-        targets = [
-            (vssd, ip)
-            for vssd, ip in (
-                (self.pair.primary, self.pair.primary_server_ip),
-                (self.pair.replica, self.pair.replica_server_ip),
-            )
-            if self.rack.is_server_alive(ip)
-        ]
-        if not targets:
+        responses = yield self.rack.issue_write(self.pair, lpn, client=self.name)
+        if not responses:
             # Both in-rack replicas are down; the out-of-rack replica (out
             # of scope here) would take over.  Count the op as done so the
             # client can drain.
             self._note_done()
             return
-        events = []
-        responses = []
-        tracer = self.rack.tracer
-        for vssd, _server_ip in targets:
-            pkt = write_request(vssd.vssd_id, self.name, "", t0)
-            rid = self.rack.new_request_id()
-            pkt.payload.update(lpn=lpn, rid=rid)
-            # Each replica leg is its own trace: the legs run concurrently
-            # through different servers, so per-leg span threads keep the
-            # Perfetto rendering linear.
-            trace = tracer.start_request(
-                rid, "write", self.name, t0,
-                lpn=lpn, vssd=vssd.vssd_id,
-                role="primary" if vssd is self.pair.primary else "replica",
-            )
-            done = self.rack.register_pending(rid)
-            if trace is not None:
-                pkt.payload["trace"] = trace
-                done.add_callback(
-                    lambda ev, t=trace: tracer.finish(t, self.sim.now)
-                )
-            done.add_callback(lambda ev: responses.append(ev.value))
-            events.append(done)
-            self.rack.send_from_client(pkt, flow_id=self.name)
-        yield AllOf(self.sim, events)
         storage_us = max(
             (r.payload.get("storage_us", 0.0) for r in responses), default=None
         )

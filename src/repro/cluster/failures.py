@@ -51,16 +51,35 @@ class FailureManager:
         self.recoveries = 0
         self.rereplications = 0
         self._running = False
+        self._process = None
 
     def start(self) -> None:
-        if self._running:
-            return
+        """Start the heartbeat loop (idempotent while running)."""
         self._running = True
-        self.sim.spawn(self._heartbeat_loop())
+        if self._process is not None and self._process.is_alive:
+            # One loop is plenty: a restart before the stopped loop drained
+            # its final timeout just re-arms it instead of stacking loops.
+            return
+        self._process = self.sim.spawn(self._heartbeat_loop())
+
+    def stop(self) -> None:
+        """Ask the heartbeat loop to exit at its next tick (idempotent).
+
+        After the loop wakes once more it returns, so detaching a rack
+        (e.g. when the live service shuts a bridge down) does not leak a
+        perpetual sim process that would keep the event heap busy forever.
+        """
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
 
     def _heartbeat_loop(self) -> Generator:
-        while True:
+        while self._running:
             yield Timeout(self.sim, self.heartbeat_interval_us)
+            if not self._running:
+                return
             for server in self.rack.servers:
                 if server.alive:
                     self._missed[server.ip] = 0

@@ -33,7 +33,7 @@ from repro.flash.gc import GreedyGcPolicy
 from repro.flash.ssd import Ssd
 from repro.net.int_telemetry import add_hop_latency
 from repro.net.latency import LatencyProcess
-from repro.net.packet import Packet
+from repro.net.packet import Packet, read_request, write_request
 from repro.net.schedulers import (
     EgressPort,
     FairQueueScheduler,
@@ -45,7 +45,7 @@ from repro.server.gc_monitor import GcMonitor, LocalGcCoordinator
 from repro.server.iosched import make_scheduler
 from repro.server.sdf import StorageServer
 from repro.server.write_cache import WriteCache
-from repro.sim import Event, Simulator, Timeout
+from repro.sim import AllOf, Event, Simulator, Timeout
 from repro.sim.rng import RandomSource
 from repro.switch.controlplane import SwitchControlPlane
 from repro.switch.dataplane import SwitchDataPlane
@@ -368,17 +368,95 @@ class Rack:
         return process
 
     def send_from_client(self, pkt: Packet, flow_id: str, priority: int = 1) -> None:
-        """Launch a packet from a client into the rack."""
+        """Launch a packet from a client into the rack.
+
+        The client-to-server leg is a continuation chain rather than a
+        spawned process: every packet pays exactly the heap entries its
+        waits require, with no generator or start tick -- this path runs
+        once per request leg and dominates the simulator's event budget.
+        """
         if self.controller is not None:
             self.controller.note_demand(flow_id)
-        self.sim.spawn(self._client_to_server(pkt, flow_id, priority))
-
-    def _client_to_server(self, pkt: Packet, flow_id: str, priority: int) -> Generator:
-        trace = pkt.payload.get("trace")
         sent_at = self.sim.now
         outbound = self.latency_for_client(pkt.src).sample(self.sim.now, "out")
-        yield Timeout(self.sim, outbound)
+        self.sim.schedule_after(
+            outbound,
+            lambda: self._packet_at_tor(pkt, flow_id, priority, sent_at, outbound),
+        )
+
+    # ------------------------------------------------- request injection API
+
+    def issue_read(self, pair: ReplicaPair, lpn: int, client: str = "live",
+                   priority: int = 1) -> Event:
+        """Inject one read at the current sim time; the returned event
+        fires with the response packet when it reaches the client edge.
+
+        This is the single entry point for anything that drives the rack
+        request by request -- the batch :class:`~repro.cluster.client.Client`
+        and the live serving bridge both go through it, so traced spans and
+        switch redirection behave identically for both.
+        """
+        t0 = self.sim.now
+        pkt = read_request(pair.primary.vssd_id, client, "", t0)
+        rid = self.new_request_id()
+        pkt.payload.update(lpn=lpn, rid=rid)
+        trace = self.tracer.start_request(
+            rid, "read", client, t0, lpn=lpn, vssd=pkt.vssd_id
+        )
+        done = self.register_pending(rid)
+        if trace is not None:
+            pkt.payload["trace"] = trace
+            done.add_callback(
+                lambda ev, t=trace: self.tracer.finish(t, self.sim.now)
+            )
+        self.send_from_client(pkt, flow_id=client, priority=priority)
+        return done
+
+    def issue_write(self, pair: ReplicaPair, lpn: int, client: str = "live",
+                    priority: int = 1) -> Event:
+        """Inject one replicated write; the returned event fires with the
+        list of replica responses once every *live* replica holds a DRAM
+        copy (§3.5.1 durability).  Replicas the failure detector declared
+        dead are skipped; with no live replica the event fires immediately
+        with an empty list.
+        """
+        t0 = self.sim.now
+        targets = [
+            (vssd, ip)
+            for vssd, ip in (
+                (pair.primary, pair.primary_server_ip),
+                (pair.replica, pair.replica_server_ip),
+            )
+            if self.is_server_alive(ip)
+        ]
+        events = []
+        for vssd, _server_ip in targets:
+            pkt = write_request(vssd.vssd_id, client, "", t0)
+            rid = self.new_request_id()
+            pkt.payload.update(lpn=lpn, rid=rid)
+            # Each replica leg is its own trace: the legs run concurrently
+            # through different servers, so per-leg span threads keep the
+            # Perfetto rendering linear.
+            trace = self.tracer.start_request(
+                rid, "write", client, t0,
+                lpn=lpn, vssd=vssd.vssd_id,
+                role="primary" if vssd is pair.primary else "replica",
+            )
+            done = self.register_pending(rid)
+            if trace is not None:
+                pkt.payload["trace"] = trace
+                done.add_callback(
+                    lambda ev, t=trace: self.tracer.finish(t, self.sim.now)
+                )
+            events.append(done)
+            self.send_from_client(pkt, flow_id=client, priority=priority)
+        return AllOf(self.sim, events)
+
+    def _packet_at_tor(self, pkt: Packet, flow_id: str, priority: int,
+                       sent_at: float, outbound: float) -> None:
+        """Continuation: the packet reached the ToR switch pipeline."""
         add_hop_latency(pkt, outbound)
+        trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span("net.client_to_tor", sent_at, self.sim.now)
         action = self.switch.process_packet(pkt)
@@ -390,30 +468,44 @@ class Rack:
             )
         port = self._egress[action.dst_ip]
         enqueued_at = self.sim.now
-        yield port.enqueue(action.packet, flow_id=flow_id, priority=priority)
+        done = port.enqueue(action.packet, flow_id=flow_id, priority=priority)
+        done.add_callback(
+            lambda ev: self._packet_after_tor(
+                action.packet, action.dst_ip, flow_id, enqueued_at
+            )
+        )
+
+    def _packet_after_tor(self, pkt: Packet, dst_ip: str, flow_id: str,
+                          enqueued_at: float) -> None:
+        """Continuation: the egress port finished transmitting the packet."""
         hop = (self.sim.now - enqueued_at) + self.switch.pipeline_delay_us
-        add_hop_latency(action.packet, hop)
-        self.telemetry.record(flow_id, action.packet.size_kb, hop)
+        add_hop_latency(pkt, hop)
+        self.telemetry.record(flow_id, pkt.size_kb, hop)
+        trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span("net.tor_egress", enqueued_at, self.sim.now, flow=flow_id)
-            hop_start = self.sim.now
-        yield Timeout(self.sim, IN_RACK_HOP_US)
+        hop_start = self.sim.now
+        self.sim.schedule_after(
+            IN_RACK_HOP_US,
+            lambda: self._deliver_to_server(pkt, dst_ip, hop_start),
+        )
+
+    def _deliver_to_server(self, pkt: Packet, dst_ip: str, hop_start: float) -> None:
+        """Continuation: the packet arrived at the server NIC."""
+        trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span("net.tor_to_server", hop_start, self.sim.now)
-        server = self.server_by_ip[action.dst_ip]
+        server = self.server_by_ip[dst_ip]
         if not server.alive:
             # A crashed server silently drops traffic until the heartbeat
             # machinery re-routes around it.
             return
-        server.receive_packet(action.packet)
+        server.receive_packet(pkt)
 
     # ------------------------------------------------------- server -> client
 
     def _on_server_response(self, pkt: Packet, server: StorageServer) -> None:
-        self.sim.spawn(self._server_to_client(pkt))
-
-    def _server_to_client(self, pkt: Packet) -> Generator:
-        trace = pkt.payload.get("trace")
+        # The return leg is a continuation chain too (see send_from_client).
         proxy_ip = pkt.payload.pop("proxy_ip", None)
         if proxy_ip is not None:
             # RackBlox (Software): the user-level redirect is a proxy, so
@@ -422,24 +514,54 @@ class Rack:
             # switch-based redirect never pays.
             relay_start = self.sim.now
             relay = self.latency.sample(self.sim.now, "ret")
-            yield Timeout(self.sim, relay + SOFTWARE_REDIRECT_OVERHEAD_US)
-            add_hop_latency(pkt, relay)
-            if trace is not None:
-                trace.add_span(
-                    "net.redirect_relay", relay_start, self.sim.now, proxy=proxy_ip
-                )
+            self.sim.schedule_after(
+                relay + SOFTWARE_REDIRECT_OVERHEAD_US,
+                lambda: self._response_relayed(pkt, relay, relay_start, proxy_ip),
+            )
+            return
+        self._response_to_tor(pkt)
+
+    def _response_relayed(self, pkt: Packet, relay: float, relay_start: float,
+                          proxy_ip: str) -> None:
+        """Continuation: the proxied reply reached the original server."""
+        add_hop_latency(pkt, relay)
+        trace = pkt.payload.get("trace")
+        if trace is not None:
+            trace.add_span(
+                "net.redirect_relay", relay_start, self.sim.now, proxy=proxy_ip
+            )
+        self._response_to_tor(pkt)
+
+    def _response_to_tor(self, pkt: Packet) -> None:
         hop_start = self.sim.now
-        yield Timeout(self.sim, IN_RACK_HOP_US)
+        self.sim.schedule_after(
+            IN_RACK_HOP_US, lambda: self._response_at_tor(pkt, hop_start)
+        )
+
+    def _response_at_tor(self, pkt: Packet, hop_start: float) -> None:
+        """Continuation: the reply reached the ToR's client-facing port."""
+        trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span("net.server_to_tor", hop_start, self.sim.now)
         enqueued_at = self.sim.now
-        yield self._client_egress.enqueue(pkt, flow_id=pkt.src)
+        done = self._client_egress.enqueue(pkt, flow_id=pkt.src)
+        done.add_callback(lambda ev: self._response_after_egress(pkt, enqueued_at))
+
+    def _response_after_egress(self, pkt: Packet, enqueued_at: float) -> None:
+        """Continuation: the client egress port transmitted the reply."""
         add_hop_latency(pkt, self.sim.now - enqueued_at)
+        trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span("net.client_egress", enqueued_at, self.sim.now)
-            return_start = self.sim.now
+        return_start = self.sim.now
         return_latency = self.latency_for_client(pkt.dst).sample(self.sim.now, "ret")
-        yield Timeout(self.sim, return_latency)
+        self.sim.schedule_after(
+            return_latency, lambda: self._complete_at_client(pkt, return_start)
+        )
+
+    def _complete_at_client(self, pkt: Packet, return_start: float) -> None:
+        """Continuation: the reply arrived at the client edge."""
+        trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span("net.tor_to_client", return_start, self.sim.now)
         rid = pkt.payload.get("rid")

@@ -78,7 +78,7 @@ class Scrubber:
     def _patrol_loop(self) -> Generator:
         while True:
             yield Timeout(self.sim, self.round_interval_us)
-            yield self.sim.spawn(self.scrub_round())
+            yield from self.scrub_round()
 
     def scrub_round(self) -> Generator:
         """Process: patrol up to ``pages_per_round`` written pages."""
@@ -98,7 +98,7 @@ class Scrubber:
             pages = block.valid_pages()[: self.pages_per_round - scanned]
             corrected_in_block = 0
             for _page in pages:
-                yield self.sim.spawn(channel.read_page(4.0))
+                yield from channel.read_page(4.0)
                 outcome, extra_us = self.ecc.read_page(block.erase_count)
                 if extra_us > 0:
                     yield Timeout(self.sim, extra_us)

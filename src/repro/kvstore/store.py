@@ -55,6 +55,7 @@ class RackKvStore:
         self.gets = 0
         self.puts = 0
         self.deletes = 0
+        self.scans = 0
         self.misses = 0
 
     # ------------------------------------------------------------- routing
@@ -118,6 +119,43 @@ class RackKvStore:
         if value is None:
             self.misses += 1
         return value, latency
+
+    def scan(self, start_key: str, count: int) -> Generator:
+        """Process: range scan -- up to ``count`` keys >= ``start_key``.
+
+        Returns ``(items, latency_us)`` where ``items`` is the key-ordered
+        list of ``(key, value)`` pairs.  The scan charges one timed read
+        per distinct flash page the selected keys map to (keys hashed to
+        the same page share its single read, like slots), all issued
+        concurrently -- the fan-out a range query pays on a hashed keyspace.
+        """
+        if count < 1:
+            raise ConfigError(f"scan count must be >= 1, got {count}")
+
+        def proc() -> Generator:
+            t0 = self.sim.now
+            keys = sorted(k for k in self._data if k >= start_key)[:count]
+            pages: Dict[Tuple[int, int], int] = {}
+            for key in keys:
+                pair_idx, lpn = self._route(key)
+                pages[(pair_idx, lpn)] = pair_idx
+            events = []
+            for (pair_idx, lpn), _ in sorted(pages.items()):
+                pair = self.rack.pairs[pair_idx]
+                pkt = read_request(pair.primary.vssd_id, self.client_name, "", t0)
+                rid = self.rack.new_request_id()
+                pkt.payload.update(lpn=lpn, rid=rid)
+                events.append(self.rack.register_pending(rid))
+                self.rack.send_from_client(pkt, flow_id=self.client_name)
+            if events:
+                yield AllOf(self.sim, events)
+            latency = self.sim.now - t0
+            self.scans += 1
+            if events:
+                self.metrics.record("read", latency, at=self.sim.now)
+            return [(k, self._data[k]) for k in keys], latency
+
+        return proc()
 
     def delete(self, key: str) -> Generator:
         """Process: replicated delete (a write of the empty slot)."""

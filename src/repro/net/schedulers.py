@@ -220,9 +220,12 @@ class EgressPort:
                 self._arrival = None
                 continue
             packet, ready = entry
+            # One combined wait for pacing delay + serialization: the
+            # completion instant is identical to waiting them separately.
+            wait = packet.size_kb / self.rate
             if ready > self.sim.now:
-                yield Timeout(self.sim, ready - self.sim.now)
-            yield Timeout(self.sim, packet.size_kb / self.rate)
+                wait += ready - self.sim.now
+            yield Timeout(self.sim, wait)
             self.packets_sent += 1
             done = self._completions.pop(packet.packet_id, None)
             if self.on_transmit is not None:

@@ -60,6 +60,17 @@ class IoRequest:
         storage_time = now - self.arrival_time
         return self.net_time + storage_time + self.predict_time
 
+    @property
+    def rank(self) -> float:
+        """``priority(now)`` minus the shared ``now`` term.
+
+        ``priority`` differences between two queued requests are constant
+        over time (the clock advances for everyone equally), so comparing
+        ranks picks the same winner as comparing priorities -- without
+        re-reading the clock per candidate in the selection scan.
+        """
+        return self.net_time + self.predict_time - self.arrival_time
+
 
 class FifoIoScheduler:
     """no-op: a single FIFO queue (the NVMe default)."""
@@ -280,13 +291,13 @@ class CoordinatedScheduler:
         if queue is None:
             return chosen
         best_idx = -1
-        best_prio = chosen.priority(now)
+        best_rank = chosen.rank
         for idx, candidate in enumerate(queue):
             if eligible is not None and not eligible(candidate):
                 continue
-            prio = candidate.priority(now)
-            if prio > best_prio:
-                best_prio = prio
+            rank = candidate.rank
+            if rank > best_rank:
+                best_rank = rank
                 best_idx = idx
         if best_idx < 0:
             return chosen

@@ -63,6 +63,11 @@ class StorageServer:
         #: the way Kyber limits in-device tokens on real hardware.
         self._vssd_inflight: Dict[int, int] = {}
         self._vssd_limit: Dict[int, int] = {}
+        #: vSSDs currently at their device-queue limit.  The dispatch loop
+        #: passes no eligibility predicate at all while this is empty, so
+        #: the scheduler's selection scans skip the per-candidate check in
+        #: the common uncongested case.
+        self._vssd_blocked: set = set()
         self._work: Optional[Event] = None
         self.reads_received = 0
         self.writes_received = 0
@@ -130,7 +135,7 @@ class StorageServer:
         arrived = self.sim.now
         # Line 2-4: cache the write (blocking only when the cache is full);
         # the write is complete once the DRAM copy exists.
-        yield self.sim.spawn(self.write_cache.admit(vssd, lpn))
+        yield from self.write_cache.admit(vssd, lpn)
         trace = pkt.payload.get("trace")
         if trace is not None:
             trace.add_span(
@@ -190,18 +195,28 @@ class StorageServer:
             self._work.succeed()
 
     def _dispatchable(self, request: IoRequest) -> bool:
-        limit = self._vssd_limit.get(request.vssd_id, 1)
-        return self._vssd_inflight.get(request.vssd_id, 0) < limit
+        return request.vssd_id not in self._vssd_blocked
+
+    def _vssd_acquire(self, vssd_id: int) -> None:
+        count = self._vssd_inflight[vssd_id] + 1
+        self._vssd_inflight[vssd_id] = count
+        if count >= self._vssd_limit[vssd_id]:
+            self._vssd_blocked.add(vssd_id)
+
+    def _vssd_release(self, vssd_id: int) -> None:
+        self._vssd_inflight[vssd_id] -= 1
+        self._vssd_blocked.discard(vssd_id)
 
     def _dispatch_loop(self) -> Generator:
         while True:
             dispatched = False
             while self._inflight < self.max_inflight:
-                request = self.scheduler.pop(self.sim.now, self._dispatchable)
+                eligible = self._dispatchable if self._vssd_blocked else None
+                request = self.scheduler.pop(self.sim.now, eligible)
                 if request is None:
                     break
                 self._inflight += 1
-                self._vssd_inflight[request.vssd_id] += 1
+                self._vssd_acquire(request.vssd_id)
                 dispatched = True
                 self.sim.spawn(self._service(request))
             if not dispatched or self._inflight >= self.max_inflight:
@@ -225,12 +240,12 @@ class StorageServer:
         gc_seen = vssd.gc_active
         try:
             if request.kind == "read":
-                yield self.sim.spawn(vssd.read(request.lpn))
+                yield from vssd.read(request.lpn)
             else:
-                yield self.sim.spawn(vssd.write(request.lpn))
+                yield from vssd.write(request.lpn)
         finally:
             self._inflight -= 1
-            self._vssd_inflight[request.vssd_id] -= 1
+            self._vssd_release(request.vssd_id)
             self._kick()
         gc_seen = gc_seen or vssd.gc_active
         if request.kind == "read" and gc_seen:

@@ -111,7 +111,7 @@ class WriteCache:
             if self.submit_fn is not None:
                 yield self.submit_fn(vssd, lpn)
             else:
-                yield self.sim.spawn(vssd.write(lpn))
+                yield from vssd.write(lpn)
         finally:
             self._outstanding -= 1
             self.flushes += 1
@@ -123,7 +123,7 @@ class WriteCache:
         """Process: synchronously drain the whole cache (used in tests)."""
         while self._dirty:
             key, vssd = self._dirty.popitem(last=False)
-            yield self.sim.spawn(vssd.write(key[1]))
+            yield from vssd.write(key[1])
             self.flushes += 1
             if self._admission_waiters:
                 self._admission_waiters.popleft().succeed()

@@ -1,0 +1,57 @@
+"""Live serving layer: the rack as a network service.
+
+The batch experiment engine drives a :class:`~repro.cluster.rack.Rack`
+from scripts; this package puts the same rack behind an asyncio TCP
+front-end so real clients can issue raw vSSD I/O and key-value
+GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
+
+* :mod:`repro.service.protocol` -- framing + request/response schema;
+* :mod:`repro.service.bridge` -- the sim-time bridge that injects live
+  requests into the discrete-event simulator and completes asyncio
+  futures when the simulated request finishes;
+* :mod:`repro.service.admission` -- per-client token buckets and the
+  global queue-depth cap (``BUSY`` shedding instead of unbounded queues);
+* :mod:`repro.service.server` -- the TCP service with graceful drain;
+* :mod:`repro.service.client` -- a pipelined async client;
+* :mod:`repro.service.loadgen` -- open/closed-loop load generation.
+"""
+
+from repro.service.admission import AdmissionController, WallClockTokenBucket
+from repro.service.bridge import BridgeStats, SimTimeBridge
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    TruncatedFrame,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+from repro.service.server import RackService
+
+__all__ = [
+    "AdmissionController",
+    "WallClockTokenBucket",
+    "BridgeStats",
+    "SimTimeBridge",
+    "ServiceClient",
+    "ServiceError",
+    "LoadgenReport",
+    "run_loadgen",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTooLarge",
+    "TruncatedFrame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "write_frame",
+    "RackService",
+]

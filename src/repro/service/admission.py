@@ -1,0 +1,116 @@
+"""Admission control: meter traffic *before* it reaches the flash.
+
+Two independent gates, both shedding with an explicit ``BUSY`` rather
+than queueing without bound (Gimbal's switch-side admission philosophy):
+
+* a **global queue-depth cap** -- the bridge carries at most N in-flight
+  simulated requests; past that the service is saturated and the only
+  honest answer is backpressure;
+* **per-client token buckets** -- wall-clock rate limits so one greedy
+  client cannot starve the rest (the serving-tier analogue of the vSSD
+  token buckets in §3.3, which meter in *sim* time).
+"""
+
+import time
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+
+class WallClockTokenBucket:
+    """A token bucket refilled in wall-clock (monotonic) time."""
+
+    __slots__ = ("rate_per_sec", "capacity", "_tokens", "_last")
+
+    def __init__(self, rate_per_sec: float, capacity: float,
+                 now: Optional[float] = None) -> None:
+        if rate_per_sec <= 0:
+            raise ConfigError(f"rate must be positive, got {rate_per_sec}")
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.rate_per_sec = rate_per_sec
+        self.capacity = capacity
+        self._tokens = capacity
+        self._last = time.monotonic() if now is None else now
+
+    def try_take(self, now: Optional[float] = None) -> bool:
+        """Take one token if available; never blocks."""
+        if now is None:
+            now = time.monotonic()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.rate_per_sec)
+            self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class AdmissionController:
+    """Decides, per request, between *admit* and *shed*."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 256,
+        client_rate_per_sec: float = 0.0,
+        client_burst: float = 64.0,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if client_rate_per_sec < 0:
+            raise ConfigError("client rate must be >= 0 (0 disables)")
+        self.max_queue_depth = max_queue_depth
+        #: 0 disables per-client metering (the depth cap still applies).
+        self.client_rate_per_sec = client_rate_per_sec
+        self.client_burst = client_burst
+        self._buckets: Dict[str, WallClockTokenBucket] = {}
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_rate_limited = 0
+
+    def try_admit(self, client: str, inflight: int,
+                  now: Optional[float] = None) -> bool:
+        """One admission decision; counts the outcome either way.
+
+        The depth gate is checked first: when the service is saturated it
+        sheds regardless of which client asks, so a full queue never burns
+        anyone's tokens.
+        """
+        if inflight >= self.max_queue_depth:
+            self.shed_queue_full += 1
+            return False
+        if self.client_rate_per_sec > 0:
+            key = bucket_key(client)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = WallClockTokenBucket(
+                    self.client_rate_per_sec, self.client_burst, now=now
+                )
+                self._buckets[key] = bucket
+            if not bucket.try_take(now=now):
+                self.shed_rate_limited += 1
+                return False
+        self.admitted += 1
+        return True
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "admitted": float(self.admitted),
+            "shed_queue_full": float(self.shed_queue_full),
+            "shed_rate_limited": float(self.shed_rate_limited),
+            "max_queue_depth": float(self.max_queue_depth),
+            "clients": float(len(self._buckets)),
+        }
+
+
+def bucket_key(client: str) -> str:
+    """Normalise a client identity to its bucket key."""
+    return client or "anonymous"

@@ -1,0 +1,332 @@
+"""The sim-time bridge: live asyncio requests into the discrete-event rack.
+
+The simulator only moves when :meth:`Simulator.run` is called, so a live
+service needs something to turn the crank.  The bridge runs a *pump*
+task on the asyncio event loop: whenever at least one live request is in
+flight it advances the simulator in bounded chunks (event-driven -- the
+clock jumps straight to the next event, it does not tick), completing
+each request's :class:`asyncio.Future` the moment its simulated response
+reaches the client edge.  With nothing in flight the pump parks and the
+simulated clock freezes, so an idle service burns neither CPU nor
+simulated time.
+
+Everything runs on the event-loop thread -- the simulator is never
+touched concurrently -- which keeps the rack exactly as deterministic as
+it is under the batch experiment runner.
+
+Optionally the pump is *paced*: ``pace=1.0`` advances one simulated
+microsecond per wall-clock microsecond (real time), ``pace=10`` runs the
+rack ten times faster than real time, and the default ``pace=0`` is
+free-running (as fast as the host allows; what benchmarks want).
+"""
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.config import RackConfig
+from repro.cluster.rack import Rack
+from repro.errors import ConfigError
+from repro.kvstore.store import RackKvStore
+from repro.metrics.collector import ExperimentMetrics
+from repro.sim.core import MSEC, SEC
+
+
+@dataclass
+class BridgeStats:
+    """A snapshot of the bridge's life so far."""
+
+    sim_now_us: float
+    inflight: int
+    submitted: int
+    completed: int
+    timed_out: int
+    sim_chunks: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sim_now_us": self.sim_now_us,
+            "inflight": float(self.inflight),
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "timed_out": float(self.timed_out),
+            "sim_chunks": float(self.sim_chunks),
+        }
+
+
+class _Live:
+    """One live request riding the simulator."""
+
+    __slots__ = ("future", "t0_us", "deadline_us")
+
+    def __init__(self, future: "asyncio.Future", t0_us: float,
+                 deadline_us: float) -> None:
+        self.future = future
+        self.t0_us = t0_us
+        self.deadline_us = deadline_us
+
+
+class SimTimeBridge:
+    """Owns a rack and mediates between wall-clock and simulated time."""
+
+    def __init__(
+        self,
+        config: RackConfig,
+        *,
+        chunk_us: float = 1.0 * MSEC,
+        request_timeout_us: float = 5.0 * SEC,
+        pace: float = 0.0,
+        precondition: bool = True,
+    ) -> None:
+        if chunk_us <= 0:
+            raise ConfigError(f"chunk_us must be positive, got {chunk_us}")
+        if request_timeout_us <= 0:
+            raise ConfigError("request_timeout_us must be positive")
+        if pace < 0:
+            raise ConfigError(f"pace must be >= 0, got {pace}")
+        self.rack = Rack(config)
+        if precondition:
+            self.rack.precondition()
+        self.kv = RackKvStore(self.rack, client_name="svc-kv")
+        #: Sim-time latencies of live requests (read/write classes), the
+        #: same collector the batch runner uses -- so ``/stats`` reports
+        #: the service with the experiment engine's vocabulary.
+        self.metrics = ExperimentMetrics()
+        self.chunk_us = chunk_us
+        self.request_timeout_us = request_timeout_us
+        self.pace = pace
+        self._live: Dict[int, _Live] = {}
+        self._token = 0
+        self.submitted = 0
+        self.completed = 0
+        self.timed_out = 0
+        self.sim_chunks = 0
+        self._running = False
+        self._pump_task: Optional["asyncio.Task"] = None
+        self._wakeup: Optional["asyncio.Event"] = None
+        #: Called after every simulated chunk, once the completions in it
+        #: have resolved their futures.  The server hangs its response
+        #: flush here: one socket write per connection per chunk instead
+        #: of one per response (each tiny cross-process send pays a
+        #: scheduler wakeup, which at thousands of requests per second
+        #: costs more than the simulation itself).
+        self.after_chunk: Optional[Any] = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Start the pump on the running event loop (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._wakeup = asyncio.Event()
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+
+    async def stop(self, drain: bool = True,
+                   drain_timeout_s: float = 10.0) -> None:
+        """Stop the pump; with ``drain`` wait for in-flight requests first."""
+        if not self._running:
+            return
+        if drain and self._live:
+            pending = [live.future for live in self._live.values()]
+            await asyncio.wait(pending, timeout=drain_timeout_s)
+        self._running = False
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._pump_task is not None:
+            await self._pump_task
+            self._pump_task = None
+        # Anything still live after a no-drain stop is cancelled so
+        # callers awaiting those futures do not hang forever.
+        for token, live in list(self._live.items()):
+            if not live.future.done():
+                live.future.cancel()
+            self._live.pop(token, None)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._live)
+
+    def stats(self) -> BridgeStats:
+        return BridgeStats(
+            sim_now_us=self.rack.sim.now,
+            inflight=len(self._live),
+            submitted=self.submitted,
+            completed=self.completed,
+            timed_out=self.timed_out,
+            sim_chunks=self.sim_chunks,
+        )
+
+    # ------------------------------------------------------------ submission
+
+    def submit_read(self, pair_index: int, lpn: int,
+                    client: str = "live") -> "asyncio.Future":
+        """Inject a raw vSSD read; resolves to ``{"latency_us": ...}``."""
+        pair = self._pair(pair_index)
+        done = self.rack.issue_read(pair, int(lpn), client=client)
+        return self._track("read", done, lambda pkt: {
+            "latency_us": self.rack.sim.now - pkt.issue_time,
+            "storage_us": pkt.payload.get("storage_us"),
+        })
+
+    def submit_write(self, pair_index: int, lpn: int,
+                     client: str = "live") -> "asyncio.Future":
+        """Inject a replicated write; resolves once every live replica acks."""
+        pair = self._pair(pair_index)
+        t0 = self.rack.sim.now
+        done = self.rack.issue_write(pair, int(lpn), client=client)
+        return self._track("write", done, lambda responses: {
+            "replicas": len(responses),
+            "latency_us": self.rack.sim.now - t0,
+            "storage_us": max(
+                (r.payload.get("storage_us", 0.0) for r in responses),
+                default=None,
+            ),
+        })
+
+    def submit_get(self, key: str, client: str = "live") -> "asyncio.Future":
+        """KV point read; resolves to value (or None) + latency."""
+        process = self.rack.sim.spawn(self.kv.get(str(key)))
+        return self._track("read", process, lambda result: {
+            "value": result[0], "found": result[0] is not None,
+            "latency_us": result[1],
+        })
+
+    def submit_put(self, key: str, value: str,
+                   client: str = "live") -> "asyncio.Future":
+        """KV replicated write; resolves to the sim latency."""
+        process = self.rack.sim.spawn(self.kv.put(str(key), str(value)))
+        return self._track("write", process,
+                           lambda latency: {"latency_us": latency})
+
+    def submit_scan(self, start_key: str, count: int,
+                    client: str = "live") -> "asyncio.Future":
+        """KV range scan; resolves to the items + latency."""
+        process = self.rack.sim.spawn(self.kv.scan(str(start_key), int(count)))
+        return self._track("read", process, lambda result: {
+            "items": [[k, v] for k, v in result[0]],
+            "count": len(result[0]),
+            "latency_us": result[1],
+        })
+
+    def _pair(self, pair_index: int):
+        pairs = self.rack.pairs
+        if not 0 <= pair_index < len(pairs):
+            raise ConfigError(
+                f"pair index {pair_index} out of range [0, {len(pairs)})"
+            )
+        return pairs[pair_index]
+
+    def _track(self, kind: str, event, shape) -> "asyncio.Future":
+        """Register a sim event as a live request with an asyncio future.
+
+        ``shape`` turns the sim event's value into the response payload;
+        it runs at completion time (on the event-loop thread, while the
+        simulator sits at the completion instant, so ``sim.now`` reads
+        as the finish time).
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        token = self._token = self._token + 1
+        t0 = self.rack.sim.now
+        self._live[token] = _Live(
+            future, t0, t0 + self.request_timeout_us
+        )
+        self.submitted += 1
+
+        def _on_done(ev) -> None:
+            live = self._live.pop(token, None)
+            if live is None or future.done():
+                return
+            self.completed += 1
+            try:
+                payload = shape(ev.value)
+            except Exception as exc:  # surfaced to the awaiting handler
+                future.set_exception(exc)
+                return
+            latency = self.rack.sim.now - live.t0_us
+            self.metrics.record(kind, latency, at=self.rack.sim.now)
+            future.set_result(payload)
+
+        event.add_callback(_on_done)
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return future
+
+    # ------------------------------------------------------------------ pump
+
+    async def _pump(self) -> None:
+        sim = self.rack.sim
+        assert self._wakeup is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._live:
+                if not self._running:
+                    return
+                self._wakeup.clear()
+                # Re-check: a submission may have raced the clear.
+                if not self._live and self._running:
+                    await self._wakeup.wait()
+                continue
+            wall_start = loop.time()
+            sim.run(until=sim.now + self.chunk_us)
+            self.sim_chunks += 1
+            self._expire(sim.now)
+            if self.after_chunk is not None:
+                # Futures resolve their done-callbacks via call_soon, so
+                # the flush must queue *behind* them, not run here.
+                loop.call_soon(self.after_chunk)
+            if self.pace > 0:
+                # Hold the simulated clock to pace * wall-clock.
+                target_s = (self.chunk_us / SEC) / self.pace
+                remaining = target_s - (loop.time() - wall_start)
+                await asyncio.sleep(max(0.0, remaining))
+            else:
+                # Yield so connection handlers can read/write sockets
+                # between chunks; free-running otherwise.
+                await asyncio.sleep(0)
+
+    def _expire(self, now_us: float) -> None:
+        """Fail live requests whose sim deadline has passed.
+
+        A read addressed to a crashed server is silently dropped by the
+        rack (the packet dies at the dead NIC); without a deadline the
+        pump would advance simulated time forever waiting for it.
+        """
+        if not self._live:
+            return
+        expired: List[Tuple[int, _Live]] = [
+            (token, live) for token, live in self._live.items()
+            if now_us >= live.deadline_us
+        ]
+        for token, live in expired:
+            self._live.pop(token, None)
+            self.timed_out += 1
+            if not live.future.done():
+                live.future.set_exception(
+                    asyncio.TimeoutError(
+                        f"simulated request exceeded "
+                        f"{self.request_timeout_us / SEC:.1f}s deadline"
+                    )
+                )
+
+    # ------------------------------------------------------------- reporting
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """Everything ``/stats`` reports: bridge + collector + traces."""
+        out: Dict[str, Any] = {"bridge": self.stats().as_dict()}
+        out["metrics"] = self.metrics.summary()
+        kv = self.kv
+        out["kvstore"] = {
+            "keys": float(len(kv)),
+            "gets": float(kv.gets), "puts": float(kv.puts),
+            "scans": float(kv.scans), "misses": float(kv.misses),
+        }
+        tracer = self.rack.tracer
+        if tracer.enabled:
+            collection = tracer.collection()
+            if collection is not None and len(collection.traces) > 0:
+                out["traces"] = collection.summary()
+                attribution = collection.attribution(percentile=99.0, kind="read")
+                out["traces"]["p99_attribution"] = attribution.as_dict()
+        return out

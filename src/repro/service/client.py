@@ -1,0 +1,178 @@
+"""Async client for the rack service.
+
+One :class:`ServiceClient` owns one TCP connection and multiplexes any
+number of concurrent requests over it: every request carries a
+client-assigned ``id``, a background reader task matches responses back
+to their futures, so ``await client.get(...)`` from many tasks at once
+just works (and is exactly how the closed-loop load generator drives a
+connection at depth > 1).
+"""
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, code: str, message: str = "") -> None:
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+        self.message = message
+
+    @property
+    def is_busy(self) -> bool:
+        """Shed by admission control -- retryable by design."""
+        return self.code == protocol.BUSY
+
+
+class ServiceClient:
+    """A pipelined connection to a :class:`~repro.service.server.RackService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7337,
+                 client_name: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.client_name = client_name
+        self._reader: Optional["asyncio.StreamReader"] = None
+        self._writer: Optional["asyncio.StreamWriter"] = None
+        self._reader_task: Optional["asyncio.Task"] = None
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._ids = itertools.count(1)
+        self._closing = False
+        # Requests issued in the same event-loop tick coalesce into one
+        # socket write -- at depth > 1 this halves the syscall count.
+        self._outbox = bytearray()
+        self._flush_scheduled = False
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _flush_outbox(self) -> None:
+        self._flush_scheduled = False
+        if not self._outbox or self._writer is None:
+            return
+        if self._writer.is_closing():
+            self._outbox.clear()
+            return
+        data = bytes(self._outbox)
+        self._outbox.clear()
+        try:
+            self._writer.write(data)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        decoder = protocol.FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for response in decoder.feed(data):
+                    future = self._pending.pop(response.get("id"), None)
+                    if future is not None and not future.done():
+                        future.set_result(response)
+        except (protocol.FrameError, ConnectionResetError) as exc:
+            if not self._closing:
+                self._fail_pending(ConnectionError(str(exc)))
+            return
+        except asyncio.CancelledError:
+            raise
+        if not self._closing:
+            self._fail_pending(ConnectionError("server closed the connection"))
+
+    # ---------------------------------------------------------------- request
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request; return the raw (``ok: true``) response.
+
+        Raises :class:`ServiceError` for ``ok: false`` answers -- check
+        ``exc.is_busy`` to distinguish shedding from real failures.
+        """
+        if self._writer is None:
+            raise ConnectionError("not connected (call connect() first)")
+        request_id = next(self._ids)
+        message = dict(payload)
+        message["id"] = request_id
+        if self.client_name and "client" not in message:
+            message["client"] = self.client_name
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending[request_id] = future
+        self._outbox += protocol.encode_frame(message)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_soon(self._flush_outbox)
+        response = await future
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "UNKNOWN"), response.get("message", "")
+            )
+        return response
+
+    # ---------------------------------------------------------------- helpers
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"type": "ping"})
+
+    async def read(self, pair: int, lpn: int) -> Dict[str, Any]:
+        """Raw vSSD read of one logical page."""
+        return await self.request({"type": "read", "pair": pair, "lpn": lpn})
+
+    async def write(self, pair: int, lpn: int) -> Dict[str, Any]:
+        """Raw replicated vSSD write of one logical page."""
+        return await self.request({"type": "write", "pair": pair, "lpn": lpn})
+
+    async def get(self, key: str) -> Dict[str, Any]:
+        return await self.request({"type": "get", "key": key})
+
+    async def put(self, key: str, value: str) -> Dict[str, Any]:
+        return await self.request({"type": "put", "key": key, "value": value})
+
+    async def scan(self, start: str = "", count: int = 10) -> Dict[str, Any]:
+        return await self.request(
+            {"type": "scan", "start": start, "count": count}
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        """Live collector + trace-attribution metrics from the server."""
+        return await self.request({"type": "stats"})

@@ -1,0 +1,374 @@
+"""Open/closed-loop load generation against a running rack service.
+
+* **closed loop**: N concurrent clients, each issuing the next request
+  the moment the previous one answers -- measures capacity at a fixed
+  concurrency (what the 32-client localhost benchmark runs);
+* **open loop**: requests fired at a target aggregate rate regardless
+  of completions (Poisson or uniform gaps) -- the coordinated-omission-
+  free way to find where a service starts shedding.
+
+Latencies are measured client-side in wall-clock time; ``BUSY`` sheds
+are counted separately and *excluded* from the latency distribution, so
+an overloaded run reports the p99 of admitted requests plus an explicit
+shed rate rather than a meaningless blend.
+"""
+
+import asyncio
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.metrics.percentiles import percentile
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError
+
+
+@dataclass
+class LoadgenReport:
+    """Client-side view of one load-generation run."""
+
+    mode: str
+    clients: int
+    wall_s: float
+    sent: int = 0
+    ok: int = 0
+    busy: int = 0
+    errors: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    server_stats: Optional[Dict] = None
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.ok / self.wall_s
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return self.busy / self.sent
+
+    def latency_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return percentile(self.latencies_ms, q)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.mode}-loop loadgen: {self.clients} clients, "
+            f"{self.wall_s:.2f}s wall",
+            f"  sent {self.sent}  ok {self.ok}  busy {self.busy} "
+            f"({self.shed_fraction:.1%} shed)  errors {self.errors}",
+            f"  throughput {self.throughput_rps:,.0f} req/s (admitted)",
+        ]
+        if self.latencies_ms:
+            lines.append(
+                f"  latency ms  p50 {self.latency_ms(50):.2f}  "
+                f"p90 {self.latency_ms(90):.2f}  "
+                f"p99 {self.latency_ms(99):.2f}  "
+                f"max {max(self.latencies_ms):.2f}"
+            )
+        if self.server_stats:
+            bridge = self.server_stats.get("bridge", {})
+            metrics = self.server_stats.get("metrics", {})
+            admission = self.server_stats.get("admission", {})
+            lines.append(
+                f"  server: sim_now {bridge.get('sim_now_us', 0) / 1e6:.3f}s  "
+                f"completed {bridge.get('completed', 0):.0f}  "
+                f"shed {admission.get('shed_queue_full', 0):.0f}"
+            )
+            for key in sorted(metrics):
+                if key.endswith(("_avg_us", "_p99_us")):
+                    lines.append(f"    {key:24s} {metrics[key]:12.1f}")
+        return "\n".join(lines)
+
+
+def _make_op(rng: "random.Random", write_ratio: float, kind: str,
+             pairs: int, keyspace: int) -> Dict:
+    if kind == "kv":
+        key = f"k{rng.randrange(keyspace):08d}"
+        if rng.random() < write_ratio:
+            return {"type": "put", "key": key, "value": f"v{key}"}
+        return {"type": "get", "key": key}
+    pair = rng.randrange(pairs)
+    lpn = rng.randrange(keyspace)
+    if rng.random() < write_ratio:
+        return {"type": "write", "pair": pair, "lpn": lpn}
+    return {"type": "read", "pair": pair, "lpn": lpn}
+
+
+class _ClosedLoopConnection(asyncio.Protocol):
+    """One closed-loop connection, driven straight on the transport.
+
+    A response arriving *is* the trigger for the next request, so the
+    driver needs no per-request future, task, or stream -- just a frame
+    decoder and an id->send-time map.  Keeping the generator this lean
+    matters on small hosts: a heavyweight client steals CPU from the
+    server under test and reports the generator's ceiling, not the
+    service's.
+    """
+
+    def __init__(self, index: int, quota: int, pipeline: int,
+                 report: LoadgenReport, write_ratio: float, kind: str,
+                 pairs: int, keyspace: int, seed: int) -> None:
+        self.report = report
+        self.quota = quota
+        self.pipeline = pipeline
+        self.write_ratio = write_ratio
+        self.kind = kind
+        self.pairs = pairs
+        self.keyspace = keyspace
+        self.client_name = f"loadgen-{index}"
+        self.rng = random.Random(seed * 1_000_003 + index)
+        self.decoder = protocol.FrameDecoder()
+        self.sent = 0
+        self.deadline: Optional[float] = None
+        self._inflight: Dict[int, float] = {}
+        self._ids = itertools.count(1)
+        self.transport: Optional["asyncio.Transport"] = None
+        self.done: "asyncio.Future" = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    # ------------------------------------------------------------- protocol
+
+    def connection_made(self, transport: "asyncio.BaseTransport") -> None:
+        self.transport = transport  # type: ignore[assignment]
+
+    def start(self, deadline: Optional[float]) -> None:
+        """Fire the initial window (called once all connections are up)."""
+        self.deadline = deadline
+        burst = bytearray()
+        for _ in range(self.pipeline):
+            if not self._may_send():
+                break
+            burst += self._next_request()
+        if burst:
+            self.transport.write(bytes(burst))
+        elif not self._inflight:
+            self._finish()
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            responses = self.decoder.feed(data)
+        except protocol.FrameError:
+            self._abort()
+            return
+        now = time.monotonic()
+        burst = bytearray()
+        for response in responses:
+            t0 = self._inflight.pop(response.get("id"), None)
+            if t0 is None:
+                continue
+            if response.get("ok"):
+                self.report.ok += 1
+                self.report.latencies_ms.append((now - t0) * 1e3)
+            elif response.get("error") == protocol.BUSY:
+                self.report.busy += 1
+            else:
+                self.report.errors += 1
+            if self._may_send():
+                burst += self._next_request()
+        if burst:
+            self.transport.write(bytes(burst))
+        elif not self._inflight:
+            self._finish()
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        if not self.done.done():
+            # Anything still unanswered when the server hangs up is an
+            # error from the client's point of view.
+            self.report.errors += len(self._inflight)
+            self._inflight.clear()
+            self.done.set_result(None)
+
+    # -------------------------------------------------------------- helpers
+
+    def _may_send(self) -> bool:
+        if self.deadline is not None:
+            return time.monotonic() < self.deadline
+        return self.sent < self.quota
+
+    def _next_request(self) -> bytes:
+        op = _make_op(self.rng, self.write_ratio, self.kind, self.pairs,
+                      self.keyspace)
+        rid = next(self._ids)
+        op["id"] = rid
+        op["client"] = self.client_name
+        self.sent += 1
+        self.report.sent += 1
+        self._inflight[rid] = time.monotonic()
+        return protocol.encode_frame(op)
+
+    def _finish(self) -> None:
+        if not self.done.done():
+            self.done.set_result(None)
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.close()
+
+    def _abort(self) -> None:
+        self.report.errors += len(self._inflight)
+        self._inflight.clear()
+        self._finish()
+
+
+async def _issue(client: ServiceClient, op: Dict,
+                 report: LoadgenReport) -> None:
+    t0 = time.monotonic()
+    report.sent += 1
+    try:
+        await client.request(op)
+    except ServiceError as exc:
+        if exc.is_busy:
+            report.busy += 1
+        else:
+            report.errors += 1
+        return
+    except (ConnectionError, asyncio.CancelledError):
+        report.errors += 1
+        return
+    report.latencies_ms.append((time.monotonic() - t0) * 1e3)
+    report.ok += 1
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    mode: str = "closed",
+    clients: int = 32,
+    requests_per_client: int = 200,
+    pipeline: int = 1,
+    duration_s: float = 0.0,
+    rate_rps: float = 5000.0,
+    write_ratio: float = 0.3,
+    kind: str = "raw",
+    pairs: int = 4,
+    keyspace: int = 1024,
+    seed: int = 42,
+    fetch_stats: bool = True,
+    connect_retries: int = 25,
+) -> LoadgenReport:
+    """Drive the service and return the client-side report.
+
+    In closed-loop mode each of ``clients`` connections runs
+    ``requests_per_client`` back-to-back requests (or keeps going until
+    ``duration_s``, when given); ``pipeline`` > 1 keeps that many
+    requests outstanding per connection, using the protocol's id
+    matching -- the knob that separates measuring *latency at fixed
+    concurrency* (1) from *capacity* (8+).  In open-loop mode requests
+    are fired across the connections at ``rate_rps`` aggregate with
+    exponential gaps for ``duration_s`` seconds.
+    """
+    if mode not in ("closed", "open"):
+        raise ConfigError(f"mode must be closed/open, got {mode!r}")
+    if clients < 1:
+        raise ConfigError(f"clients must be >= 1, got {clients}")
+    if pipeline < 1:
+        raise ConfigError(f"pipeline depth must be >= 1, got {pipeline}")
+    if kind not in ("raw", "kv"):
+        raise ConfigError(f"kind must be raw/kv, got {kind!r}")
+    if mode == "open" and duration_s <= 0:
+        raise ConfigError("open-loop mode needs duration_s > 0")
+    report = LoadgenReport(mode=mode, clients=clients, wall_s=0.0)
+    if mode == "closed":
+        await _closed_loop(host, port, report, clients,
+                           requests_per_client, duration_s, write_ratio,
+                           kind, pairs, keyspace, seed, pipeline,
+                           connect_retries)
+    else:
+        pool: List[ServiceClient] = []
+        for i in range(clients):
+            client = ServiceClient(host, port, client_name=f"loadgen-{i}")
+            for attempt in range(connect_retries):
+                try:
+                    await client.connect()
+                    break
+                except OSError:
+                    if attempt == connect_retries - 1:
+                        raise
+                    await asyncio.sleep(0.2)
+            pool.append(client)
+        t_start = time.monotonic()
+        try:
+            await _open_loop(pool, report, duration_s, rate_rps,
+                             write_ratio, kind, pairs, keyspace, seed)
+            report.wall_s = time.monotonic() - t_start
+        finally:
+            for client in pool:
+                await client.close()
+    if fetch_stats:
+        try:
+            async with ServiceClient(host, port,
+                                     client_name="loadgen-stats") as probe:
+                stats = await probe.stats()
+            report.server_stats = {
+                k: v for k, v in stats.items() if k not in ("ok", "id")
+            }
+        except (ServiceError, ConnectionError, OSError):
+            pass
+    return report
+
+
+async def _closed_loop(host: str, port: int, report: LoadgenReport,
+                       clients: int, requests_per_client: int,
+                       duration_s: float, write_ratio: float, kind: str,
+                       pairs: int, keyspace: int, seed: int,
+                       pipeline: int, connect_retries: int) -> None:
+    loop = asyncio.get_running_loop()
+    connections: List[_ClosedLoopConnection] = []
+    for i in range(clients):
+        conn = _ClosedLoopConnection(i, requests_per_client, pipeline,
+                                     report, write_ratio, kind, pairs,
+                                     keyspace, seed)
+        for attempt in range(connect_retries):
+            try:
+                await loop.create_connection(lambda c=conn: c, host, port)
+                break
+            except OSError:
+                if attempt == connect_retries - 1:
+                    raise
+                await asyncio.sleep(0.2)
+        connections.append(conn)
+    # Start every connection's window only once all are connected, so the
+    # measured interval holds the full concurrency throughout.
+    t_start = time.monotonic()
+    deadline = (t_start + duration_s) if duration_s > 0 else None
+    for conn in connections:
+        conn.start(deadline)
+    await asyncio.gather(*(conn.done for conn in connections))
+    report.wall_s = time.monotonic() - t_start
+
+
+async def _open_loop(pool: List[ServiceClient], report: LoadgenReport,
+                     duration_s: float, rate_rps: float, write_ratio: float,
+                     kind: str, pairs: int, keyspace: int, seed: int) -> None:
+    if rate_rps <= 0:
+        raise ConfigError(f"open-loop rate must be positive, got {rate_rps}")
+    rng = random.Random(seed)
+    deadline = time.monotonic() + duration_s
+    outstanding: List["asyncio.Task"] = []
+    loop = asyncio.get_running_loop()
+    i = 0
+    next_at = time.monotonic()
+    while True:
+        now = time.monotonic()
+        if now >= deadline:
+            break
+        if now < next_at:
+            await asyncio.sleep(next_at - now)
+        op = _make_op(rng, write_ratio, kind, pairs, keyspace)
+        client = pool[i % len(pool)]
+        i += 1
+        outstanding.append(loop.create_task(_issue(client, op, report)))
+        # Exponential inter-arrival: Poisson arrivals at the target rate.
+        next_at += rng.expovariate(rate_rps)
+    if outstanding:
+        await asyncio.wait(outstanding, timeout=30.0)
+        for task in outstanding:
+            if not task.done():
+                task.cancel()

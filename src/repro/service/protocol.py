@@ -1,0 +1,162 @@
+"""Wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  The format is symmetric
+(requests and responses use the same framing) and deliberately tiny --
+NVMe-oF it is not, but it carries the same shape of traffic: small
+commands in, small completions out.
+
+Requests carry a ``type`` (``ping`` / ``read`` / ``write`` / ``get`` /
+``put`` / ``scan`` / ``stats``) and an optional client-chosen ``id`` the
+response echoes, which is what lets one connection pipeline many
+requests.  Responses carry ``ok``; failures add ``error`` (a short code
+such as ``BUSY`` or ``BAD_REQUEST``) and a human-readable ``message``.
+
+The sans-io :class:`FrameDecoder` is the reference implementation of the
+receive side; :func:`read_frame` adapts it to asyncio streams.
+"""
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+#: Frames above this are rejected outright -- values are capped at one
+#: 4 KB page, so a megabyte frame is a protocol violation, not data.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+# Error codes the service emits.
+BUSY = "BUSY"                    # shed by admission control; retry later
+BAD_REQUEST = "BAD_REQUEST"      # malformed or unknown request
+SHUTTING_DOWN = "SHUTTING_DOWN"  # server is draining; connection will close
+TIMEOUT = "TIMEOUT"              # the simulated request missed its deadline
+INTERNAL = "INTERNAL"            # unexpected server-side failure
+
+
+class FrameError(Exception):
+    """A protocol violation on the wire."""
+
+
+class FrameTooLarge(FrameError):
+    """The advertised frame length exceeds the configured maximum."""
+
+
+class TruncatedFrame(FrameError):
+    """The peer closed the connection mid-frame."""
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialise one message to its on-wire form."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: feed bytes in, take decoded objects out.
+
+    The decoder never buffers more than one oversized length prefix --
+    it raises :class:`FrameTooLarge` as soon as the prefix arrives, so a
+    hostile peer cannot make the server allocate the advertised body.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._need: Optional[int] = None  # body length once the prefix parsed
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Consume bytes; return every complete message they finish."""
+        self._buffer.extend(data)
+        out: List[Dict[str, Any]] = []
+        while True:
+            if self._need is None:
+                if len(self._buffer) < _LEN.size:
+                    return out
+                (self._need,) = _LEN.unpack_from(self._buffer)
+                del self._buffer[: _LEN.size]
+                if self._need > self.max_frame_bytes:
+                    raise FrameTooLarge(
+                        f"frame of {self._need} bytes exceeds the "
+                        f"{self.max_frame_bytes}-byte limit"
+                    )
+            if len(self._buffer) < self._need:
+                return out
+            body = bytes(self._buffer[: self._need])
+            del self._buffer[: self._need]
+            self._need = None
+            try:
+                obj = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+            if not isinstance(obj, dict):
+                raise FrameError(
+                    f"frame must encode a JSON object, got {type(obj).__name__}"
+                )
+            out.append(obj)
+
+    def close(self) -> None:
+        """Signal EOF: leftover bytes mean the peer died mid-frame."""
+        if self._buffer or self._need is not None:
+            raise TruncatedFrame(
+                f"connection closed mid-frame ({len(self._buffer)} bytes of "
+                f"{self._need if self._need is not None else 'header'} pending)"
+            )
+
+
+async def read_frame(reader, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                     ) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrame("connection closed mid-length-prefix") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(
+            f"frame must encode a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def write_frame(writer, obj: Dict[str, Any]) -> None:
+    """Queue one frame on an asyncio stream writer (caller drains)."""
+    writer.write(encode_frame(obj))
+
+
+def ok_response(request_id: Optional[Any] = None, **fields: Any) -> Dict[str, Any]:
+    """A success response, echoing the request id when one was given."""
+    out: Dict[str, Any] = {"ok": True}
+    if request_id is not None:
+        out["id"] = request_id
+    out.update(fields)
+    return out
+
+
+def error_response(code: str, message: str = "",
+                   request_id: Optional[Any] = None) -> Dict[str, Any]:
+    """A failure response with a short machine-readable code."""
+    out: Dict[str, Any] = {"ok": False, "error": code}
+    if message:
+        out["message"] = message
+    if request_id is not None:
+        out["id"] = request_id
+    return out

@@ -1,0 +1,284 @@
+"""The asyncio TCP front-end: one rack served over the wire.
+
+Connection handling is deliberately lean: read a frame, decide
+admission, dispatch to the :class:`~repro.service.bridge.SimTimeBridge`,
+and write the response from the request future's done-callback -- no
+per-request task, lock, or drain.  Requests on one connection are
+*pipelined* (the handler never waits for a response before reading the
+next frame), so a single connection can keep many simulated requests in
+flight; responses come back in completion order, matched by ``id``.
+
+Backpressure is explicit: past the global queue-depth cap (or a
+client's token bucket) the server answers ``BUSY`` immediately instead
+of queueing, and during shutdown it answers ``SHUTTING_DOWN`` while the
+already-admitted requests drain.  The queue-depth cap also bounds the
+response bytes a slow reader can accumulate, which is why the write
+path can skip per-response drains.
+"""
+
+import asyncio
+from typing import Any, Dict, Optional, Set
+
+from repro.cluster.config import RackConfig
+from repro.errors import ConfigError
+from repro.service import protocol
+from repro.service.admission import AdmissionController
+from repro.service.bridge import SimTimeBridge
+
+
+class RackService:
+    """One rack behind a TCP listener."""
+
+    def __init__(
+        self,
+        config: RackConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        bridge: Optional[SimTimeBridge] = None,
+        admission: Optional[AdmissionController] = None,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        pace: float = 0.0,
+        chunk_us: float = 1000.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.bridge = bridge if bridge is not None else SimTimeBridge(
+            config, pace=pace, chunk_us=chunk_us
+        )
+        self.admission = admission if admission is not None else (
+            AdmissionController()
+        )
+        self.max_frame_bytes = max_frame_bytes
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._connections: Set["asyncio.Task"] = set()
+        self._draining = False
+        self.connections_accepted = 0
+        self.responses_sent = 0
+        # Completion responses accumulate here during a sim chunk and go
+        # out as one write per connection when the bridge's after_chunk
+        # hook fires; size is bounded by the admission queue-depth cap.
+        self._write_buffers: Dict["asyncio.StreamWriter", bytearray] = {}
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind, listen, and start the bridge pump."""
+        self.bridge.after_chunk = self._flush_writes
+        await self.bridge.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, drain_timeout_s: float = 10.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then close.
+
+        New requests arriving on live connections during the drain get
+        ``SHUTTING_DOWN``; admitted ones complete normally.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.bridge.stop(drain=True, drain_timeout_s=drain_timeout_s)
+        # Let queued done-callbacks buffer their final responses
+        # (cancellations from a cut-short drain), then push them out
+        # before closing the connections under them.
+        await asyncio.sleep(0)
+        self._flush_writes()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle_connection(self, reader: "asyncio.StreamReader",
+                                 writer: "asyncio.StreamWriter") -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self.connections_accepted += 1
+        peer = writer.get_extra_info("peername")
+        default_client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        outstanding: Set["asyncio.Future"] = set()
+        decoder = protocol.FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    requests = decoder.feed(data)
+                except protocol.FrameError as exc:
+                    self._send(writer, protocol.error_response(
+                        protocol.BAD_REQUEST, str(exc)
+                    ))
+                    break  # framing is lost; drop the connection
+                for request in requests:
+                    self._begin_request(request, default_client, writer,
+                                        outstanding)
+                # Push out whatever the batch produced synchronously
+                # (rejections, pings); completions flush per sim chunk.
+                self._flush_writes()
+            if outstanding:
+                # EOF with requests still in the simulator: finish them
+                # (their callbacks write into the closing socket, which
+                # is harmless if the peer is truly gone).
+                await asyncio.wait(outstanding)
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # A handler cancelled mid-drain re-raises CancelledError at
+                # its next await; the connection is closing either way.
+                pass
+            if task is not None:
+                self._connections.discard(task)
+
+    def _send(self, writer: "asyncio.StreamWriter",
+              response: Dict[str, Any]) -> None:
+        """Immediate response write (ping/stats/rejections)."""
+        if writer.is_closing():
+            return
+        try:
+            writer.write(protocol.encode_frame(response))
+        except (ConnectionResetError, BrokenPipeError):
+            return  # client went away; the simulated work still completed
+        self.responses_sent += 1
+
+    def _send_batched(self, writer: "asyncio.StreamWriter",
+                      response: Dict[str, Any]) -> None:
+        """Buffer a completion response for the next chunk flush."""
+        if writer.is_closing():
+            return
+        buffer = self._write_buffers.get(writer)
+        if buffer is None:
+            buffer = self._write_buffers[writer] = bytearray()
+        buffer += protocol.encode_frame(response)
+        self.responses_sent += 1
+
+    def _flush_writes(self) -> None:
+        """One socket write per connection with pending responses."""
+        if not self._write_buffers:
+            return
+        buffers, self._write_buffers = self._write_buffers, {}
+        for writer, buffer in buffers.items():
+            if writer.is_closing():
+                continue
+            try:
+                writer.write(bytes(buffer))
+            except (ConnectionResetError, BrokenPipeError):
+                continue
+
+    # --------------------------------------------------------------- dispatch
+
+    def _begin_request(self, request: Dict[str, Any], default_client: str,
+                       writer: "asyncio.StreamWriter",
+                       outstanding: Set["asyncio.Future"]) -> None:
+        """Admit and dispatch one request; responses are written either
+        immediately (rejections, ping/stats) or from the sim future's
+        done-callback when the simulated request completes."""
+        request_id = request.get("id")
+        rtype = request.get("type")
+        bridge = self.bridge
+        # Cheap, non-simulated request types bypass admission entirely.
+        if rtype == "ping":
+            self._send_batched(writer,
+                               protocol.ok_response(request_id, pong=True))
+            return
+        if rtype == "stats":
+            payload = bridge.stats_payload()
+            payload["admission"] = self.admission.stats()
+            payload["connections"] = float(self.connections_accepted)
+            self._send_batched(writer,
+                               protocol.ok_response(request_id, **payload))
+            return
+        if self._draining:
+            self._send_batched(writer, protocol.error_response(
+                protocol.SHUTTING_DOWN, "server is draining", request_id
+            ))
+            return
+        client = str(request.get("client") or default_client)
+        if not self.admission.try_admit(client, bridge.inflight):
+            self._send_batched(writer, protocol.error_response(
+                protocol.BUSY, "admission control shed this request",
+                request_id,
+            ))
+            return
+        try:
+            if rtype == "read":
+                future = bridge.submit_read(
+                    int(request["pair"]), int(request["lpn"]), client
+                )
+            elif rtype == "write":
+                future = bridge.submit_write(
+                    int(request["pair"]), int(request["lpn"]), client
+                )
+            elif rtype == "get":
+                future = bridge.submit_get(request["key"], client)
+            elif rtype == "put":
+                future = bridge.submit_put(
+                    request["key"], request["value"], client
+                )
+            elif rtype == "scan":
+                future = bridge.submit_scan(
+                    request.get("start", ""), int(request.get("count", 10)),
+                    client,
+                )
+            else:
+                self._send_batched(writer, protocol.error_response(
+                    protocol.BAD_REQUEST,
+                    f"unknown request type {rtype!r}", request_id,
+                ))
+                return
+        except (KeyError, TypeError, ValueError, ConfigError) as exc:
+            self._send_batched(writer, protocol.error_response(
+                protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
+                request_id,
+            ))
+            return
+        outstanding.add(future)
+
+        def _respond(fut: "asyncio.Future") -> None:
+            outstanding.discard(fut)
+            if fut.cancelled():
+                self._send_batched(writer, protocol.error_response(
+                    protocol.SHUTTING_DOWN, "request cancelled at shutdown",
+                    request_id,
+                ))
+                return
+            exc = fut.exception()
+            if exc is None:
+                self._send_batched(
+                    writer, protocol.ok_response(request_id, **fut.result())
+                )
+            elif isinstance(exc, asyncio.TimeoutError):
+                self._send_batched(writer, protocol.error_response(
+                    protocol.TIMEOUT, str(exc), request_id
+                ))
+            elif isinstance(exc, (KeyError, TypeError, ValueError,
+                                  ConfigError)):
+                self._send_batched(writer, protocol.error_response(
+                    protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
+                    request_id,
+                ))
+            else:
+                self._send_batched(writer, protocol.error_response(
+                    protocol.INTERNAL, f"{type(exc).__name__}: {exc}",
+                    request_id,
+                ))
+
+        future.add_done_callback(_respond)

@@ -76,6 +76,19 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         return self.call_at(self._now + delay, fn)
 
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`call_after` without a cancellation handle.
+
+        The kernel's own deferrals (timeout expiry, process start, resume
+        of a process that yielded an already-triggered event) never cancel,
+        so they skip the ``_Entry``/:class:`EventHandle` allocations -- the
+        bare callable sits in the heap.  Ordering is identical to
+        :meth:`call_after`: same heap, same sequence counter.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn))
+
     def spawn(self, generator: Generator) -> "Any":
         """Start a new :class:`~repro.sim.process.Process` from a generator."""
         from repro.sim.process import Process
@@ -90,8 +103,13 @@ class Simulator:
             self._cancelled >= _COMPACT_MIN_CANCELLED
             and self._cancelled * 2 >= len(heap)
         ):
-            # In-place so aliases held by a running loop stay valid.
-            heap[:] = [item for item in heap if not item[2].cancelled]
+            # In-place so aliases held by a running loop stay valid.  Bare
+            # callables (schedule_after) are never cancelled, so only
+            # _Entry items are candidates for dropping.
+            heap[:] = [
+                item for item in heap
+                if item[2].__class__ is not _Entry or not item[2].cancelled
+            ]
             heapq.heapify(heap)
             self._cancelled = 0
 
@@ -130,13 +148,17 @@ class Simulator:
                     break
                 heappop(heap)
                 entry = head[2]
-                if entry.cancelled:
-                    if self._cancelled > 0:
-                        self._cancelled -= 1
-                    continue
+                if entry.__class__ is _Entry:
+                    if entry.cancelled:
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        continue
+                    fn = entry.fn
+                else:
+                    fn = entry  # bare callable from schedule_after
                 self._now = when
                 count += 1
-                entry.fn()
+                fn()
                 if budget > 0:
                     budget -= 1
                     if budget == 0:
@@ -153,7 +175,7 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and heap[0][2].__class__ is _Entry and heap[0][2].cancelled:
             heapq.heappop(heap)
             if self._cancelled > 0:
                 self._cancelled -= 1

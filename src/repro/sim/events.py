@@ -88,7 +88,7 @@ class Timeout(Event):
         if delay < 0:
             raise SimulationError(f"negative timeout {delay!r}")
         self.delay = delay
-        sim.call_after(delay, lambda: self.succeed(value))
+        sim.schedule_after(delay, lambda: self.succeed(value))
 
 
 class AllOf(Event):

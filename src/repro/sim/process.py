@@ -35,7 +35,10 @@ class Process(Event):
         # Start on the next tick so the constructor returns before any of
         # the process body runs (matches SimPy semantics and avoids
         # surprising reentrancy during setup code).
-        sim.call_after(0.0, lambda: self._resume(None, None))
+        sim.schedule_after(0.0, self._start)
+
+    def _start(self) -> None:
+        self._resume(None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -52,26 +55,28 @@ class Process(Event):
         # later but must no longer resume us.
         if waiting is not None:
             waiting._detach(self)  # noqa: SLF001
-        self.sim.call_after(0.0, self._deliver_interrupt)
+        self.sim.schedule_after(0.0, self._deliver_interrupt)
 
     def _deliver_interrupt(self) -> None:
         exc, self._interrupted_with = self._interrupted_with, None
         if exc is None or self.triggered:
             return
-        self._step(lambda: self._generator.throw(exc))
+        self._step(exc, True)
 
     def _resume(self, event, _token) -> None:
         if self.triggered:
             return
         if event is not None and not event.ok:
-            self._step(lambda: self._generator.throw(event._exception))  # noqa: SLF001
+            self._step(event._exception, True)  # noqa: SLF001
             return
-        value = event.value if event is not None else None
-        self._step(lambda: self._generator.send(value))
+        self._step(event.value if event is not None else None, False)
 
-    def _step(self, advance) -> None:
+    def _step(self, arg, throw: bool) -> None:
+        # One flat advance -- send or throw -- with no per-resume closure
+        # allocation; this is the hottest call site in the whole kernel.
+        generator = self._generator
         try:
-            target = advance()
+            target = generator.throw(arg) if throw else generator.send(arg)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -106,7 +111,7 @@ class _WaitBinding:
         if event.triggered:
             # Defer through the scheduler: a tight loop over
             # already-available events must not recurse on the C stack.
-            process.sim.call_after(0.0, lambda: self._fire(event))
+            process.sim.schedule_after(0.0, lambda: self._fire(event))
         else:
             event.add_callback(self._fire)
 

@@ -54,6 +54,21 @@ class AttributionReport:
             CATEGORIES, key=lambda c: (self.by_category.get(c, 0), -CATEGORIES.index(c))
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-safe flattening (what the live service's /stats ships)."""
+        return {
+            "kind": self.kind,
+            "percentile": self.percentile,
+            "threshold_us": self.threshold_us,
+            "total_requests": self.total_requests,
+            "tail_requests": self.tail_requests,
+            "dominant": self.dominant(),
+            "coverage": self.coverage,
+            "gc_blocked": self.gc_blocked,
+            "by_category": dict(self.by_category),
+            "tail_time_by_category": dict(self.tail_time_by_category),
+        }
+
     def describe(self) -> str:
         lines = [
             f"p{self.percentile:g} {self.kind} tail attribution "

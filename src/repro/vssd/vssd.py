@@ -91,7 +91,7 @@ class VSsd:
         else:
             chip = addr.chip
         channel = self.ssd.channel_of_chip(chip)
-        yield self.sim.spawn(channel.read_page(self.page_kb))
+        yield from channel.read_page(self.page_kb)
         self.reads_served += 1
 
     def write(self, lpn: int) -> Generator:
@@ -100,7 +100,7 @@ class VSsd:
             yield from self.rate_limiter.throttle(1)
         addr = self.ftl.place_write(lpn)
         channel = self.ssd.channel_of_chip(addr.chip)
-        yield self.sim.spawn(channel.program_page(self.page_kb))
+        yield from channel.program_page(self.page_kb)
         self.ssd.pages_written += 1
         self.writes_served += 1
 
@@ -134,10 +134,10 @@ class VSsd:
                 for _lpn, old, new in result.migrations:
                     src_channel = self.ssd.channel_of_chip(old.chip)
                     dst_channel = self.ssd.channel_of_chip(new.chip)
-                    yield self.sim.spawn(src_channel.read_page(self.page_kb))
-                    yield self.sim.spawn(dst_channel.program_page(self.page_kb))
+                    yield from src_channel.read_page(self.page_kb)
+                    yield from dst_channel.program_page(self.page_kb)
                 victim_channel = self.ssd.channel_of_chip(result.victim.chip)
-                yield self.sim.spawn(victim_channel.erase_block())
+                yield from victim_channel.erase_block()
         finally:
             self.gc_busy_us += self.sim.now - started
             self.gc_active = False

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import _resolve_workload, main
+from repro.cli import UsageError, _resolve_workload, main
 
 
 class TestResolveWorkload:
@@ -14,11 +14,11 @@ class TestResolveWorkload:
         assert spec.write_ratio == pytest.approx(0.3)
 
     def test_unknown_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(UsageError):
             _resolve_workload("mongo-bench")
 
     def test_bad_ycsb_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(UsageError):
             _resolve_workload("ycsb-lots")
 
 
@@ -58,11 +58,11 @@ class TestCli:
         validate_chrome_trace(document)
         assert document["traceEvents"]
 
-    def test_trace_rejects_bad_sample_rate(self):
-        with pytest.raises(SystemExit):
-            main(["trace", "--sample-rate", "0.0"])
-        with pytest.raises(SystemExit):
-            main(["trace", "--sample-rate", "1.5"])
+    def test_trace_rejects_bad_sample_rate(self, capsys):
+        assert main(["trace", "--sample-rate", "0.0"]) == 2
+        assert main(["trace", "--sample-rate", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--sample-rate" in err
 
     def test_wear_small(self, capsys):
         code = main(["wear", "--servers", "2", "--ssds", "4", "--days", "120"])
@@ -77,6 +77,28 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServiceArgValidation:
+    """serve/loadgen reject bad arguments with exit code 2 and a usage
+    message naming the offending flag, before touching any sockets."""
+
+    @pytest.mark.parametrize("argv, flag", [
+        (["serve", "--chunk-us", "0"], "--chunk-us"),
+        (["serve", "--queue-depth", "0"], "--queue-depth"),
+        (["serve", "--pace", "-1"], "--pace"),
+        (["serve", "--servers", "1"], "--servers"),
+        (["serve", "--client-rate", "-5"], "--client-rate"),
+        (["loadgen", "--pipeline", "0"], "--pipeline"),
+        (["loadgen", "--clients", "0"], "--clients"),
+        (["loadgen", "--write-ratio", "1.5"], "--write-ratio"),
+        (["loadgen", "--mode", "open"], "--duration"),
+        (["loadgen", "--rate", "0"], "--rate"),
+        (["loadgen", "--keyspace", "0"], "--keyspace"),
+    ])
+    def test_bad_args_exit_2(self, capsys, argv, flag):
+        assert main(argv) == 2
+        assert flag in capsys.readouterr().err
 
 
 class TestCompareCommand:

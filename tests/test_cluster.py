@@ -243,6 +243,50 @@ class TestFailureHandling:
         with pytest.raises(ConfigError):
             manager.fail_server("10.9.9.9")
 
+    def test_stop_ends_heartbeat_loop(self):
+        rack = Rack(small_config(SystemType.RACKBLOX))
+        manager = FailureManager(rack, heartbeat_interval_us=5 * MSEC)
+        manager.start()
+        rack.sim.run(until=rack.sim.now + 20 * MSEC)
+        manager.stop()
+        assert not manager.running
+        # The loop wakes at most once more, sees the flag, and returns --
+        # no perpetual heartbeat process is left ticking the heap.
+        rack.sim.run(until=rack.sim.now + 20 * MSEC)
+        assert not manager._process.is_alive
+
+    def test_stop_is_idempotent_and_restartable(self):
+        rack = Rack(small_config(SystemType.RACKBLOX))
+        manager = FailureManager(rack, heartbeat_interval_us=5 * MSEC)
+        manager.start()
+        manager.stop()
+        manager.stop()  # second stop is a no-op
+        rack.sim.run(until=rack.sim.now + 20 * MSEC)
+        assert not manager._process.is_alive
+        # Restarting re-arms detection.
+        manager.start()
+        assert manager.running
+        victim = rack.pairs[0].primary_server_ip
+        manager.fail_server(victim)
+        rack.sim.run(until=rack.sim.now + 100 * MSEC)
+        assert manager.failures_detected >= 1
+        manager.stop()
+        rack.sim.run(until=rack.sim.now + 20 * MSEC)
+        assert not manager._process.is_alive
+
+    def test_double_start_does_not_stack_loops(self):
+        rack = Rack(small_config(SystemType.RACKBLOX))
+        manager = FailureManager(rack, heartbeat_interval_us=5 * MSEC)
+        manager.start()
+        first = manager._process
+        manager.start()  # must not spawn a second loop
+        assert manager._process is first
+        rack.sim.run(until=rack.sim.now + 20 * MSEC)
+        manager.stop()
+        # One stop ends the single loop; a stacked loop would survive it.
+        rack.sim.run(until=rack.sim.now + 20 * MSEC)
+        assert not manager._process.is_alive
+
 
 class TestPairDeletion:
     def test_delete_pair_removes_everything(self):

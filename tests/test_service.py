@@ -1,0 +1,360 @@
+"""Serving-layer tests: admission, sim-time bridge, and the TCP service.
+
+Everything runs against a real (small) rack and, for the end-to-end
+cases, a real listener on an ephemeral port -- these are the paths the
+localhost benchmark exercises, minus the scale.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.errors import ConfigError
+from repro.service.admission import AdmissionController, WallClockTokenBucket
+from repro.service.bridge import SimTimeBridge
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import RackService
+
+
+def small_config(**overrides) -> RackConfig:
+    defaults = dict(
+        system=SystemType("rackblox"), num_servers=2, num_pairs=2, seed=11
+    )
+    defaults.update(overrides)
+    return RackConfig(**defaults)
+
+
+# --------------------------------------------------------------- admission
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        bucket = WallClockTokenBucket(rate_per_sec=10.0, capacity=3, now=0.0)
+        assert [bucket.try_take(now=0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_restores_tokens(self):
+        bucket = WallClockTokenBucket(rate_per_sec=10.0, capacity=3, now=0.0)
+        for _ in range(3):
+            bucket.try_take(now=0.0)
+        assert not bucket.try_take(now=0.0)
+        # 0.2 s at 10 tokens/s refills two tokens.
+        assert bucket.try_take(now=0.2)
+        assert bucket.try_take(now=0.2)
+        assert not bucket.try_take(now=0.2)
+
+    def test_capacity_caps_refill(self):
+        bucket = WallClockTokenBucket(rate_per_sec=1000.0, capacity=2, now=0.0)
+        assert bucket.try_take(now=100.0)
+        assert bucket.try_take(now=100.0)
+        assert not bucket.try_take(now=100.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            WallClockTokenBucket(rate_per_sec=0.0, capacity=2)
+        with pytest.raises(ConfigError):
+            WallClockTokenBucket(rate_per_sec=1.0, capacity=0.5)
+
+
+class TestAdmissionController:
+    def test_queue_depth_cap_sheds(self):
+        ctrl = AdmissionController(max_queue_depth=4)
+        assert ctrl.try_admit("a", inflight=3)
+        assert not ctrl.try_admit("a", inflight=4)
+        assert not ctrl.try_admit("b", inflight=9)
+        assert ctrl.stats()["shed_queue_full"] == 2.0
+        assert ctrl.stats()["admitted"] == 1.0
+
+    def test_per_client_rate_limit_is_isolated(self):
+        ctrl = AdmissionController(
+            max_queue_depth=100, client_rate_per_sec=5.0, client_burst=2.0
+        )
+        # Greedy client drains its bucket; the other client is untouched.
+        assert ctrl.try_admit("greedy", 0, now=0.0)
+        assert ctrl.try_admit("greedy", 0, now=0.0)
+        assert not ctrl.try_admit("greedy", 0, now=0.0)
+        assert ctrl.try_admit("polite", 0, now=0.0)
+        assert ctrl.stats()["shed_rate_limited"] == 1.0
+
+    def test_full_queue_does_not_burn_tokens(self):
+        ctrl = AdmissionController(
+            max_queue_depth=1, client_rate_per_sec=5.0, client_burst=1.0
+        )
+        assert not ctrl.try_admit("a", inflight=1, now=0.0)
+        # The shed above was the depth gate; the token survives.
+        assert ctrl.try_admit("a", inflight=0, now=0.0)
+
+    def test_zero_rate_disables_metering(self):
+        ctrl = AdmissionController(max_queue_depth=10, client_rate_per_sec=0.0)
+        assert all(ctrl.try_admit("a", 0) for _ in range(100))
+
+
+# ------------------------------------------------------------------ bridge
+
+
+class TestSimTimeBridge:
+    def test_read_and_write_complete_with_latency(self):
+        async def scenario():
+            bridge = SimTimeBridge(small_config())
+            await bridge.start()
+            try:
+                read = await bridge.submit_read(0, 5)
+                write = await bridge.submit_write(1, 9)
+            finally:
+                await bridge.stop()
+            return read, write
+
+        read, write = asyncio.run(scenario())
+        assert read["latency_us"] > 0
+        assert write["latency_us"] > 0
+        assert write["replicas"] == 2
+
+    def test_kv_round_trip_through_bridge(self):
+        async def scenario():
+            bridge = SimTimeBridge(small_config())
+            await bridge.start()
+            try:
+                await bridge.submit_put("alpha", "1")
+                hit = await bridge.submit_get("alpha")
+                miss = await bridge.submit_get("beta")
+            finally:
+                await bridge.stop()
+            return hit, miss
+
+        hit, miss = asyncio.run(scenario())
+        assert hit["found"] and hit["value"] == "1"
+        assert not miss["found"]
+
+    def test_pair_index_validated(self):
+        async def scenario():
+            bridge = SimTimeBridge(small_config())
+            await bridge.start()
+            try:
+                with pytest.raises(ConfigError):
+                    bridge.submit_read(99, 0)
+            finally:
+                await bridge.stop()
+
+        asyncio.run(scenario())
+
+    def test_idle_bridge_freezes_sim_clock(self):
+        async def scenario():
+            bridge = SimTimeBridge(small_config())
+            await bridge.start()
+            try:
+                await bridge.submit_read(0, 1)
+                frozen = bridge.rack.sim.now
+                # Ample wall time with nothing in flight: the pump parks.
+                await asyncio.sleep(0.05)
+                assert bridge.rack.sim.now == frozen
+            finally:
+                await bridge.stop()
+
+        asyncio.run(scenario())
+
+    def test_timeout_expires_undeliverable_request(self):
+        async def scenario():
+            bridge = SimTimeBridge(
+                small_config(), request_timeout_us=50_000.0
+            )
+            await bridge.start()
+            try:
+                # Crash the primary's server, then read from it: the rack
+                # drops the packet at the dead NIC, so only the bridge's
+                # sim-time deadline can fail the future.
+                pair = bridge.rack.pairs[0]
+                bridge.rack.server_by_ip[pair.primary_server_ip].alive = False
+                with pytest.raises(asyncio.TimeoutError):
+                    await bridge.submit_read(0, 1)
+                assert bridge.timed_out == 1
+            finally:
+                await bridge.stop(drain=False)
+
+        asyncio.run(scenario())
+
+    def test_stats_payload_shape(self):
+        async def scenario():
+            bridge = SimTimeBridge(small_config())
+            await bridge.start()
+            try:
+                await bridge.submit_read(0, 1)
+                return bridge.stats_payload()
+            finally:
+                await bridge.stop()
+
+        payload = asyncio.run(scenario())
+        assert payload["bridge"]["completed"] == 1.0
+        assert "read_avg_us" in payload["metrics"]
+        assert payload["kvstore"]["keys"] == 0.0
+
+
+# ----------------------------------------------------------------- service
+
+
+async def _start_service(**kwargs) -> RackService:
+    service = RackService(small_config(), port=0, **kwargs)
+    await service.start()
+    return service
+
+
+class TestRackServiceEndToEnd:
+    def test_full_request_mix_over_tcp(self):
+        async def scenario():
+            service = await _start_service()
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    pong = await c.ping()
+                    read = await c.read(0, 3)
+                    write = await c.write(1, 4)
+                    await c.put("k", "v")
+                    got = await c.get("k")
+                    scanned = await c.scan("", 10)
+                    stats = await c.stats()
+            finally:
+                await service.stop()
+            return pong, read, write, got, scanned, stats
+
+        pong, read, write, got, scanned, stats = asyncio.run(scenario())
+        assert pong["pong"] is True
+        assert read["latency_us"] > 0
+        assert write["replicas"] == 2
+        assert got["value"] == "v"
+        assert scanned["count"] == 1
+        assert stats["bridge"]["completed"] >= 4.0
+        assert stats["admission"]["admitted"] >= 4.0
+
+    def test_pipelined_requests_on_one_connection(self):
+        async def scenario():
+            service = await _start_service()
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    results = await asyncio.gather(
+                        *(c.read(i % 2, i) for i in range(16))
+                    )
+            finally:
+                await service.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 16
+        assert all(r["latency_us"] > 0 for r in results)
+
+    def test_bad_requests_answered_not_dropped(self):
+        async def scenario():
+            service = await _start_service()
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    codes = []
+                    for payload in (
+                        {"type": "frobnicate"},
+                        {"type": "read", "pair": 99, "lpn": 0},
+                        {"type": "read"},  # missing operands
+                        {"type": "get"},   # missing key
+                    ):
+                        try:
+                            await c.request(payload)
+                        except ServiceError as exc:
+                            codes.append(exc.code)
+                    # The connection survives all of it.
+                    pong = await c.ping()
+            finally:
+                await service.stop()
+            return codes, pong
+
+        codes, pong = asyncio.run(scenario())
+        assert codes == ["BAD_REQUEST"] * 4
+        assert pong["pong"] is True
+
+    def test_queue_overflow_sheds_busy(self):
+        async def scenario():
+            service = await _start_service(
+                admission=AdmissionController(max_queue_depth=4)
+            )
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    outcomes = await asyncio.gather(
+                        *(c.read(0, i) for i in range(64)),
+                        return_exceptions=True,
+                    )
+            finally:
+                await service.stop()
+            return outcomes, service.admission.stats()
+
+        outcomes, stats = asyncio.run(scenario())
+        ok = [r for r in outcomes if isinstance(r, dict)]
+        busy = [
+            r for r in outcomes
+            if isinstance(r, ServiceError) and r.is_busy
+        ]
+        unexpected = [
+            r for r in outcomes
+            if not isinstance(r, dict)
+            and not (isinstance(r, ServiceError) and r.is_busy)
+        ]
+        assert not unexpected
+        assert busy, "overflow must shed with BUSY"
+        assert ok, "requests within the cap must still complete"
+        assert stats["shed_queue_full"] == len(busy)
+
+    def test_graceful_stop_drains_inflight(self):
+        async def scenario():
+            service = await _start_service()
+            client = await ServiceClient("127.0.0.1", service.port).connect()
+            try:
+                futures = [
+                    asyncio.ensure_future(client.read(0, i)) for i in range(8)
+                ]
+                # Requests not yet read off the socket when a drain starts
+                # are owed nothing; wait until all eight are live in the
+                # bridge so the drain guarantee is what's under test.
+                while service.bridge.submitted < 8:
+                    await asyncio.sleep(0.001)
+                await service.stop()
+                results = await asyncio.gather(
+                    *futures, return_exceptions=True
+                )
+            finally:
+                await client.close()
+            return results
+
+        results = asyncio.run(scenario())
+        completed = [r for r in results if isinstance(r, dict)]
+        assert len(completed) == 8, f"drain lost requests: {results}"
+
+    def test_draining_server_answers_shutting_down(self):
+        async def scenario():
+            service = await _start_service()
+            async with ServiceClient("127.0.0.1", service.port) as c:
+                await c.ping()
+                service._draining = True
+                try:
+                    await c.read(0, 1)
+                except ServiceError as exc:
+                    return exc.code
+                finally:
+                    service._draining = False
+                    await service.stop()
+            return None
+
+        assert asyncio.run(scenario()) == "SHUTTING_DOWN"
+
+    def test_malformed_frame_gets_bad_request_and_close(self):
+        async def scenario():
+            service = await _start_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(b"\x00\x00\x00\x05nope!")
+                data = await asyncio.wait_for(reader.read(4096), timeout=5.0)
+                eof = await asyncio.wait_for(reader.read(4096), timeout=5.0)
+                writer.close()
+            finally:
+                await service.stop()
+            return data, eof
+
+        data, eof = asyncio.run(scenario())
+        assert b"BAD_REQUEST" in data
+        assert eof == b""  # the server hung up after the framing error

@@ -1,0 +1,151 @@
+"""Wire-protocol codec tests: framing, truncation, and size limits."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestEncodeDecode:
+    def test_round_trip_single_frame(self):
+        message = {"type": "read", "pair": 1, "lpn": 42, "id": 7}
+        decoder = protocol.FrameDecoder()
+        out = decoder.feed(protocol.encode_frame(message))
+        assert out == [message]
+
+    def test_round_trip_many_frames_one_feed(self):
+        messages = [{"id": i, "type": "ping"} for i in range(25)]
+        blob = b"".join(protocol.encode_frame(m) for m in messages)
+        decoder = protocol.FrameDecoder()
+        assert decoder.feed(blob) == messages
+
+    def test_byte_at_a_time_reassembly(self):
+        message = {"type": "put", "key": "k1", "value": "v" * 100}
+        blob = protocol.encode_frame(message)
+        decoder = protocol.FrameDecoder()
+        out = []
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i:i + 1]))
+        assert out == [message]
+
+    def test_split_across_frame_boundary(self):
+        a = protocol.encode_frame({"id": 1})
+        b = protocol.encode_frame({"id": 2})
+        blob = a + b
+        decoder = protocol.FrameDecoder()
+        first = decoder.feed(blob[: len(a) + 3])
+        second = decoder.feed(blob[len(a) + 3:])
+        assert first == [{"id": 1}]
+        assert second == [{"id": 2}]
+
+    def test_unicode_payload_survives(self):
+        message = {"key": "ключ-鍵-🔑"}
+        decoder = protocol.FrameDecoder()
+        assert decoder.feed(protocol.encode_frame(message)) == [message]
+
+
+class TestDecoderErrors:
+    def test_oversized_frame_rejected_at_prefix(self):
+        decoder = protocol.FrameDecoder(max_frame_bytes=64)
+        prefix = struct.pack(">I", 65)
+        with pytest.raises(protocol.FrameTooLarge):
+            decoder.feed(prefix)
+
+    def test_oversized_rejected_before_body_arrives(self):
+        # The decoder must reject on the prefix alone -- it never waits
+        # for (or buffers) the advertised body.
+        decoder = protocol.FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(protocol.FrameTooLarge):
+            decoder.feed(struct.pack(">I", 1 << 30))
+
+    def test_at_limit_frame_accepted(self):
+        body = b'{"k":"' + b"x" * 50 + b'"}'
+        decoder = protocol.FrameDecoder(max_frame_bytes=len(body))
+        out = decoder.feed(struct.pack(">I", len(body)) + body)
+        assert out[0]["k"] == "x" * 50
+
+    def test_non_json_body_raises(self):
+        decoder = protocol.FrameDecoder()
+        bad = b"not json at all"
+        with pytest.raises(protocol.FrameError):
+            decoder.feed(struct.pack(">I", len(bad)) + bad)
+
+    def test_non_object_json_raises(self):
+        decoder = protocol.FrameDecoder()
+        body = b"[1,2,3]"
+        with pytest.raises(protocol.FrameError):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+
+    def test_truncated_frame_on_close(self):
+        decoder = protocol.FrameDecoder()
+        blob = protocol.encode_frame({"id": 1})
+        decoder.feed(blob[:-2])
+        with pytest.raises(protocol.TruncatedFrame):
+            decoder.close()
+
+    def test_truncated_prefix_on_close(self):
+        decoder = protocol.FrameDecoder()
+        decoder.feed(b"\x00\x00")
+        with pytest.raises(protocol.TruncatedFrame):
+            decoder.close()
+
+    def test_clean_close_after_whole_frames(self):
+        decoder = protocol.FrameDecoder()
+        decoder.feed(protocol.encode_frame({"id": 1}))
+        decoder.close()  # no leftover bytes -> no error
+
+
+class TestStreamHelpers:
+    def _feed_reader(self, *chunks: bytes) -> "asyncio.StreamReader":
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        reader.feed_eof()
+        return reader
+
+    def test_read_frame_round_trip(self):
+        async def scenario():
+            reader = self._feed_reader(protocol.encode_frame({"id": 9}))
+            return await protocol.read_frame(reader)
+
+        assert asyncio.run(scenario()) == {"id": 9}
+
+    def test_read_frame_none_on_clean_eof(self):
+        async def scenario():
+            return await protocol.read_frame(self._feed_reader())
+
+        assert asyncio.run(scenario()) is None
+
+    def test_read_frame_truncated_body(self):
+        async def scenario():
+            blob = protocol.encode_frame({"id": 9})
+            return await protocol.read_frame(self._feed_reader(blob[:-1]))
+
+        with pytest.raises(protocol.TruncatedFrame):
+            asyncio.run(scenario())
+
+    def test_read_frame_oversized(self):
+        async def scenario():
+            reader = self._feed_reader(struct.pack(">I", 100), b"x" * 100)
+            return await protocol.read_frame(reader, max_frame_bytes=10)
+
+        with pytest.raises(protocol.FrameTooLarge):
+            asyncio.run(scenario())
+
+
+class TestResponseShapes:
+    def test_ok_response_echoes_id(self):
+        out = protocol.ok_response(17, latency_us=3.5)
+        assert out == {"ok": True, "id": 17, "latency_us": 3.5}
+
+    def test_ok_response_without_id(self):
+        assert protocol.ok_response() == {"ok": True}
+
+    def test_error_response(self):
+        out = protocol.error_response(protocol.BUSY, "shed", 4)
+        assert out["ok"] is False
+        assert out["error"] == "BUSY"
+        assert out["message"] == "shed"
+        assert out["id"] == 4

@@ -1,0 +1,221 @@
+"""Recovery invariants checked after every injected fault.
+
+RackBlox's failure handling (§3.7) promises four properties that the
+checker audits directly against rack state, without going through the
+request path:
+
+a. **Durability** -- every acknowledged write still has at least one
+   live copy, either mapped in a surviving member's FTL or dirty in its
+   server's write cache.
+b. **Read routability** -- walking the switch tables the way the data
+   plane does (Algorithm 1's GC-bit redirect included) never lands a
+   read on a server that is dead *and* already detected; i.e. once the
+   failure manager has flipped the GC bits, reads reach the replica.
+c. **Replication factor** -- after a recovery or re-replication event
+   settles, every pair whose members are not inside a *known* outage
+   window has two live members again.
+d. **Switch/control-plane agreement** -- the data-plane tables contain
+   exactly the vSSDs in the control plane's registration log, with
+   matching replica links and destination servers.
+
+Checks are cheap table walks, so the injector can afford to run them
+after every event and once more at the end of the run.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import SwitchError
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    at_us: float
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.at_us:.0f}us] {self.invariant}: {self.detail}"
+
+
+def resolve_read_destination(switch, vssd_id: int) -> Tuple[str, bool]:
+    """Pure walk of the data plane's read path (no counters mutated).
+
+    Returns ``(server_ip, redirected)`` for a read addressed to
+    ``vssd_id``, applying the same GC-bit redirect the in-network
+    pipeline applies: redirect to the replica iff the primary's GC bit
+    is set and the replica's is clear.
+    """
+    entry = switch.replica_table.get(vssd_id)
+    if entry is None:
+        raise SwitchError(f"vSSD {vssd_id} not in replica table")
+    resolved = vssd_id
+    redirected = False
+    if entry.gc_status == 1:
+        replica = entry.replica_vssd_id
+        if switch.destination_table.gc_status(replica) == 0:
+            resolved = replica
+            redirected = True
+    dest = switch.destination_table.get(resolved)
+    if dest is None:
+        raise SwitchError(f"vSSD {resolved} not in destination table")
+    return dest.server_ip, redirected
+
+
+class InvariantChecker:
+    """Audits a :class:`~repro.cluster.rack.Rack` against §3.7 invariants."""
+
+    def __init__(self, rack) -> None:
+        self.rack = rack
+        # pair name -> set of acknowledged LPNs (invariant a's obligation).
+        self.acked: Dict[str, Set[int]] = {}
+        self.checks_run = 0
+        self.violations: List[InvariantViolation] = []
+
+    # -------------------------------------------------------- bookkeeping
+
+    def note_acked_write(self, pair, lpn: int) -> None:
+        self.acked.setdefault(pair.name, set()).add(lpn)
+
+    def _violate(self, invariant: str, detail: str) -> None:
+        self.violations.append(
+            InvariantViolation(self.rack.sim.now, invariant, detail)
+        )
+
+    @property
+    def lost_acked_writes(self) -> int:
+        return sum(
+            1 for v in self.violations if v.invariant == "acked-write-durability"
+        )
+
+    # ------------------------------------------------------------- checks
+
+    def _member_holds(self, vssd, server_ip: str, lpn: int) -> bool:
+        server = self.rack.server_by_ip.get(server_ip)
+        if server is None or not server.alive:
+            return False
+        if vssd.ftl.lookup(lpn) is not None:
+            return True
+        # Acked-but-unflushed writes live in the server's DRAM cache;
+        # an entry mid-flush has already run place_write, so it shows
+        # up in the FTL map via the branch above.
+        return (vssd.vssd_id, lpn) in server.write_cache._dirty
+
+    def check_durable_writes(self, label: str = "") -> int:
+        """Invariant (a): no acknowledged write may lose its last copy."""
+        self.checks_run += 1
+        before = len(self.violations)
+        for pair in self.rack.pairs:
+            obligations = self.acked.get(pair.name)
+            if not obligations:
+                continue
+            members = (
+                (pair.primary, pair.primary_server_ip),
+                (pair.replica, pair.replica_server_ip),
+            )
+            for lpn in sorted(obligations):
+                if not any(self._member_holds(v, ip, lpn) for v, ip in members):
+                    self._violate(
+                        "acked-write-durability",
+                        f"{label}: pair {pair.name} lpn {lpn} has no live copy",
+                    )
+        return len(self.violations) - before
+
+    def check_reads_routable(self, label: str = "") -> int:
+        """Invariant (b): post-detection, the switch never routes a read
+        at a server it already knows is dead."""
+        self.checks_run += 1
+        before = len(self.violations)
+        for pair in self.rack.pairs:
+            try:
+                dest_ip, _ = resolve_read_destination(
+                    self.rack.switch, pair.primary.vssd_id
+                )
+            except SwitchError as exc:
+                self._violate(
+                    "reads-routable", f"{label}: pair {pair.name}: {exc}"
+                )
+                continue
+            server = self.rack.server_by_ip.get(dest_ip)
+            dead = server is None or not server.alive
+            if dead and dest_ip in self.rack.failed_ips:
+                self._violate(
+                    "reads-routable",
+                    f"{label}: pair {pair.name} reads routed to detected-dead "
+                    f"server {dest_ip}",
+                )
+        return len(self.violations) - before
+
+    def check_replication_factor(self, label: str = "") -> int:
+        """Invariant (c): outside known outage windows, both members of
+        every pair are on live servers.
+
+        Pairs with a member inside a *detected* outage (its IP is in
+        ``rack.failed_ips``) are skipped: that degradation is the very
+        condition the redirect machinery covers until the schedule's
+        recovery or re-replication event repairs it.
+        """
+        self.checks_run += 1
+        before = len(self.violations)
+        for pair in self.rack.pairs:
+            member_ips = (pair.primary_server_ip, pair.replica_server_ip)
+            if any(ip in self.rack.failed_ips for ip in member_ips):
+                continue
+            for ip in member_ips:
+                server = self.rack.server_by_ip.get(ip)
+                if server is None or not server.alive:
+                    self._violate(
+                        "replication-factor",
+                        f"{label}: pair {pair.name} member on {ip} is dead "
+                        "but not tracked as a known failure",
+                    )
+        return len(self.violations) - before
+
+    def check_switch_tables(self, label: str = "") -> int:
+        """Invariant (d): data-plane tables == control-plane log."""
+        self.checks_run += 1
+        before = len(self.violations)
+        switch = self.rack.switch
+        log = self.rack.control_plane.registration_log()
+        for vssd_id in sorted(log):
+            server_ip, replica_id, _replica_ip = log[vssd_id]
+            entry = switch.replica_table.get(vssd_id)
+            if entry is None:
+                self._violate(
+                    "switch-tables",
+                    f"{label}: registered vSSD {vssd_id} missing from "
+                    "replica table",
+                )
+            elif entry.replica_vssd_id != replica_id:
+                self._violate(
+                    "switch-tables",
+                    f"{label}: vSSD {vssd_id} replica link {entry.replica_vssd_id}"
+                    f" != registered {replica_id}",
+                )
+            dest = switch.destination_table.get(vssd_id)
+            if dest is None:
+                self._violate(
+                    "switch-tables",
+                    f"{label}: registered vSSD {vssd_id} missing from "
+                    "destination table",
+                )
+            elif dest.server_ip != server_ip:
+                self._violate(
+                    "switch-tables",
+                    f"{label}: vSSD {vssd_id} destination {dest.server_ip} "
+                    f"!= registered {server_ip}",
+                )
+        for vssd_id in switch.replica_table.ids():
+            if vssd_id not in log:
+                self._violate(
+                    "switch-tables",
+                    f"{label}: stale replica-table entry for unregistered "
+                    f"vSSD {vssd_id}",
+                )
+        return len(self.violations) - before
+
+    def check_all(self, label: str = "") -> int:
+        found = self.check_durable_writes(label)
+        found += self.check_reads_routable(label)
+        found += self.check_switch_tables(label)
+        return found

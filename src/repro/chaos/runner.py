@@ -1,0 +1,148 @@
+"""Batch chaos experiments: replay a schedule, report availability/MTTR.
+
+Everything in a :class:`ChaosReport` derives from simulated time and
+counters, never from the wall clock, so two replays of the same schedule
+against the same config print byte-identical reports -- the determinism
+contract the CLI (and CI) check by diffing two runs.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.chaos.schedule import FaultSchedule
+from repro.errors import ConfigError
+
+
+@dataclass
+class ChaosReport:
+    """Deterministic summary of one fault-injection run."""
+
+    counters: Dict[str, float]
+    events: List[Tuple[float, str, str]]
+    violations: List[str]
+    failure_windows: List[Tuple[float, float]]
+    mttr_values_us: List[float]
+    detection_delay_bound_us: float
+    metrics_summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """The acceptance bar: no invariant broke, no acked write lost,
+        and reads stayed >= 99% available inside failure windows."""
+        if self.violations:
+            return False
+        if self.counters.get("lost_acked_writes", 0.0) > 0:
+            return False
+        if self.counters.get("window_reads", 0.0) > 0:
+            return self.counters["window_read_availability_pct"] >= 99.0
+        return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "events": [list(e) for e in self.events],
+            "violations": list(self.violations),
+            "failure_windows": [list(w) for w in self.failure_windows],
+            "mttr_values_us": list(self.mttr_values_us),
+            "detection_delay_bound_us": self.detection_delay_bound_us,
+            "metrics_summary": dict(self.metrics_summary),
+        }
+
+    def describe(self) -> str:
+        c = self.counters
+        lines = [
+            "chaos report",
+            "------------",
+            f"events executed      : {int(c['events'])}",
+            f"crashes / recoveries : {int(c['crashes'])} / {int(c['recoveries'])}",
+            f"detections           : {int(c['detections'])}"
+            f" (bound {self.detection_delay_bound_us:.0f} us)",
+            f"re-replications      : {int(c['rereplications'])}",
+            f"mean MTTR            : {c['mttr_mean_us']:.0f} us",
+            "",
+            f"reads  : {int(c['read_attempts'])} ops, "
+            f"{int(c['read_failures'])} failed, {int(c['read_retries'])} retried",
+            f"writes : {int(c['write_attempts'])} ops, "
+            f"{int(c['write_failures'])} failed, {int(c['write_retries'])} retried",
+            f"failure-window read availability  : "
+            f"{c['window_read_availability_pct']:.2f}% "
+            f"({int(c['window_reads'])} reads in window)",
+            f"failure-window write availability : "
+            f"{c['window_write_availability_pct']:.2f}% "
+            f"({int(c['window_writes'])} writes in window)",
+            "",
+            f"invariant checks     : {int(c['invariant_checks'])}",
+            f"invariant violations : {int(c['invariant_violations'])}",
+            f"lost acked writes    : {int(c['lost_acked_writes'])}",
+        ]
+        for label in ("read_p99_us", "write_p99_us"):
+            if label in self.metrics_summary:
+                lines.append(f"{label:<21}: {self.metrics_summary[label]:.1f}")
+        if "redirected_reads" in self.metrics_summary:
+            lines.append(
+                f"redirected reads     : "
+                f"{int(self.metrics_summary['redirected_reads'])}"
+            )
+        lines.append("")
+        lines.append("timeline (sim us):")
+        for at, kind, target in self.events:
+            lines.append(f"  {at:>12.0f}  {kind:<22} {target}")
+        if self.violations:
+            lines.append("")
+            lines.append("VIOLATIONS:")
+            lines.extend(f"  {v}" for v in self.violations)
+        lines.append("")
+        lines.append("verdict: " + ("CLEAN" if self.clean else "VIOLATED"))
+        return "\n".join(lines)
+
+
+def build_report(rack, metrics_summary: Dict[str, float]) -> ChaosReport:
+    injector = rack.chaos
+    if injector is None:
+        raise ConfigError("rack has no armed fault schedule")
+    return ChaosReport(
+        counters=injector.counters(),
+        events=list(injector.executed),
+        violations=[str(v) for v in injector.checker.violations],
+        failure_windows=injector.failure_windows(),
+        mttr_values_us=injector.mttr_values_us(),
+        detection_delay_bound_us=injector.manager.detection_delay_us,
+        metrics_summary=metrics_summary,
+    )
+
+
+def run_chaos_experiment(
+    config,
+    workload,
+    requests_per_pair: int = 1500,
+    rate_iops_per_pair: float = 3000.0,
+    working_set_fraction: float = 0.5,
+):
+    """Run one schedule-armed rack experiment; returns (result, report)."""
+    # Imported here: experiments.runner -> cluster.rack -> chaos would
+    # otherwise be circular at module-import time.
+    from repro.cluster.rack import Rack
+    from repro.experiments.runner import run_rack_experiment
+
+    if config.fault_schedule is None:
+        raise ConfigError(
+            "run_chaos_experiment needs a config with fault_schedule set"
+        )
+    if not isinstance(config.fault_schedule, FaultSchedule):
+        raise ConfigError("fault_schedule must be a FaultSchedule")
+    rack = Rack(config)
+    result = run_rack_experiment(
+        config,
+        workload,
+        requests_per_pair=requests_per_pair,
+        rate_iops_per_pair=rate_iops_per_pair,
+        working_set_fraction=working_set_fraction,
+        rack=rack,
+    )
+    # Exclude wall-clock-dependent keys: the report must replay exactly.
+    summary = {
+        k: v
+        for k, v in result.summary().items()
+        if k not in ("wall_clock_s", "events_per_sec")
+    }
+    return result, build_report(rack, summary)

@@ -1,0 +1,286 @@
+"""Declarative fault-injection schedules.
+
+A :class:`FaultSchedule` is a plain, immutable description of *when* the
+rack breaks and *how*: a tuple of timed :class:`FaultEvent` records plus
+the failure-detection parameters (heartbeat interval, miss threshold)
+and the chaos client's retry policy.  Because the schedule is pure data
+-- hashable, picklable, JSON round-trippable -- it can ride inside
+``RackConfig`` overrides, cross the ``ParallelRunner`` process pool, and
+replay bit-for-bit: the only randomness is in :meth:`FaultSchedule.random`,
+which derives its generator from the same ``"{seed}:{name}"`` substream
+convention as :class:`repro.sim.rng.RandomSource`, so generated schedules
+are as reproducible as everything else in the simulator.
+
+Event kinds
+-----------
+
+========================  ==========================================  ==============================
+kind                      target                                      params
+========================  ==========================================  ==============================
+``server_crash``          ``server:<idx>`` | ``pair:<idx>:primary``   --
+``server_recover``        same as ``server_crash``                    --
+``rereplicate``           ``pair:<idx>``                              --
+``link_degrade``          ``all`` | ``fabric`` | client name          ``factor`` (>= 1)
+``link_restore``          same as ``link_degrade``                    --
+``link_partition``        same as ``link_degrade``                    --
+``channel_stall``         ``server:<idx>`` | ``pair:<idx>:replica``   ``duration_us``
+``switch_fail_recover``   --                                          --
+``heartbeat_jitter``      --                                          ``factor``, ``duration_us``
+========================  ==========================================  ==============================
+
+A ``server:`` target names a rack slot (``rack.servers[idx]``); a
+``pair:`` target resolves through the replica pair at execution time, so
+it follows the pair across re-replication.  Raw ``10.0.0.x`` addresses
+are accepted too.
+"""
+
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.errors import ConfigError
+
+EVENT_KINDS = (
+    "server_crash",
+    "server_recover",
+    "rereplicate",
+    "link_degrade",
+    "link_restore",
+    "link_partition",
+    "channel_stall",
+    "switch_fail_recover",
+    "heartbeat_jitter",
+)
+
+# Kinds whose semantics require a target; the rest may leave it empty.
+_TARGETED_KINDS = frozenset(
+    {"server_crash", "server_recover", "rereplicate", "channel_stall"}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault, ``at_us`` microseconds into the run."""
+
+    at_us: float
+    kind: str
+    target: str = ""
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; choose from {EVENT_KINDS}"
+            )
+        if self.at_us < 0:
+            raise ConfigError(f"fault at_us must be >= 0, got {self.at_us!r}")
+        if self.kind in _TARGETED_KINDS and not self.target:
+            raise ConfigError(f"fault kind {self.kind!r} needs a target")
+        for name, value in self.params:
+            if not isinstance(name, str):
+                raise ConfigError(f"param name must be a string, got {name!r}")
+            float(value)  # must be numeric
+        factor = self.param("factor", 1.0)
+        if factor < 1.0:
+            raise ConfigError(
+                f"{self.kind} factor must be >= 1 (got {factor}); use "
+                "link_restore to clear a degradation"
+            )
+        if self.param("duration_us", 0.0) < 0:
+            raise ConfigError(f"{self.kind} duration_us must be >= 0")
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        for key, value in self.params:
+            if key == name:
+                return float(value)
+        return float(default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"at_us": self.at_us, "kind": self.kind}
+        if self.target:
+            out["target"] = self.target
+        out.update({k: v for k, v in self.params})
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultEvent":
+        if not isinstance(raw, dict):
+            raise ConfigError(f"fault event must be an object, got {raw!r}")
+        if "kind" not in raw or "at_us" not in raw:
+            raise ConfigError(f"fault event needs 'kind' and 'at_us': {raw!r}")
+        params = tuple(
+            sorted(
+                (key, float(value))
+                for key, value in raw.items()
+                if key not in ("at_us", "kind", "target")
+            )
+        )
+        return cls(
+            at_us=float(raw["at_us"]),
+            kind=str(raw["kind"]),
+            target=str(raw.get("target", "")),
+            params=params,
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of faults plus the detection / retry parameters.
+
+    ``heartbeat_interval_us`` and ``miss_threshold`` configure the
+    :class:`~repro.cluster.failures.FailureManager` driving the run, so
+    the detection-delay bound ``heartbeat_interval_us * (miss_threshold
+    + 1)`` replays identically with the schedule.  ``op_timeout_us`` and
+    ``max_attempts`` are the chaos client's per-attempt timeout and
+    retry budget.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    heartbeat_interval_us: float = 2_000.0
+    miss_threshold: int = 2
+    op_timeout_us: float = 15_000.0
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.heartbeat_interval_us <= 0:
+            raise ConfigError("heartbeat_interval_us must be positive")
+        if self.miss_threshold < 1:
+            raise ConfigError("miss_threshold must be >= 1")
+        if self.op_timeout_us <= 0:
+            raise ConfigError("op_timeout_us must be positive")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+
+    # ------------------------------------------------------------- views
+
+    @property
+    def detection_delay_us(self) -> float:
+        """Upper bound on crash-to-detection latency (see FailureManager)."""
+        return self.heartbeat_interval_us * (self.miss_threshold + 1)
+
+    def horizon_us(self) -> float:
+        """Sim time by which every scheduled fault has started and ended."""
+        horizon = 0.0
+        for event in self.events:
+            horizon = max(horizon, event.at_us + event.param("duration_us", 0.0))
+        return horizon
+
+    def sorted_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(sorted(self.events, key=lambda e: (e.at_us, e.kind, e.target)))
+
+    def with_events(self, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        return replace(self, events=tuple(events))
+
+    # ------------------------------------------------------------ JSON IO
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "heartbeat_interval_us": self.heartbeat_interval_us,
+            "miss_threshold": self.miss_threshold,
+            "op_timeout_us": self.op_timeout_us,
+            "max_attempts": self.max_attempts,
+            "events": [event.to_dict() for event in self.sorted_events()],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultSchedule":
+        if not isinstance(raw, dict):
+            raise ConfigError(f"fault schedule must be an object, got {type(raw).__name__}")
+        events = raw.get("events", [])
+        if not isinstance(events, list):
+            raise ConfigError("fault schedule 'events' must be a list")
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in events),
+            heartbeat_interval_us=float(raw.get("heartbeat_interval_us", 2_000.0)),
+            miss_threshold=int(raw.get("miss_threshold", 2)),
+            op_timeout_us=float(raw.get("op_timeout_us", 15_000.0)),
+            max_attempts=int(raw.get("max_attempts", 4)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid fault schedule JSON: {exc}") from exc
+        return cls.from_dict(raw)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultSchedule":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read fault schedule {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+    # --------------------------------------------------------- generation
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        num_servers: int = 4,
+        num_crashes: int = 2,
+        horizon_us: float = 300_000.0,
+        heartbeat_interval_us: float = 2_000.0,
+        miss_threshold: int = 2,
+        include_link_faults: bool = True,
+    ) -> "FaultSchedule":
+        """A reproducible crash/recover storm derived from ``seed``.
+
+        Uses the ``"{seed}:chaos"`` substream so the schedule is as
+        deterministic as the rack it will be injected into, and adding
+        chaos never perturbs the other named RNG streams.
+        """
+        if num_servers < 2:
+            raise ConfigError("random schedule needs at least 2 servers")
+        rng = random.Random(f"{seed}:chaos")
+        detection = heartbeat_interval_us * (miss_threshold + 1)
+        events = []
+        slot = horizon_us / max(1, num_crashes)
+        for i in range(num_crashes):
+            crash_at = i * slot + rng.uniform(0.1, 0.3) * slot
+            downtime = rng.uniform(0.35, 0.55) * slot
+            # Leave the recovery clear of the detection bound so the
+            # outage is always observable.
+            downtime = max(downtime, 3.0 * detection)
+            server = rng.randrange(num_servers)
+            events.append(FaultEvent(crash_at, "server_crash", f"server:{server}"))
+            events.append(
+                FaultEvent(crash_at + downtime, "server_recover", f"server:{server}")
+            )
+        if include_link_faults:
+            at = rng.uniform(0.55, 0.7) * horizon_us
+            span = rng.uniform(0.08, 0.15) * horizon_us
+            factor = rng.choice([2.0, 4.0, 8.0])
+            events.append(
+                FaultEvent(at, "link_degrade", "all", (("factor", factor),))
+            )
+            events.append(FaultEvent(at + span, "link_restore", "all"))
+        return cls(
+            events=tuple(sorted(events, key=lambda e: (e.at_us, e.kind, e.target))),
+            heartbeat_interval_us=heartbeat_interval_us,
+            miss_threshold=miss_threshold,
+        )
+
+
+# Latency multiplier used for ``link_partition``: large enough that no
+# packet delivered through a partitioned link lands inside any plausible
+# run horizon, so a partition behaves as total loss without a new
+# drop mechanism in the latency model.
+PARTITION_FACTOR = 1.0e9
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "PARTITION_FACTOR",
+]

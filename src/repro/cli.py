@@ -8,6 +8,9 @@ Commands:
 * ``serve`` -- expose a rack as a live asyncio TCP service (sim-time
   bridge, admission control, graceful drain on SIGINT/SIGTERM);
 * ``loadgen`` -- open/closed-loop load generation against ``serve``;
+* ``chaos`` -- replay a fault-injection schedule against a rack under
+  load and print the availability/MTTR/invariant report (exit 1 if any
+  recovery invariant broke);
 * ``figures`` -- reproduce paper figures (same as
   ``python -m repro.experiments.report``);
 * ``wear`` -- the long-horizon wear-leveling campaign;
@@ -64,6 +67,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one rack experiment")
     add_rack_args(run_p)
 
+    chaos_p = sub.add_parser(
+        "chaos", help="replay a fault-injection schedule under load"
+    )
+    add_rack_args(chaos_p)
+    chaos_p.add_argument("--schedule", required=True, metavar="PATH",
+                         help="fault schedule JSON "
+                              "(see examples/crash_recover.json)")
+    chaos_p.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of text")
+
     trace_p = sub.add_parser(
         "trace", help="run one rack experiment with request tracing"
     )
@@ -108,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="simulated microseconds advanced per pump "
                               "chunk; larger chunks batch more responses "
                               "per socket write (default 1000)")
+    serve_p.add_argument("--fault-schedule", metavar="PATH", default=None,
+                         help="arm this fault-injection schedule JSON on "
+                              "the served rack (chaos testing)")
+    serve_p.add_argument("--request-timeout-us", type=float, default=None,
+                         help="per-request simulated deadline; requests "
+                              "stuck past it answer TIMEOUT (default 5s)")
 
     loadgen_p = sub.add_parser(
         "loadgen", help="drive a served rack with generated load"
@@ -135,6 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="pair indices to target (match the server)")
     loadgen_p.add_argument("--keyspace", type=int, default=1024)
     loadgen_p.add_argument("--seed", type=int, default=42)
+    loadgen_p.add_argument("--retries", type=int, default=0,
+                           help="re-send a request up to N times on "
+                                "BUSY/TIMEOUT (default 0: fail fast)")
 
     figures_p = sub.add_parser("figures", help="reproduce paper figures")
     figures_p.add_argument("names", nargs="*",
@@ -219,6 +241,40 @@ def _cmd_run(args, trace_sample_rate: float = 0.0) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json as json_mod
+
+    from repro.chaos.runner import run_chaos_experiment
+    from repro.chaos.schedule import FaultSchedule
+
+    _validate_rack_args(args)
+    workload = _resolve_workload(args.workload)
+    try:
+        schedule = FaultSchedule.from_json_file(args.schedule)
+    except ReproError as exc:
+        raise UsageError(f"cannot load schedule {args.schedule!r}: {exc}")
+    config = RackConfig(
+        system=SystemType(args.system),
+        num_servers=args.servers,
+        num_pairs=args.pairs,
+        device_profile=profile_by_name(args.device),
+        network_profile=net_profile_by_name(args.network),
+        seed=args.seed,
+        fault_schedule=schedule,
+    )
+    _result, report = run_chaos_experiment(
+        config, workload, requests_per_pair=args.requests,
+        rate_iops_per_pair=args.rate,
+    )
+    if args.json:
+        print(json_mod.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"system={args.system} workload={workload.name} "
+              f"schedule={args.schedule} seed={args.seed}")
+        print(report.describe())
+    return 0 if report.clean else 1
+
+
 def _report_traces(args, traces) -> None:
     from repro.trace.chrome import write_chrome_trace
 
@@ -251,6 +307,19 @@ def _cmd_serve(args) -> int:
     _require(0.0 <= args.trace_sample_rate <= 1.0,
              "--trace-sample-rate must be in [0,1], "
              f"got {args.trace_sample_rate}")
+    _require(args.request_timeout_us is None or args.request_timeout_us > 0,
+             "--request-timeout-us must be > 0, "
+             f"got {args.request_timeout_us}")
+    fault_schedule = None
+    if args.fault_schedule is not None:
+        from repro.chaos.schedule import FaultSchedule
+
+        try:
+            fault_schedule = FaultSchedule.from_json_file(args.fault_schedule)
+        except ReproError as exc:
+            raise UsageError(
+                f"cannot load schedule {args.fault_schedule!r}: {exc}"
+            )
     config = RackConfig(
         system=SystemType(args.system),
         num_servers=args.servers,
@@ -259,6 +328,7 @@ def _cmd_serve(args) -> int:
         network_profile=net_profile_by_name(args.network),
         seed=args.seed,
         trace_sample_rate=args.trace_sample_rate,
+        fault_schedule=fault_schedule,
     )
     service = RackService(
         config, host=args.host, port=args.port,
@@ -269,6 +339,7 @@ def _cmd_serve(args) -> int:
         ),
         pace=args.pace,
         chunk_us=args.chunk_us,
+        request_timeout_us=args.request_timeout_us,
     )
 
     async def serve() -> None:
@@ -315,6 +386,8 @@ def _cmd_loadgen(args) -> int:
              f"--keyspace must be >= 1, got {args.keyspace}")
     _require(args.pipeline >= 1,
              f"--pipeline must be >= 1, got {args.pipeline}")
+    _require(args.retries >= 0,
+             f"--retries must be >= 0, got {args.retries}")
     try:
         report = asyncio.run(run_loadgen(
             args.host, args.port,
@@ -323,7 +396,7 @@ def _cmd_loadgen(args) -> int:
             pipeline=args.pipeline,
             rate_rps=args.rate, write_ratio=args.write_ratio,
             kind=args.kind, pairs=args.pairs, keyspace=args.keyspace,
-            seed=args.seed,
+            seed=args.seed, retries=args.retries,
         ))
     except OSError as exc:
         print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",
@@ -386,6 +459,8 @@ def _dispatch(args) -> int:
         _require(0.0 < args.sample_rate <= 1.0,
                  f"--sample-rate must be in (0, 1], got {args.sample_rate}")
         return _cmd_run(args, trace_sample_rate=args.sample_rate)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "loadgen":

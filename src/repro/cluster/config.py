@@ -2,7 +2,9 @@
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.chaos.schedule import FaultSchedule
 from repro.errors import ConfigError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import DeviceProfile, PSSD
@@ -98,6 +100,11 @@ class RackConfig:
     #: draws come from a dedicated RNG, so tracing never perturbs the
     #: simulated behaviour -- only records it.
     trace_sample_rate: float = 0.0
+    #: Deterministic fault-injection schedule (None disables chaos).  When
+    #: set, the rack arms a FailureManager with the schedule's heartbeat
+    #: parameters and a ChaosInjector that replays the events in sim time,
+    #: auditing the §3.7 recovery invariants after each one.
+    fault_schedule: Optional[FaultSchedule] = None
     seed: int = 42
 
     def __post_init__(self) -> None:

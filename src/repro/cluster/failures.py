@@ -50,6 +50,9 @@ class FailureManager:
         self.failures_detected = 0
         self.recoveries = 0
         self.rereplications = 0
+        # Sim timestamps of detections/recoveries, for MTTR accounting.
+        self.detected_at: Dict[str, float] = {}
+        self.recovered_at: Dict[str, float] = {}
         self._running = False
         self._process = None
 
@@ -81,14 +84,15 @@ class FailureManager:
             if not self._running:
                 return
             for server in self.rack.servers:
+                # rack.servers can grow after construction (re-replication
+                # targets); default unseen IPs to zero misses so brand-new
+                # servers are health-checked from their first tick.
                 if server.alive:
                     self._missed[server.ip] = 0
                     continue
-                self._missed[server.ip] += 1
-                if (
-                    self._missed[server.ip] >= self.miss_threshold
-                    and server.ip not in self._handled
-                ):
+                missed = self._missed.get(server.ip, 0) + 1
+                self._missed[server.ip] = missed
+                if missed >= self.miss_threshold and server.ip not in self._handled:
                     self._on_server_failure(server.ip)
 
     @property
@@ -120,11 +124,13 @@ class FailureManager:
                     self.rack.switch.destination_table.set_gc_status(vssd.vssd_id, 0)
             self.rack.failed_ips.discard(ip)
             self.recoveries += 1
+            self.recovered_at[ip] = self.sim.now
 
     def _on_server_failure(self, ip: str) -> None:
         """Redirect the dead server's vSSDs to their replicas."""
         self._handled.add(ip)
         self.failures_detected += 1
+        self.detected_at[ip] = self.sim.now
         self.rack.failed_ips.add(ip)
         server = self.rack.server_by_ip[ip]
         for vssd in server.vssds:
@@ -200,6 +206,12 @@ class FailureManager:
             surviving_entry.replica_vssd_id = new_vssd.vssd_id
             rack.switch.replica_table.set_gc_status(survivor.vssd_id, 0)
             rack.switch.destination_table.set_gc_status(survivor.vssd_id, 0)
+        # Keep the control plane's registration log in step: a later
+        # switch reboot repopulates the tables from it, so it must name
+        # the rebuilt member, not the dead one.
+        rack.control_plane.replace_registration(
+            dead_vssd.vssd_id, new_vssd.vssd_id, target.ip
+        )
         self.rereplications += 1
         return copied
 
@@ -246,3 +258,14 @@ class FailureManager:
         for coordinator in self.rack._gc_coordinators.values():  # noqa: SLF001
             if hasattr(coordinator, "dataplane"):
                 coordinator.dataplane = fresh
+        # Repopulation reinitialises GC state, which would also forget
+        # fail-over redirects for servers that are still down: re-arm
+        # their vSSDs' bits so reads keep steering to the replicas.
+        for ip in sorted(self._handled):
+            server = self.rack.server_by_ip.get(ip)
+            if server is None:
+                continue
+            for vssd in server.vssds:
+                if vssd.vssd_id in fresh.replica_table:
+                    fresh.replica_table.set_gc_status(vssd.vssd_id, 1)
+                    fresh.destination_table.set_gc_status(vssd.vssd_id, 1)

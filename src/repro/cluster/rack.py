@@ -86,6 +86,8 @@ class Rack:
         #: legs).  Client data paths each get their own process -- VMs in
         #: different parts of the datacenter see different congestion, and
         #: that heterogeneity is what coordinated I/O scheduling exploits.
+        #: Link-fault multiplier inherited by lazily created client paths.
+        self._link_degradation = 1.0
         self.latency = LatencyProcess(config.network_profile, self.rng.stream("net"))
         self._client_latency: Dict[str, LatencyProcess] = {}
         #: Request-level tracing (§3.4's latency decomposition, recorded
@@ -178,6 +180,28 @@ class Rack:
         self.failed_ips = set()
         if config.background_traffic:
             self.start_background_traffic()
+
+        # --- fault injection -------------------------------------------------
+        #: Armed ChaosInjector when the config carries a fault schedule.
+        self.chaos = None
+        self.failure_manager = None
+        if config.fault_schedule is not None:
+            self._arm_chaos(config.fault_schedule)
+
+    def _arm_chaos(self, schedule) -> None:
+        # Imported lazily: repro.chaos.injector reaches back into cluster
+        # machinery, and FailureManager imports this module.
+        from repro.chaos.injector import ChaosInjector
+        from repro.cluster.failures import FailureManager
+
+        self.failure_manager = FailureManager(
+            self,
+            heartbeat_interval_us=schedule.heartbeat_interval_us,
+            miss_threshold=schedule.miss_threshold,
+        )
+        self.failure_manager.start()
+        self.chaos = ChaosInjector(self, schedule, self.failure_manager)
+        self.chaos.arm()
 
     # ------------------------------------------------------------------ build
 
@@ -364,8 +388,25 @@ class Rack:
             process = LatencyProcess(
                 self.config.network_profile, self.rng.stream(f"lat-{client_name}")
             )
+            process.set_degradation(self._link_degradation)
             self._client_latency[client_name] = process
         return process
+
+    def set_link_degradation(self, factor: float) -> None:
+        """Scale every network path by ``factor`` (fault injection).
+
+        Applies to the shared fabric, all existing per-client paths, and
+        -- via the stored multiplier -- paths created later.  ``1.0``
+        restores healthy links.
+        """
+        self._link_degradation = factor
+        self.latency.set_degradation(factor)
+        for process in self._client_latency.values():
+            process.set_degradation(factor)
+
+    def degraded(self) -> bool:
+        """Whether the rack is inside a known fault window (for tracing)."""
+        return bool(self.failed_ips) or self._link_degradation != 1.0
 
     def send_from_client(self, pkt: Packet, flow_id: str, priority: int = 1) -> None:
         """Launch a packet from a client into the rack.
@@ -387,7 +428,7 @@ class Rack:
     # ------------------------------------------------- request injection API
 
     def issue_read(self, pair: ReplicaPair, lpn: int, client: str = "live",
-                   priority: int = 1) -> Event:
+                   priority: int = 1, target: str = "primary") -> Event:
         """Inject one read at the current sim time; the returned event
         fires with the response packet when it reaches the client edge.
 
@@ -395,9 +436,17 @@ class Rack:
         request by request -- the batch :class:`~repro.cluster.client.Client`
         and the live serving bridge both go through it, so traced spans and
         switch redirection behave identically for both.
+
+        ``target="replica"`` addresses the replica vSSD instead of the
+        primary -- the hedged-read path: a duplicate request sent after a
+        tail delay so a slow or silently dead primary cannot hold the
+        operation hostage.
         """
+        if target not in ("primary", "replica"):
+            raise ConfigError(f"read target must be primary|replica, got {target!r}")
+        vssd = pair.primary if target == "primary" else pair.replica
         t0 = self.sim.now
-        pkt = read_request(pair.primary.vssd_id, client, "", t0)
+        pkt = read_request(vssd.vssd_id, client, "", t0)
         rid = self.new_request_id()
         pkt.payload.update(lpn=lpn, rid=rid)
         trace = self.tracer.start_request(
@@ -405,6 +454,10 @@ class Rack:
         )
         done = self.register_pending(rid)
         if trace is not None:
+            if target == "replica":
+                trace.attrs["hedged"] = True
+            if self.degraded():
+                trace.attrs["degraded"] = True
             pkt.payload["trace"] = trace
             done.add_callback(
                 lambda ev, t=trace: self.tracer.finish(t, self.sim.now)
@@ -444,6 +497,8 @@ class Rack:
             )
             done = self.register_pending(rid)
             if trace is not None:
+                if self.degraded():
+                    trace.attrs["degraded"] = True
                 pkt.payload["trace"] = trace
                 done.add_callback(
                     lambda ev, t=trace: self.tracer.finish(t, self.sim.now)
@@ -461,9 +516,14 @@ class Rack:
             trace.add_span("net.client_to_tor", sent_at, self.sim.now)
         action = self.switch.process_packet(pkt)
         if trace is not None:
+            redirected = getattr(action, "redirected", False)
+            if redirected:
+                # Surface the fail-over/GC redirect on the trace itself so
+                # tail attribution can slice failure-window requests out.
+                trace.attrs["redirected"] = True
             trace.instant(
                 "switch.pipeline", self.sim.now,
-                redirected=getattr(action, "redirected", False),
+                redirected=redirected,
                 dst=action.dst_ip, vssd=action.packet.vssd_id,
             )
         port = self._egress[action.dst_ip]

@@ -84,6 +84,15 @@ def run_rack_experiment(
     events_before = rack.sim.event_count
     rack.precondition(working_set_fraction=working_set_fraction)
     metrics = ExperimentMetrics()
+    chaotic = getattr(rack, "chaos", None) is not None
+    if chaotic:
+        # Fault-schedule runs need timeout/retry clients: the plain client
+        # would wait forever on a packet dropped at a crashed server's NIC.
+        from repro.chaos.client import ChaosClient
+
+        client_cls = ChaosClient
+    else:
+        client_cls = Client
     processes = []
     for idx, pair in enumerate(rack.pairs):
         generator = OpenLoopGenerator(
@@ -92,7 +101,7 @@ def run_rack_experiment(
             rate_iops=rate_iops_per_pair,
             rng=rack.rng.stream(f"client-{idx}"),
         )
-        client = Client(
+        client = client_cls(
             rack,
             name=f"client-{idx}",
             pair=pair,
@@ -103,6 +112,12 @@ def run_rack_experiment(
         processes.append(rack.sim.spawn(client.run(requests_per_pair)))
     done = AllOf(rack.sim, processes)
     run_until(rack.sim, done)
+    if chaotic:
+        # Let trailing schedule events (late recoveries, settle-delayed
+        # invariant checks) fire even when the clients drained early, then
+        # fold the chaos accounting into the metrics.
+        rack.chaos.finish()
+        metrics.chaos = rack.chaos.counters()
     metrics.redirected_reads = rack.redirect_count()
     metrics.gc_blocked_reads = rack.gc_blocked_read_count()
     return RackResult(

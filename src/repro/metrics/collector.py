@@ -21,6 +21,9 @@ class ExperimentMetrics:
         self.write_storage = LatencyRecorder("write-storage")
         self.redirected_reads = 0
         self.gc_blocked_reads = 0
+        #: Fault-injection counters (filled by the chaos runner; empty
+        #: when the experiment ran without a fault schedule).
+        self.chaos: Dict[str, float] = {}
 
     def record(
         self,
@@ -62,6 +65,8 @@ class ExperimentMetrics:
                 out[f"{label}_avg_us"] = recorder.mean()
         out["redirected_reads"] = float(self.redirected_reads)
         out["gc_blocked_reads"] = float(self.gc_blocked_reads)
+        for key in sorted(self.chaos):
+            out[f"chaos_{key}"] = float(self.chaos[key])
         return out
 
     def total_kiops(self) -> float:

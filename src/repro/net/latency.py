@@ -111,6 +111,16 @@ class LatencyProcess:
         # Congestion schedule: list of (start, end) windows, extended lazily.
         self._windows = []
         self._horizon = 0.0
+        # Fault-injection multiplier (link degradation / partition).
+        # Applied without consuming RNG draws, so a factor of 1.0 is
+        # byte-identical to a run with no degradation at all.
+        self.degradation = 1.0
+
+    def set_degradation(self, factor: float) -> None:
+        """Scale every subsequent sample by ``factor`` (1.0 restores)."""
+        if factor < 1.0:
+            raise ConfigError(f"degradation factor must be >= 1, got {factor}")
+        self.degradation = factor
 
     def _extend_schedule(self, until: float) -> None:
         while self._horizon <= until:
@@ -150,7 +160,7 @@ class LatencyProcess:
             # Exponentially distributed straggler magnitude around the
             # profile's mean factor.
             draw *= 1.0 + self._rng.expovariate(1.0 / self.profile.straggler_factor)
-        return draw
+        return draw * self.degradation
 
     def expected_uncongested(self) -> float:
         """Mean of the uncongested lognormal (for scheduler deadline tuning)."""

@@ -160,10 +160,18 @@ class SimTimeBridge:
     # ------------------------------------------------------------ submission
 
     def submit_read(self, pair_index: int, lpn: int,
-                    client: str = "live") -> "asyncio.Future":
-        """Inject a raw vSSD read; resolves to ``{"latency_us": ...}``."""
+                    client: str = "live", replica: bool = False) -> "asyncio.Future":
+        """Inject a raw vSSD read; resolves to ``{"latency_us": ...}``.
+
+        ``replica=True`` addresses the pair's replica vSSD directly --
+        the hedged-read escape hatch clients use when the primary is slow
+        or silently dead.
+        """
         pair = self._pair(pair_index)
-        done = self.rack.issue_read(pair, int(lpn), client=client)
+        done = self.rack.issue_read(
+            pair, int(lpn), client=client,
+            target="replica" if replica else "primary",
+        )
         return self._track("read", done, lambda pkt: {
             "latency_us": self.rack.sim.now - pkt.issue_time,
             "storage_us": pkt.payload.get("storage_us"),
@@ -322,6 +330,8 @@ class SimTimeBridge:
             "gets": float(kv.gets), "puts": float(kv.puts),
             "scans": float(kv.scans), "misses": float(kv.misses),
         }
+        if self.rack.chaos is not None:
+            out["chaos"] = self.rack.chaos.counters()
         tracer = self.rack.tracer
         if tracer.enabled:
             collection = tracer.collection()

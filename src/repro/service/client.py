@@ -6,11 +6,29 @@ client-assigned ``id``, a background reader task matches responses back
 to their futures, so ``await client.get(...)`` from many tasks at once
 just works (and is exactly how the closed-loop load generator drives a
 connection at depth > 1).
+
+Resilience is opt-in and off by default (``max_retries=0`` keeps the
+historical fail-fast behaviour):
+
+* **Retry** -- ``max_retries`` re-attempts on the retryable outcomes:
+  ``BUSY``/``TIMEOUT`` answers, connection loss (with an automatic
+  reconnect), and client-side ``request_timeout_s`` expiry.  Backoff is
+  exponential from ``retry_backoff_s``.
+* **Hedged reads** -- with ``hedge_reads``, a read still unanswered
+  after a tail-latency delay fires a duplicate addressed at the
+  *replica* vSSD; first success wins.  The delay defaults to the p99 of
+  this client's recent read latencies (the classic "tied request"
+  policy), so hedges only spawn for genuine stragglers.
+
+Counters (``retries``, ``hedged``, ``hedged_wins``, ``reconnects``,
+``timeouts``) accumulate in :attr:`counters` and are merged into
+:meth:`stats` responses under ``"client"``.
 """
 
 import asyncio
 import itertools
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from repro.service import protocol
 
@@ -29,14 +47,43 @@ class ServiceError(Exception):
         return self.code == protocol.BUSY
 
 
+#: Server answers it is safe to re-send: shedding and sim-time deadline
+#: expiry.  (BAD_REQUEST would fail identically forever.)
+RETRYABLE_CODES = (protocol.BUSY, protocol.TIMEOUT)
+
+
+def _swallow(task: "asyncio.Task") -> None:
+    """Reap a losing hedge task so its exception is never 'unretrieved'."""
+    if not task.cancelled():
+        task.exception()
+
+
 class ServiceClient:
     """A pipelined connection to a :class:`~repro.service.server.RackService`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7337,
-                 client_name: Optional[str] = None) -> None:
+                 client_name: Optional[str] = None, *,
+                 max_retries: int = 0,
+                 retry_backoff_s: float = 0.02,
+                 retry_backoff_max_s: float = 0.5,
+                 request_timeout_s: Optional[float] = None,
+                 hedge_reads: bool = False,
+                 hedge_delay_s: Optional[float] = None,
+                 hedge_delay_floor_s: float = 0.002) -> None:
         self.host = host
         self.port = port
         self.client_name = client_name
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_max_s = retry_backoff_max_s
+        self.request_timeout_s = request_timeout_s
+        self.hedge_reads = hedge_reads
+        self.hedge_delay_s = hedge_delay_s
+        self.hedge_delay_floor_s = hedge_delay_floor_s
+        self.counters: Dict[str, int] = {
+            "retries": 0, "hedged": 0, "hedged_wins": 0,
+            "reconnects": 0, "timeouts": 0,
+        }
         self._reader: Optional["asyncio.StreamReader"] = None
         self._writer: Optional["asyncio.StreamWriter"] = None
         self._reader_task: Optional["asyncio.Task"] = None
@@ -47,6 +94,9 @@ class ServiceClient:
         # socket write -- at depth > 1 this halves the syscall count.
         self._outbox = bytearray()
         self._flush_scheduled = False
+        # Recent successful read wall-latencies (seconds), for the
+        # p99-based hedge delay.
+        self._read_latencies_s: List[float] = []
 
     async def connect(self) -> "ServiceClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -78,6 +128,24 @@ class ServiceClient:
             except asyncio.CancelledError:
                 pass
         self._fail_pending(ConnectionError("client closed"))
+
+    async def _reconnect(self) -> None:
+        """Tear down a dead transport and dial again (retry path only)."""
+        self.counters["reconnects"] += 1
+        if self._writer is not None:
+            self._writer.close()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        self._fail_pending(ConnectionError("reconnecting"))
+        self._reader = self._writer = None
+        self._outbox.clear()
+        self._flush_scheduled = False
+        await self.connect()
 
     def _flush_outbox(self) -> None:
         self._flush_scheduled = False
@@ -127,7 +195,44 @@ class ServiceClient:
 
         Raises :class:`ServiceError` for ``ok: false`` answers -- check
         ``exc.is_busy`` to distinguish shedding from real failures.
+        With ``max_retries > 0``, retryable failures (``BUSY``,
+        ``TIMEOUT``, connection loss, client-side timeout) are retried
+        with exponential backoff, reconnecting as needed.
         """
+        attempt = 0
+        while True:
+            try:
+                return await self._attempt(payload)
+            except ServiceError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt >= self.max_retries:
+                    raise
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                if attempt >= self.max_retries:
+                    raise
+            attempt += 1
+            self.counters["retries"] += 1
+            backoff = min(
+                self.retry_backoff_s * (2 ** (attempt - 1)),
+                self.retry_backoff_max_s,
+            )
+            await asyncio.sleep(backoff)
+
+    async def _attempt(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._writer is None or self._writer.is_closing():
+            if self._closing or (self.max_retries <= 0 and self._writer is None):
+                raise ConnectionError("not connected (call connect() first)")
+            await self._reconnect()
+        hedging = self.hedge_reads and payload.get("type") == "read"
+        coro = self._race_hedge(payload) if hedging else self._send_and_wait(payload)
+        if self.request_timeout_s is None:
+            return await coro
+        try:
+            return await asyncio.wait_for(coro, self.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.counters["timeouts"] += 1
+            raise
+
+    async def _send_and_wait(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         if self._writer is None:
             raise ConnectionError("not connected (call connect() first)")
         request_id = next(self._ids)
@@ -142,12 +247,72 @@ class ServiceClient:
         if not self._flush_scheduled:
             self._flush_scheduled = True
             loop.call_soon(self._flush_outbox)
+        started = time.monotonic()
         response = await future
         if not response.get("ok"):
             raise ServiceError(
                 response.get("error", "UNKNOWN"), response.get("message", "")
             )
+        if payload.get("type") == "read":
+            self._note_read_latency(time.monotonic() - started)
         return response
+
+    # ---------------------------------------------------------------- hedging
+
+    def _note_read_latency(self, seconds: float) -> None:
+        lat = self._read_latencies_s
+        lat.append(seconds)
+        if len(lat) > 512:
+            del lat[:256]
+
+    def _hedge_delay(self) -> float:
+        """When to fire the duplicate: p99 of recent reads, floored."""
+        if self.hedge_delay_s is not None:
+            return self.hedge_delay_s
+        lat = self._read_latencies_s
+        if len(lat) < 20:
+            return self.hedge_delay_floor_s
+        ordered = sorted(lat)
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        return max(p99, self.hedge_delay_floor_s)
+
+    async def _race_hedge(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Primary read, then a replica-addressed duplicate after the
+        hedge delay; first success wins, the loser is reaped quietly."""
+        loop = asyncio.get_running_loop()
+        primary = loop.create_task(self._send_and_wait(payload))
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(primary), self._hedge_delay()
+            )
+        except asyncio.TimeoutError:
+            pass  # still pending: hedge below
+        except BaseException:
+            _swallow(primary)
+            raise
+        hedge_payload = dict(payload)
+        hedge_payload["replica"] = True
+        self.counters["hedged"] += 1
+        hedge = loop.create_task(self._send_and_wait(hedge_payload))
+        pending = {primary, hedge}
+        last_exc: Optional[BaseException] = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                if task.cancelled():
+                    continue
+                exc = task.exception()
+                if exc is None:
+                    if task is hedge:
+                        self.counters["hedged_wins"] += 1
+                    for loser in pending:
+                        loser.add_done_callback(_swallow)
+                    return task.result()
+                last_exc = exc
+        assert last_exc is not None
+        raise last_exc
 
     # ---------------------------------------------------------------- helpers
 
@@ -174,5 +339,8 @@ class ServiceClient:
         )
 
     async def stats(self) -> Dict[str, Any]:
-        """Live collector + trace-attribution metrics from the server."""
-        return await self.request({"type": "stats"})
+        """Live collector + trace-attribution metrics from the server,
+        with this client's own resilience counters under ``"client"``."""
+        response = await self.request({"type": "stats"})
+        response["client"] = {k: float(v) for k, v in self.counters.items()}
+        return response

@@ -18,7 +18,7 @@ import itertools
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.metrics.percentiles import percentile
@@ -37,6 +37,7 @@ class LoadgenReport:
     ok: int = 0
     busy: int = 0
     errors: int = 0
+    retried: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     server_stats: Optional[Dict] = None
 
@@ -62,7 +63,8 @@ class LoadgenReport:
             f"{self.mode}-loop loadgen: {self.clients} clients, "
             f"{self.wall_s:.2f}s wall",
             f"  sent {self.sent}  ok {self.ok}  busy {self.busy} "
-            f"({self.shed_fraction:.1%} shed)  errors {self.errors}",
+            f"({self.shed_fraction:.1%} shed)  errors {self.errors}"
+            + (f"  retried {self.retried}" if self.retried else ""),
             f"  throughput {self.throughput_rps:,.0f} req/s (admitted)",
         ]
         if self.latencies_ms:
@@ -114,7 +116,8 @@ class _ClosedLoopConnection(asyncio.Protocol):
 
     def __init__(self, index: int, quota: int, pipeline: int,
                  report: LoadgenReport, write_ratio: float, kind: str,
-                 pairs: int, keyspace: int, seed: int) -> None:
+                 pairs: int, keyspace: int, seed: int,
+                 retries: int = 0) -> None:
         self.report = report
         self.quota = quota
         self.pipeline = pipeline
@@ -122,12 +125,15 @@ class _ClosedLoopConnection(asyncio.Protocol):
         self.kind = kind
         self.pairs = pairs
         self.keyspace = keyspace
+        self.retries = retries
         self.client_name = f"loadgen-{index}"
         self.rng = random.Random(seed * 1_000_003 + index)
         self.decoder = protocol.FrameDecoder()
         self.sent = 0
         self.deadline: Optional[float] = None
-        self._inflight: Dict[int, float] = {}
+        # rid -> (send time, the op payload, attempt number) so a
+        # retryable rejection can be re-sent as the same logical op.
+        self._inflight: Dict[int, Tuple[float, Dict, int]] = {}
         self._ids = itertools.count(1)
         self.transport: Optional["asyncio.Transport"] = None
         self.done: "asyncio.Future" = (
@@ -161,12 +167,20 @@ class _ClosedLoopConnection(asyncio.Protocol):
         now = time.monotonic()
         burst = bytearray()
         for response in responses:
-            t0 = self._inflight.pop(response.get("id"), None)
-            if t0 is None:
+            entry = self._inflight.pop(response.get("id"), None)
+            if entry is None:
                 continue
+            t0, op, attempt = entry
             if response.get("ok"):
                 self.report.ok += 1
                 self.report.latencies_ms.append((now - t0) * 1e3)
+            elif (response.get("error") in (protocol.BUSY, protocol.TIMEOUT)
+                  and attempt < self.retries):
+                # Re-send the same logical op in this pipeline slot; it
+                # does not consume quota (same op, new attempt).
+                self.report.retried += 1
+                burst += self._encode(op, attempt + 1)
+                continue
             elif response.get("error") == protocol.BUSY:
                 self.report.busy += 1
             else:
@@ -196,12 +210,16 @@ class _ClosedLoopConnection(asyncio.Protocol):
     def _next_request(self) -> bytes:
         op = _make_op(self.rng, self.write_ratio, self.kind, self.pairs,
                       self.keyspace)
+        self.sent += 1
+        self.report.sent += 1
+        return self._encode(op, 0)
+
+    def _encode(self, op: Dict, attempt: int) -> bytes:
+        op = dict(op)
         rid = next(self._ids)
         op["id"] = rid
         op["client"] = self.client_name
-        self.sent += 1
-        self.report.sent += 1
-        self._inflight[rid] = time.monotonic()
+        self._inflight[rid] = (time.monotonic(), op, attempt)
         return protocol.encode_frame(op)
 
     def _finish(self) -> None:
@@ -250,6 +268,7 @@ async def run_loadgen(
     pairs: int = 4,
     keyspace: int = 1024,
     seed: int = 42,
+    retries: int = 0,
     fetch_stats: bool = True,
     connect_retries: int = 25,
 ) -> LoadgenReport:
@@ -263,6 +282,11 @@ async def run_loadgen(
     concurrency* (1) from *capacity* (8+).  In open-loop mode requests
     are fired across the connections at ``rate_rps`` aggregate with
     exponential gaps for ``duration_s`` seconds.
+
+    ``retries`` re-sends a request up to that many times when the server
+    answers ``BUSY``/``TIMEOUT`` (or, open loop, the connection drops) --
+    the knob that turns transient chaos-window failures into retried
+    successes instead of errors.
     """
     if mode not in ("closed", "open"):
         raise ConfigError(f"mode must be closed/open, got {mode!r}")
@@ -274,16 +298,20 @@ async def run_loadgen(
         raise ConfigError(f"kind must be raw/kv, got {kind!r}")
     if mode == "open" and duration_s <= 0:
         raise ConfigError("open-loop mode needs duration_s > 0")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
     report = LoadgenReport(mode=mode, clients=clients, wall_s=0.0)
     if mode == "closed":
         await _closed_loop(host, port, report, clients,
                            requests_per_client, duration_s, write_ratio,
                            kind, pairs, keyspace, seed, pipeline,
-                           connect_retries)
+                           connect_retries, retries)
     else:
         pool: List[ServiceClient] = []
         for i in range(clients):
-            client = ServiceClient(host, port, client_name=f"loadgen-{i}")
+            client = ServiceClient(host, port, client_name=f"loadgen-{i}",
+                                   max_retries=retries,
+                                   retry_backoff_s=0.005)
             for attempt in range(connect_retries):
                 try:
                     await client.connect()
@@ -300,6 +328,7 @@ async def run_loadgen(
             report.wall_s = time.monotonic() - t_start
         finally:
             for client in pool:
+                report.retried += client.counters["retries"]
                 await client.close()
     if fetch_stats:
         try:
@@ -318,13 +347,14 @@ async def _closed_loop(host: str, port: int, report: LoadgenReport,
                        clients: int, requests_per_client: int,
                        duration_s: float, write_ratio: float, kind: str,
                        pairs: int, keyspace: int, seed: int,
-                       pipeline: int, connect_retries: int) -> None:
+                       pipeline: int, connect_retries: int,
+                       retries: int = 0) -> None:
     loop = asyncio.get_running_loop()
     connections: List[_ClosedLoopConnection] = []
     for i in range(clients):
         conn = _ClosedLoopConnection(i, requests_per_client, pipeline,
                                      report, write_ratio, kind, pairs,
-                                     keyspace, seed)
+                                     keyspace, seed, retries)
         for attempt in range(connect_retries):
             try:
                 await loop.create_connection(lambda c=conn: c, host, port)

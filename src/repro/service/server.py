@@ -40,12 +40,16 @@ class RackService:
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
         pace: float = 0.0,
         chunk_us: float = 1000.0,
+        request_timeout_us: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.bridge = bridge if bridge is not None else SimTimeBridge(
-            config, pace=pace, chunk_us=chunk_us
-        )
+        if bridge is None:
+            bridge_kwargs: Dict[str, Any] = dict(pace=pace, chunk_us=chunk_us)
+            if request_timeout_us is not None:
+                bridge_kwargs["request_timeout_us"] = request_timeout_us
+            bridge = SimTimeBridge(config, **bridge_kwargs)
+        self.bridge = bridge
         self.admission = admission if admission is not None else (
             AdmissionController()
         )
@@ -221,7 +225,8 @@ class RackService:
         try:
             if rtype == "read":
                 future = bridge.submit_read(
-                    int(request["pair"]), int(request["lpn"]), client
+                    int(request["pair"]), int(request["lpn"]), client,
+                    replica=bool(request.get("replica", False)),
                 )
             elif rtype == "write":
                 future = bridge.submit_write(

@@ -72,6 +72,32 @@ class SwitchControlPlane:
     def registered_vssds(self) -> List[int]:
         return sorted(self._registrations)
 
+    def registration_log(self) -> Dict[int, Tuple[str, int, str]]:
+        """Snapshot of the log: vssd_id -> (server_ip, replica_id, replica_ip).
+
+        This is the ground truth the data-plane tables are audited
+        against (and rebuilt from on switch recovery).
+        """
+        return dict(self._registrations)
+
+    def replace_registration(
+        self, old_vssd_id: int, new_vssd_id: int, server_ip: str
+    ) -> None:
+        """Swap a re-replicated member in the log, log-only.
+
+        The failure manager rewires the data-plane tables itself while
+        the rack keeps serving; this keeps the registration log naming
+        the rebuilt vSSD (and its partner's replica link) so a later
+        switch recovery repopulates correct tables.
+        """
+        if old_vssd_id not in self._registrations:
+            raise SwitchError(f"vSSD {old_vssd_id} was never registered")
+        _old_ip, replica_id, replica_ip = self._registrations.pop(old_vssd_id)
+        self._registrations[new_vssd_id] = (server_ip, replica_id, replica_ip)
+        partner = self._registrations.get(replica_id)
+        if partner is not None:
+            self._registrations[replica_id] = (partner[0], new_vssd_id, server_ip)
+
     def repopulate(self, dataplane: SwitchDataPlane) -> None:
         """Reinstall every registration into a fresh data plane.
 

@@ -11,7 +11,7 @@ implementation which spends 128 KB of stateful memory on them.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import SwitchError
 
@@ -56,6 +56,10 @@ class _RegisterTable:
         if vssd_id not in self._entries:
             raise SwitchError(f"vSSD {vssd_id} not present in table")
         del self._entries[vssd_id]
+
+    def ids(self) -> List[int]:
+        """Installed vSSD ids, sorted (for audits against the log)."""
+        return sorted(self._entries)
 
     def size_bytes(self) -> int:
         """Current SRAM footprint (vSSD_ID key + entry payload)."""

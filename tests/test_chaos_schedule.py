@@ -1,0 +1,176 @@
+"""Tests for declarative fault-injection schedules (pure data layer)."""
+
+import pickle
+
+import pytest
+
+from repro.chaos.schedule import (
+    EVENT_KINDS,
+    PARTITION_FACTOR,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.errors import ConfigError
+
+pytestmark = pytest.mark.chaos
+
+
+def crash(at_us: float = 1000.0, target: str = "server:0") -> FaultEvent:
+    return FaultEvent(at_us, "server_crash", target)
+
+
+class TestFaultEvent:
+    def test_known_kinds_construct(self):
+        for kind in EVENT_KINDS:
+            target = "server:0" if kind in (
+                "server_crash", "server_recover", "channel_stall"
+            ) else ("pair:0" if kind == "rereplicate" else "")
+            FaultEvent(0.0, kind, target)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(0.0, "meteor_strike", "server:0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            crash(at_us=-1.0)
+
+    def test_targeted_kinds_need_target(self):
+        for kind in ("server_crash", "server_recover", "rereplicate",
+                     "channel_stall"):
+            with pytest.raises(ConfigError):
+                FaultEvent(0.0, kind)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(0.0, "link_degrade", "all", (("factor", 0.5),))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(0.0, "channel_stall", "server:0",
+                       (("duration_us", -5.0),))
+
+    def test_param_lookup_with_default(self):
+        event = FaultEvent(0.0, "link_degrade", "all", (("factor", 8.0),))
+        assert event.param("factor") == 8.0
+        assert event.param("duration_us", 123.0) == 123.0
+
+    def test_dict_round_trip_preserves_params(self):
+        event = FaultEvent(50.0, "heartbeat_jitter", "",
+                           (("duration_us", 2000.0), ("factor", 3.0)))
+        clone = FaultEvent.from_dict(event.to_dict())
+        assert clone == event
+
+    def test_from_dict_requires_kind_and_time(self):
+        with pytest.raises(ConfigError):
+            FaultEvent.from_dict({"kind": "server_crash"})
+        with pytest.raises(ConfigError):
+            FaultEvent.from_dict({"at_us": 0.0})
+        with pytest.raises(ConfigError):
+            FaultEvent.from_dict("not-a-dict")
+
+
+class TestFaultSchedule:
+    def test_detection_delay_bound(self):
+        sched = FaultSchedule(heartbeat_interval_us=2000.0, miss_threshold=2)
+        assert sched.detection_delay_us == 6000.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule(heartbeat_interval_us=0.0)
+        with pytest.raises(ConfigError):
+            FaultSchedule(miss_threshold=0)
+        with pytest.raises(ConfigError):
+            FaultSchedule(op_timeout_us=0.0)
+        with pytest.raises(ConfigError):
+            FaultSchedule(max_attempts=0)
+
+    def test_horizon_includes_durations(self):
+        sched = FaultSchedule(events=(
+            crash(10_000.0),
+            FaultEvent(20_000.0, "channel_stall", "server:1",
+                       (("duration_us", 50_000.0),)),
+        ))
+        assert sched.horizon_us() == 70_000.0
+
+    def test_sorted_events_orders_by_time(self):
+        sched = FaultSchedule(events=(
+            crash(5000.0, "server:1"), crash(1000.0, "server:0"),
+        ))
+        assert [e.at_us for e in sched.sorted_events()] == [1000.0, 5000.0]
+
+    def test_hashable_and_picklable(self):
+        sched = FaultSchedule(events=(crash(),))
+        clone = pickle.loads(pickle.dumps(sched))
+        assert clone == sched
+        assert hash(clone) == hash(sched)
+
+    def test_json_round_trip(self):
+        sched = FaultSchedule(
+            events=(crash(), FaultEvent(9000.0, "link_degrade", "all",
+                                        (("factor", 4.0),))),
+            heartbeat_interval_us=1500.0,
+            miss_threshold=3,
+        )
+        assert FaultSchedule.from_json(sched.to_json()) == sched
+
+    def test_json_file_round_trip(self, tmp_path):
+        sched = FaultSchedule(events=(crash(),))
+        path = tmp_path / "sched.json"
+        path.write_text(sched.to_json(), encoding="utf-8")
+        assert FaultSchedule.from_json_file(str(path)) == sched
+
+    def test_bad_json_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_json("{not json")
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_json("[1, 2, 3]")
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_json('{"events": 5}')
+
+    def test_missing_file_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_json_file(str(tmp_path / "absent.json"))
+
+    def test_with_events_replaces_only_events(self):
+        base = FaultSchedule(heartbeat_interval_us=1234.0)
+        updated = base.with_events([crash()])
+        assert len(updated.events) == 1
+        assert updated.heartbeat_interval_us == 1234.0
+
+    def test_example_schedules_parse(self):
+        import pathlib
+
+        examples = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        for name in ("crash_recover.json", "live_crash_recover.json"):
+            sched = FaultSchedule.from_json_file(str(examples / name))
+            assert any(e.kind == "server_crash" for e in sched.events)
+            assert any(e.kind == "server_recover" for e in sched.events)
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.random(7)
+        b = FaultSchedule.random(7)
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_seeds_differ(self):
+        assert FaultSchedule.random(1) != FaultSchedule.random(2)
+
+    def test_crashes_are_paired_with_recoveries(self):
+        sched = FaultSchedule.random(3, num_crashes=3)
+        crashes = [e for e in sched.events if e.kind == "server_crash"]
+        recovers = [e for e in sched.events if e.kind == "server_recover"]
+        assert len(crashes) == 3 and len(recovers) == 3
+        for c, r in zip(
+            sorted(crashes, key=lambda e: e.at_us),
+            sorted(recovers, key=lambda e: e.at_us),
+        ):
+            assert r.at_us > c.at_us + sched.detection_delay_us
+
+    def test_needs_two_servers(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.random(1, num_servers=1)
+
+    def test_partition_factor_is_effectively_infinite(self):
+        assert PARTITION_FACTOR >= 1e9

@@ -1,0 +1,177 @@
+"""Property-based fuzzing of the wire-protocol :class:`FrameDecoder`.
+
+Seeded ``random`` only (replayable, no extra dependencies).  The decoder
+contract under test:
+
+* **no drop, no duplicate**: however a valid byte stream is re-chunked,
+  the decoded message sequence is exactly the encoded one, in order;
+* **truncation is detected**: cutting the stream mid-frame decodes the
+  complete prefix, and ``close()`` raises :class:`TruncatedFrame` iff the
+  cut landed inside a frame;
+* **garbage never escapes the error taxonomy**: arbitrary bytes may only
+  ever raise :class:`FrameError` subclasses, never anything else, and a
+  decoder on a poisoned stream stays in a raising (not corrupting) state.
+"""
+
+import random
+
+import pytest
+
+from repro.service.protocol import (
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    TruncatedFrame,
+    encode_frame,
+)
+
+NUM_TRIALS = 40
+
+
+def random_messages(rng: "random.Random", count: int):
+    """A batch of representative request/response payloads."""
+    out = []
+    for i in range(count):
+        shape = rng.randrange(4)
+        if shape == 0:
+            out.append({"type": "read", "pair": rng.randrange(8),
+                        "lpn": rng.randrange(4096), "id": i})
+        elif shape == 1:
+            out.append({"ok": True, "id": i, "latency_us": rng.random() * 1e4})
+        elif shape == 2:
+            out.append({"type": "put", "key": f"k{rng.randrange(999)}",
+                        "value": "v" * rng.randrange(0, 200), "id": i})
+        else:
+            out.append({"ok": False, "error": "BUSY", "id": i,
+                        "message": "x" * rng.randrange(0, 50)})
+    return out
+
+
+def rechunk(rng: "random.Random", stream: bytes):
+    """Split a byte stream at random boundaries (including empty chunks)."""
+    chunks = []
+    pos = 0
+    while pos < len(stream):
+        step = rng.randrange(0, 17)
+        chunks.append(stream[pos:pos + step])
+        pos += step
+    return chunks
+
+
+class TestRechunkingNeverDropsOrDuplicates:
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_any_chunking_decodes_exactly_once(self, seed):
+        rng = random.Random(f"fuzz-chunk:{seed}")
+        messages = random_messages(rng, rng.randrange(1, 30))
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        decoded = []
+        for chunk in rechunk(rng, stream):
+            decoded.extend(decoder.feed(chunk))
+        assert decoded == messages
+        decoder.close()  # stream ended on a frame boundary: clean EOF
+
+    def test_byte_at_a_time(self):
+        messages = random_messages(random.Random("fuzz-single"), 5)
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        decoded = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i:i + 1]))
+        assert decoded == messages
+
+    def test_all_at_once(self):
+        messages = random_messages(random.Random("fuzz-bulk"), 25)
+        stream = b"".join(encode_frame(m) for m in messages)
+        assert FrameDecoder().feed(stream) == messages
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_cut_stream_decodes_prefix_and_flags_partial(self, seed):
+        rng = random.Random(f"fuzz-trunc:{seed}")
+        messages = random_messages(rng, rng.randrange(1, 12))
+        frames = [encode_frame(m) for m in messages]
+        stream = b"".join(frames)
+        cut = rng.randrange(0, len(stream) + 1)
+        decoder = FrameDecoder()
+        decoded = []
+        for chunk in rechunk(rng, stream[:cut]):
+            decoded.extend(decoder.feed(chunk))
+        # The decoded prefix is exactly the frames that fit before the cut.
+        boundary = 0
+        whole = 0
+        for frame in frames:
+            if boundary + len(frame) > cut:
+                break
+            boundary += len(frame)
+            whole += 1
+        assert decoded == messages[:whole]
+        if cut == boundary:
+            decoder.close()  # cut on a boundary: clean EOF
+        else:
+            with pytest.raises(TruncatedFrame):
+                decoder.close()
+
+
+class TestGarbage:
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_random_bytes_raise_only_frame_errors(self, seed):
+        rng = random.Random(f"fuzz-garbage:{seed}")
+        decoder = FrameDecoder(max_frame_bytes=1 << 16)
+        blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 400)))
+        # Either the garbage parses as a plausible-but-incomplete length
+        # prefix (decoder keeps waiting, no error) or it raises a
+        # documented FrameError; anything else is a contract violation.
+        for chunk in rechunk(rng, blob):
+            try:
+                decoder.feed(chunk)
+            except FrameError:
+                break
+            except Exception as exc:  # pragma: no cover - the failure mode
+                pytest.fail(f"non-FrameError escaped the decoder: {exc!r}")
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_garbage_prefix_never_corrupts_silently(self, seed):
+        """A garbage-prefixed stream must not decode phantom messages
+        that were never encoded (silent corruption), except in the
+        astronomically-unlikely case the garbage is itself a frame."""
+        rng = random.Random(f"fuzz-prefix:{seed}")
+        messages = random_messages(rng, 3)
+        garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 40)))
+        stream = garbage + b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder(max_frame_bytes=1 << 16)
+        decoded = []
+        try:
+            for chunk in rechunk(rng, stream):
+                decoded.extend(decoder.feed(chunk))
+        except FrameError:
+            return  # detected the corruption: the desired outcome
+        # No error: the garbage must have been consumed as framing, which
+        # can only swallow real messages, never invent new valid ones.
+        for message in decoded:
+            assert message in messages
+
+    def test_oversized_length_prefix_rejected_immediately(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge):
+            decoder.feed((2048).to_bytes(4, "big"))
+
+    def test_oversized_rejected_before_body_arrives(self):
+        # The decoder must raise on the prefix alone -- it never waits
+        # for (or allocates) the advertised body.
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge):
+            decoder.feed((1 << 30).to_bytes(4, "big"))
+
+    def test_non_json_body_raises_frame_error(self):
+        body = b"\xff\xfenot json"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(frame)
+
+    def test_non_object_json_body_raises_frame_error(self):
+        body = b"[1,2,3]"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(frame)

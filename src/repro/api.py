@@ -1,0 +1,73 @@
+"""The stable public API of the reproduction.
+
+``import repro.api as rackblox`` and everything you are supposed to
+build on is here, under names that will not move.  Internal module paths
+(``repro.service.server``, ``repro.cluster.config``, ...) keep working
+-- nothing is removed by this facade -- but they are implementation
+layout, free to be reorganised; ``repro.api`` is the surface the
+deprecation-shim test (``tests/test_api_facade.py``) holds stable.
+
+The surface, by layer:
+
+* **Configuration** -- :class:`RackConfig`, :class:`SystemType`;
+* **Batch experiments** -- :class:`RunSpec`, :class:`ParallelRunner`,
+  :class:`RackResult`;
+* **Chaos** -- :class:`FaultEvent`, :class:`FaultSchedule`,
+  :func:`run_chaos_experiment`, :class:`ChaosReport`;
+* **Serving** -- :class:`RackService`, :class:`ServiceClient`,
+  :class:`ServiceError`, :func:`run_loadgen`, :data:`PROTOCOL_VERSION`;
+* **Sharded serving** -- :class:`HashRing`, :class:`RackShard`,
+  :class:`ShardRouter`, :class:`ShardedRackService`,
+  :class:`ShardProxy`, :func:`build_shard_configs`;
+* **Stats schema** -- :func:`validate_stats`, :class:`StatsSchemaError`.
+"""
+
+from repro.chaos.runner import ChaosReport, run_chaos_experiment
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.cluster.config import RackConfig, SystemType
+from repro.experiments.parallel import ParallelRunner, RunSpec
+from repro.experiments.runner import RackResult
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.router import (
+    ShardedRackService,
+    ShardProxy,
+    ShardRouter,
+    build_shard_configs,
+)
+from repro.service.schema import StatsSchemaError, validate_stats
+from repro.service.server import RackService
+from repro.service.shard import HashRing, RackShard
+
+__all__ = [
+    # configuration
+    "RackConfig",
+    "SystemType",
+    # batch experiments
+    "RunSpec",
+    "ParallelRunner",
+    "RackResult",
+    # chaos
+    "FaultEvent",
+    "FaultSchedule",
+    "run_chaos_experiment",
+    "ChaosReport",
+    # serving
+    "RackService",
+    "ServiceClient",
+    "ServiceError",
+    "LoadgenReport",
+    "run_loadgen",
+    "PROTOCOL_VERSION",
+    # sharded serving
+    "HashRing",
+    "RackShard",
+    "ShardRouter",
+    "ShardedRackService",
+    "ShardProxy",
+    "build_shard_configs",
+    # stats schema
+    "validate_stats",
+    "StatsSchemaError",
+]

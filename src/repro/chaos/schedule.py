@@ -37,7 +37,7 @@ are accepted too.
 import json
 import random
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -61,18 +61,36 @@ _TARGETED_KINDS = frozenset(
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One timed fault, ``at_us`` microseconds into the run."""
+    """One timed fault, ``at_us`` microseconds into the run.
+
+    ``rack`` qualifies the event for sharded serving: ``None`` (the
+    default) broadcasts the event to every rack, ``rack=i`` scopes it to
+    rack ``i`` only -- :meth:`FaultSchedule.for_rack` does the slicing
+    when the router derives per-rack configs.  Single-rack runs ignore
+    the qualifier entirely.
+    """
 
     at_us: float
     kind: str
     target: str = ""
     params: Tuple[Tuple[str, float], ...] = ()
+    rack: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
             raise ConfigError(
                 f"unknown fault kind {self.kind!r}; choose from {EVENT_KINDS}"
             )
+        if self.rack is not None:
+            if not isinstance(self.rack, int) or isinstance(self.rack, bool):
+                raise ConfigError(
+                    f"fault rack must be an integer rack index, "
+                    f"got {self.rack!r}"
+                )
+            if self.rack < 0:
+                raise ConfigError(
+                    f"fault rack must be >= 0, got {self.rack}"
+                )
         if self.at_us < 0:
             raise ConfigError(f"fault at_us must be >= 0, got {self.at_us!r}")
         if self.kind in _TARGETED_KINDS and not self.target:
@@ -100,6 +118,8 @@ class FaultEvent:
         out: Dict[str, Any] = {"at_us": self.at_us, "kind": self.kind}
         if self.target:
             out["target"] = self.target
+        if self.rack is not None:
+            out["rack"] = self.rack
         out.update({k: v for k, v in self.params})
         return out
 
@@ -113,14 +133,16 @@ class FaultEvent:
             sorted(
                 (key, float(value))
                 for key, value in raw.items()
-                if key not in ("at_us", "kind", "target")
+                if key not in ("at_us", "kind", "target", "rack")
             )
         )
+        rack = raw.get("rack")
         return cls(
             at_us=float(raw["at_us"]),
             kind=str(raw["kind"]),
             target=str(raw.get("target", "")),
             params=params,
+            rack=int(rack) if rack is not None else None,
         )
 
 
@@ -172,6 +194,21 @@ class FaultSchedule:
 
     def with_events(self, events: Iterable[FaultEvent]) -> "FaultSchedule":
         return replace(self, events=tuple(events))
+
+    def for_rack(self, rack: int) -> "FaultSchedule":
+        """The slice of this schedule rack ``rack`` executes.
+
+        Events with no ``rack`` qualifier broadcast to every rack;
+        qualified events fire only on their rack.  Detection and retry
+        parameters carry over unchanged, so per-rack replicas of a
+        schedule share one failure-detection configuration.
+        """
+        if rack < 0:
+            raise ConfigError(f"rack must be >= 0, got {rack}")
+        return self.with_events(
+            event for event in self.events
+            if event.rack is None or event.rack == rack
+        )
 
     # ------------------------------------------------------------ JSON IO
 

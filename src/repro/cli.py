@@ -105,6 +105,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--network", default="medium",
                          choices=sorted(NETWORK_PROFILES))
     serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.add_argument("--racks", type=int, default=1,
+                         help="number of independent rack shards behind "
+                              "one consistent-hash front-end (1 = the "
+                              "plain single-rack service)")
+    serve_p.add_argument("--shard-mode", default="inproc",
+                         choices=["inproc", "process"],
+                         help="inproc: all racks on one event loop "
+                              "(deterministic, full semantics); process: "
+                              "one backend serve process per rack behind "
+                              "a relay proxy (scales across cores)")
     serve_p.add_argument("--queue-depth", type=int, default=256,
                          help="global in-flight cap before BUSY shedding")
     serve_p.add_argument("--client-rate", type=float, default=0.0,
@@ -298,6 +308,10 @@ def _cmd_serve(args) -> int:
 
     _require(args.servers >= 2, f"--servers must be >= 2, got {args.servers}")
     _require(args.pairs >= 1, f"--pairs must be >= 1, got {args.pairs}")
+    _require(args.racks >= 1, f"--racks must be >= 1, got {args.racks}")
+    _require(args.shard_mode == "inproc" or args.fault_schedule is None,
+             "--fault-schedule requires --shard-mode inproc (backend "
+             "processes cannot share one schedule deterministically)")
     _require(args.queue_depth >= 1,
              f"--queue-depth must be >= 1, got {args.queue_depth}")
     _require(args.client_rate >= 0,
@@ -330,23 +344,44 @@ def _cmd_serve(args) -> int:
         trace_sample_rate=args.trace_sample_rate,
         fault_schedule=fault_schedule,
     )
-    service = RackService(
-        config, host=args.host, port=args.port,
-        admission=AdmissionController(
-            max_queue_depth=args.queue_depth,
+    if args.racks > 1 and args.shard_mode == "process":
+        return _serve_proxy(args)
+
+    if args.racks == 1:
+        # The single-rack special case: exactly the unsharded service.
+        service = RackService(
+            config, host=args.host, port=args.port,
+            admission=AdmissionController(
+                max_queue_depth=args.queue_depth,
+                client_rate_per_sec=args.client_rate,
+                client_burst=args.client_burst,
+            ),
+            pace=args.pace,
+            chunk_us=args.chunk_us,
+            request_timeout_us=args.request_timeout_us,
+        )
+        label = f"{args.system} rack"
+    else:
+        from repro.service.router import ShardedRackService, ShardRouter
+
+        bridge_kwargs = dict(pace=args.pace, chunk_us=args.chunk_us)
+        if args.request_timeout_us is not None:
+            bridge_kwargs["request_timeout_us"] = args.request_timeout_us
+        router = ShardRouter.from_config(
+            config, args.racks,
+            queue_depth=args.queue_depth,
             client_rate_per_sec=args.client_rate,
             client_burst=args.client_burst,
-        ),
-        pace=args.pace,
-        chunk_us=args.chunk_us,
-        request_timeout_us=args.request_timeout_us,
-    )
+            **bridge_kwargs,
+        )
+        service = ShardedRackService(router, host=args.host, port=args.port)
+        label = f"{args.system} rack x{args.racks}"
 
     async def serve() -> None:
         import signal
 
         await service.start()
-        print(f"serving {args.system} rack "
+        print(f"serving {label} "
               f"({args.pairs} pairs / {args.servers} servers) "
               f"on {service.host}:{service.port}", flush=True)
         stopping = asyncio.Event()
@@ -363,6 +398,67 @@ def _cmd_serve(args) -> int:
         print(f"served {stats.completed} requests "
               f"({stats.timed_out} timed out) over "
               f"{stats.sim_now_us / 1e6:.3f} simulated seconds", flush=True)
+
+    asyncio.run(serve())
+    return 0
+
+
+def _serve_proxy(args) -> int:
+    """``serve --racks N --shard-mode process``: one backend serve
+    process per rack behind a frame-relay proxy (scales across cores)."""
+    import asyncio
+
+    from repro.service.router import (
+        ShardProxy,
+        launch_backends,
+        shutdown_backends,
+    )
+
+    backend_args = [
+        "--racks", "1",
+        "--system", args.system,
+        "--servers", str(args.servers),
+        "--pairs", str(args.pairs),
+        "--device", args.device,
+        "--network", args.network,
+        "--queue-depth", str(args.queue_depth),
+        "--client-rate", str(args.client_rate),
+        "--client-burst", str(args.client_burst),
+        "--pace", str(args.pace),
+        "--chunk-us", str(args.chunk_us),
+        "--trace-sample-rate", str(args.trace_sample_rate),
+    ]
+    if args.request_timeout_us is not None:
+        backend_args += ["--request-timeout-us", str(args.request_timeout_us)]
+
+    async def serve() -> None:
+        import signal
+
+        procs, endpoints = await launch_backends(
+            args.racks, backend_args, seed=args.seed
+        )
+        proxy = ShardProxy(endpoints, host=args.host, port=args.port,
+                           pairs_per_rack=args.pairs)
+        try:
+            await proxy.start()
+            print(f"serving {args.system} rack x{args.racks} "
+                  f"({args.pairs} pairs / {args.servers} servers, "
+                  f"process shards) "
+                  f"on {proxy.host}:{proxy.port}", flush=True)
+            stopping = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stopping.set)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+            await stopping.wait()
+            print("draining in-flight requests...", flush=True)
+            await proxy.stop()
+        finally:
+            await shutdown_backends(procs)
+        print(f"served {proxy.routed} requests "
+              f"(relayed across {args.racks} racks)", flush=True)
 
     asyncio.run(serve())
     return 0

@@ -1,17 +1,23 @@
-"""Live serving layer: the rack as a network service.
+"""Live serving layer: the rack (or a sharded fleet of racks) as a
+network service.
 
 The batch experiment engine drives a :class:`~repro.cluster.rack.Rack`
 from scripts; this package puts the same rack behind an asyncio TCP
 front-end so real clients can issue raw vSSD I/O and key-value
 GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
 
-* :mod:`repro.service.protocol` -- framing + request/response schema;
+* :mod:`repro.service.protocol` -- framing, versioning (``hello``), and
+  request/response schema;
+* :mod:`repro.service.schema` -- the one documented shape every
+  ``stats`` payload follows;
 * :mod:`repro.service.bridge` -- the sim-time bridge that injects live
   requests into the discrete-event simulator and completes asyncio
   futures when the simulated request finishes;
 * :mod:`repro.service.admission` -- per-client token buckets and the
   global queue-depth cap (``BUSY`` shedding instead of unbounded queues);
 * :mod:`repro.service.server` -- the TCP service with graceful drain;
+* :mod:`repro.service.shard` / :mod:`repro.service.router` -- the
+  consistent-hash ring and the multi-rack front-ends built on it;
 * :mod:`repro.service.client` -- a pipelined async client;
 * :mod:`repro.service.loadgen` -- open/closed-loop load generation.
 """
@@ -22,17 +28,29 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.loadgen import LoadgenReport, run_loadgen
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     FrameDecoder,
     FrameError,
+    FrameSplitter,
     FrameTooLarge,
     TruncatedFrame,
+    check_version,
     encode_frame,
     error_response,
+    hello_response,
     ok_response,
     read_frame,
     write_frame,
 )
+from repro.service.router import (
+    ShardedRackService,
+    ShardProxy,
+    ShardRouter,
+    build_shard_configs,
+)
+from repro.service.schema import StatsSchemaError, validate_stats
 from repro.service.server import RackService
+from repro.service.shard import HashRing, RackShard
 
 __all__ = [
     "AdmissionController",
@@ -44,14 +62,26 @@ __all__ = [
     "LoadgenReport",
     "run_loadgen",
     "DEFAULT_MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "FrameDecoder",
     "FrameError",
+    "FrameSplitter",
     "FrameTooLarge",
     "TruncatedFrame",
+    "check_version",
     "encode_frame",
     "error_response",
+    "hello_response",
     "ok_response",
     "read_frame",
     "write_frame",
     "RackService",
+    "HashRing",
+    "RackShard",
+    "ShardRouter",
+    "ShardedRackService",
+    "ShardProxy",
+    "build_shard_configs",
+    "StatsSchemaError",
+    "validate_stats",
 ]

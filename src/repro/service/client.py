@@ -84,6 +84,8 @@ class ServiceClient:
             "retries": 0, "hedged": 0, "hedged_wins": 0,
             "reconnects": 0, "timeouts": 0,
         }
+        #: The last ``hello`` response (version, capabilities, racks).
+        self.server_info: Optional[Dict[str, Any]] = None
         self._reader: Optional["asyncio.StreamReader"] = None
         self._writer: Optional["asyncio.StreamWriter"] = None
         self._reader_task: Optional["asyncio.Task"] = None
@@ -315,6 +317,16 @@ class ServiceClient:
         raise last_exc
 
     # ---------------------------------------------------------------- helpers
+
+    async def hello(self) -> Dict[str, Any]:
+        """The HELLO exchange: learn the server's protocol version and
+        capabilities (``"sharded"`` marks a multi-rack front-end).  The
+        response is cached on :attr:`server_info`."""
+        response = await self.request(
+            {"type": "hello", "v": protocol.PROTOCOL_VERSION}
+        )
+        self.server_info = response
+        return response
 
     async def ping(self) -> Dict[str, Any]:
         return await self.request({"type": "ping"})

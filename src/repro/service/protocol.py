@@ -6,14 +6,26 @@ bytes of UTF-8 JSON encoding a single object.  The format is symmetric
 NVMe-oF it is not, but it carries the same shape of traffic: small
 commands in, small completions out.
 
-Requests carry a ``type`` (``ping`` / ``read`` / ``write`` / ``get`` /
-``put`` / ``scan`` / ``stats``) and an optional client-chosen ``id`` the
-response echoes, which is what lets one connection pipeline many
-requests.  Responses carry ``ok``; failures add ``error`` (a short code
-such as ``BUSY`` or ``BAD_REQUEST``) and a human-readable ``message``.
+Requests carry a ``type`` (``hello`` / ``ping`` / ``read`` / ``write`` /
+``get`` / ``put`` / ``scan`` / ``stats``) and an optional client-chosen
+``id`` the response echoes, which is what lets one connection pipeline
+many requests.  Responses carry ``ok``; failures add ``error`` (a short
+code such as ``BUSY`` or ``BAD_REQUEST``) and a human-readable
+``message``.
+
+The protocol is **versioned**: any frame may carry ``"v": <int>``, and
+the ``hello`` exchange lets a client learn the server's version and
+capabilities before issuing traffic (see :data:`PROTOCOL_VERSION` and
+:func:`hello_response`).  A frame advertising a version the server does
+not speak is answered with a typed ``UNSUPPORTED_VERSION`` error -- a
+distinct code from ``BAD_REQUEST`` so clients can tell "upgrade me" from
+"you sent garbage".  Frames without ``v`` are treated as version 1
+traffic (the pre-versioning wire format is identical).
 
 The sans-io :class:`FrameDecoder` is the reference implementation of the
-receive side; :func:`read_frame` adapts it to asyncio streams.
+receive side; :func:`read_frame` adapts it to asyncio streams, and
+:class:`FrameSplitter` is the zero-parse variant relays use to cut a
+byte stream at frame boundaries without decoding the JSON bodies.
 """
 
 import json
@@ -24,6 +36,11 @@ from typing import Any, Dict, List, Optional
 #: 4 KB page, so a megabyte frame is a protocol violation, not data.
 DEFAULT_MAX_FRAME_BYTES = 1 << 20
 
+#: The wire-protocol version this implementation speaks.  Version 1 is
+#: the original (unversioned) frame format plus the ``hello`` exchange;
+#: frames without a ``v`` field are treated as version 1.
+PROTOCOL_VERSION = 1
+
 _LEN = struct.Struct(">I")
 
 # Error codes the service emits.
@@ -32,6 +49,7 @@ BAD_REQUEST = "BAD_REQUEST"      # malformed or unknown request
 SHUTTING_DOWN = "SHUTTING_DOWN"  # server is draining; connection will close
 TIMEOUT = "TIMEOUT"              # the simulated request missed its deadline
 INTERNAL = "INTERNAL"            # unexpected server-side failure
+UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"  # frame's v is not spoken here
 
 
 class FrameError(Exception):
@@ -102,6 +120,77 @@ class FrameDecoder:
                 f"connection closed mid-frame ({len(self._buffer)} bytes of "
                 f"{self._need if self._need is not None else 'header'} pending)"
             )
+
+
+class FrameSplitter:
+    """Cut a byte stream at frame boundaries *without* decoding bodies.
+
+    Relays (the sharded :class:`~repro.service.router.ShardProxy`) splice
+    backend responses through to clients byte-for-byte; all they need is
+    frame granularity so locally generated responses never interleave
+    inside a relayed frame.  The splitter enforces the same length-prefix
+    rules as :class:`FrameDecoder` -- oversized prefixes raise
+    :class:`FrameTooLarge` before the body is buffered -- but leaves the
+    JSON untouched, so a relay costs a memcpy, not a parse.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._need: Optional[int] = None
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Consume bytes; return every complete frame (prefix included)."""
+        self._buffer.extend(data)
+        out: List[bytes] = []
+        while True:
+            if self._need is None:
+                if len(self._buffer) < _LEN.size:
+                    return out
+                (self._need,) = _LEN.unpack_from(self._buffer)
+                if self._need > self.max_frame_bytes:
+                    raise FrameTooLarge(
+                        f"frame of {self._need} bytes exceeds the "
+                        f"{self.max_frame_bytes}-byte limit"
+                    )
+            total = _LEN.size + self._need
+            if len(self._buffer) < total:
+                return out
+            out.append(bytes(self._buffer[:total]))
+            del self._buffer[:total]
+            self._need = None
+
+    def close(self) -> None:
+        """Signal EOF: leftover bytes mean the peer died mid-frame."""
+        if self._buffer:
+            raise TruncatedFrame(
+                f"stream ended mid-frame ({len(self._buffer)} bytes pending)"
+            )
+
+
+def check_version(request: Dict[str, Any]) -> Optional[int]:
+    """Return the unsupported version in a request, or ``None`` if fine.
+
+    Frames without ``v`` are version-1 traffic by definition; a non-
+    integer ``v`` is "a version we do not speak", not a malformed frame
+    (future versions may well widen the type).
+    """
+    version = request.get("v")
+    if version is None or version == PROTOCOL_VERSION:
+        return None
+    return version
+
+
+def hello_response(request_id: Optional[Any] = None,
+                   capabilities: Optional[List[str]] = None,
+                   **fields: Any) -> Dict[str, Any]:
+    """The server half of the HELLO exchange: version + capabilities."""
+    return ok_response(
+        request_id,
+        v=PROTOCOL_VERSION,
+        capabilities=sorted(capabilities or []),
+        **fields,
+    )
 
 
 async def read_frame(reader, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,

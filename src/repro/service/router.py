@@ -1,0 +1,931 @@
+"""Sharded multi-rack serving: a consistent-hash router over live racks.
+
+RackBlox §3.7 leaves multi-rack operation as future work and
+:mod:`repro.cluster.multirack` reproduces its batch half (inter-switch
+GC-state sync + cross-rack fail-over).  This module is the *serving*
+half: a front-end that owns N independent rack simulators -- each with
+its own :class:`~repro.service.bridge.SimTimeBridge` pump, ToR switch
+and admission controller -- and places traffic onto them with the seeded
+consistent-hash ring from :mod:`repro.service.shard`.
+
+Two deployment shapes share the wire protocol:
+
+* :class:`ShardedRackService` -- **in-process**: all N racks ride one
+  event loop behind one listener.  Full semantics (per-shard admission,
+  GC-aware cross-rack fallback honouring the sync-staleness window,
+  scatter-gather scans, rack-qualified fault schedules) and fully
+  deterministic, but all racks share one core.
+* :class:`ShardProxy` -- **multi-process**: one backend ``serve``
+  process per rack, the proxy relaying frames at frame granularity
+  (:class:`~repro.service.protocol.FrameSplitter`).  Each rack gets its
+  own interpreter and core, which is what makes throughput scale
+  near-linearly on multicore hosts (``benchmarks/test_service_loadgen.py``).
+
+Routing rules (both shapes):
+
+* raw ``read``/``write`` address a **global pair index** ``g`` in
+  ``[0, racks * pairs_per_rack)``; the owner is
+  ``ring.node_for(f"pair:{g}")`` and the local pair is
+  ``g % pairs_per_rack``;
+* ``get``/``put`` route by key; ``scan`` scatter-gathers every shard
+  in-process (the proxy routes a scan to the start-key owner);
+* when the router's *view* of the owner says both in-rack copies of the
+  target pair are collecting, a raw read falls back to the next distinct
+  ring node -- the serving-layer form of
+  :meth:`MultiRackFabric.process_read`, with the same staleness caveat:
+  the view refreshes only every ``gc_sync_s`` seconds.
+"""
+
+import asyncio
+import dataclasses
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.config import RackConfig
+from repro.errors import ConfigError
+from repro.metrics.collector import ExperimentMetrics
+from repro.service import protocol, schema
+from repro.service.admission import AdmissionController
+from repro.service.bridge import BridgeStats, SimTimeBridge
+from repro.service.server import RackService
+from repro.service.shard import (
+    DEFAULT_RING_SEED,
+    DEFAULT_VNODES,
+    HashRing,
+    RackShard,
+)
+
+#: How often (wall seconds) the router refreshes its view of each
+#: shard's GC state.  The batch fabric syncs after 40 us of simulated
+#: inter-switch delay; a live front-end polls, and this is its window
+#: of allowed staleness.
+DEFAULT_GC_SYNC_S = 0.005
+
+
+def build_shard_configs(config: RackConfig, racks: int) -> List[RackConfig]:
+    """Derive one config per rack from the base config.
+
+    Each rack gets a distinct seed (so shards are independent rather
+    than N clones replaying identical randomness) and only its slice of
+    the fault schedule (events carrying ``rack: i`` or no rack at all).
+    ``racks == 1`` returns the base config untouched -- the single-rack
+    special case stays byte-identical to the unsharded service.
+    """
+    if racks < 1:
+        raise ConfigError(f"racks must be >= 1, got {racks}")
+    if racks == 1:
+        return [config]
+    out = []
+    for index in range(racks):
+        schedule = config.fault_schedule
+        if schedule is not None:
+            schedule = schedule.for_rack(index)
+        out.append(dataclasses.replace(
+            config, seed=config.seed + index, fault_schedule=schedule,
+        ))
+    return out
+
+
+class ShardRouter:
+    """Owns N :class:`RackShard`s and routes requests onto them.
+
+    The router implements the same surface the server expects of a
+    bridge (``start``/``stop``/``inflight``/``stats``/``stats_payload``/
+    ``submit_*``/``after_chunk``), so :class:`ShardedRackService` can
+    hand it to the unmodified :class:`RackService` machinery.
+    """
+
+    def __init__(self, shards: Sequence[RackShard], *,
+                 vnodes: int = DEFAULT_VNODES,
+                 ring_seed: int = DEFAULT_RING_SEED,
+                 gc_sync_s: float = DEFAULT_GC_SYNC_S) -> None:
+        if not shards:
+            raise ConfigError("a router needs at least one shard")
+        if gc_sync_s < 0:
+            raise ConfigError(f"gc_sync_s must be >= 0, got {gc_sync_s}")
+        self.shards: List[RackShard] = list(shards)
+        self._by_index = {shard.index: shard for shard in self.shards}
+        if len(self._by_index) != len(self.shards):
+            raise ConfigError("shard indices must be unique")
+        self.ring = HashRing((s.index for s in self.shards),
+                             vnodes=vnodes, seed=ring_seed)
+        self.gc_sync_s = gc_sync_s
+        #: Aggregate latency collector.  Per-shard collectors cannot be
+        #: merged (percentiles do not add), so the router records every
+        #: completed request itself.
+        self.metrics = ExperimentMetrics()
+        #: The router's (possibly stale) view of each shard's per-pair
+        #: "both copies collecting" state -- what the fallback decides on.
+        self._gc_views: Dict[int, Tuple[bool, ...]] = {
+            shard.index: tuple(False for _ in range(shard.num_pairs))
+            for shard in self.shards
+        }
+        self.routed = 0
+        self.cross_rack_redirects = 0
+        self.scatter_scans = 0
+        self.unroutable = 0
+        self.gc_view_commits = 0
+        self._after_chunk: Optional[Any] = None
+        self._gc_task: Optional["asyncio.Task"] = None
+        self._running = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for shard in self.shards:
+            await shard.start()
+        if self.gc_sync_s > 0:
+            self._gc_task = asyncio.get_running_loop().create_task(
+                self._gc_sync_loop()
+            )
+
+    async def stop(self, drain: bool = True,
+                   drain_timeout_s: float = 10.0) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            try:
+                await self._gc_task
+            except asyncio.CancelledError:
+                pass
+            self._gc_task = None
+        await asyncio.gather(*(
+            shard.stop(drain=drain, drain_timeout_s=drain_timeout_s)
+            for shard in self.shards
+        ))
+
+    @property
+    def inflight(self) -> int:
+        return sum(shard.inflight for shard in self.shards)
+
+    @property
+    def after_chunk(self) -> Optional[Any]:
+        return self._after_chunk
+
+    @after_chunk.setter
+    def after_chunk(self, hook: Optional[Any]) -> None:
+        # Every shard pump flushes the server's write buffers after its
+        # own chunk; responses from other shards that completed in the
+        # meantime ride along for free.  The flush is deferred one extra
+        # event-loop tick: routed completions cross *two* futures (the
+        # shard's, then the router's), so the server buffers the
+        # response one callback batch later than a single-rack service
+        # would -- an undeferred flush would run before the response
+        # exists and, with nothing left in flight, never run again.
+        self._after_chunk = hook
+        if hook is None:
+            wrapped = None
+        else:
+            def wrapped(hook: Any = hook) -> None:
+                asyncio.get_running_loop().call_soon(hook)
+        for shard in self.shards:
+            shard.bridge.after_chunk = wrapped
+
+    # -------------------------------------------------------------- GC view
+
+    async def _gc_sync_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.gc_sync_s)
+            self.sync_gc_views()
+
+    def sync_gc_views(self) -> None:
+        """Commit each shard's *current* GC truth into the router view.
+
+        Until this runs, the router routes on the old view -- exactly the
+        staleness window the batch fabric's sync delay models.
+        """
+        for shard in self.shards:
+            self._gc_views[shard.index] = shard.gc_busy_pairs()
+        self.gc_view_commits += 1
+
+    # -------------------------------------------------------------- routing
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(shard.num_pairs for shard in self.shards)
+
+    def _owner_of_pair(self, global_pair: int) -> RackShard:
+        total = self.total_pairs
+        if not 0 <= global_pair < total:
+            raise ConfigError(
+                f"pair index {global_pair} out of range [0, {total})"
+            )
+        node = self.ring.node_for(f"pair:{global_pair}")
+        return self._by_index[node]
+
+    def _local_pair(self, shard: RackShard, global_pair: int) -> int:
+        return global_pair % shard.num_pairs
+
+    def _route_read(self, global_pair: int) -> Tuple[RackShard, int, bool]:
+        """(shard, local pair, redirected?) for a raw read.
+
+        The fallback mirrors :meth:`MultiRackFabric.process_read`: only
+        when the router's view says *both* in-rack copies of the owner's
+        pair are collecting does the read leave the rack, and then to the
+        next distinct ring node (where the cross-rack replica of the
+        pair lives under 2+1 placement).
+        """
+        owner = self._owner_of_pair(global_pair)
+        local = self._local_pair(owner, global_pair)
+        if len(self.shards) > 1:
+            view = self._gc_views.get(owner.index, ())
+            if local < len(view) and view[local]:
+                nodes = self.ring.preference(f"pair:{global_pair}", count=2)
+                if len(nodes) > 1:
+                    fallback = self._by_index[nodes[1]]
+                    return fallback, self._local_pair(fallback, global_pair), True
+        return owner, local, False
+
+    def shard_for_key(self, key: str) -> RackShard:
+        return self._by_index[self.ring.node_for(f"key:{key}")]
+
+    def shard_for_request(self, request: Dict[str, Any]) -> Optional[RackShard]:
+        """The shard that would *execute* a request; None if unroutable.
+
+        Unroutable requests (missing/bad operands, unknown types) are
+        admitted through so the dispatch path raises the same
+        ``BAD_REQUEST`` a single rack would.
+        """
+        rtype = request.get("type")
+        try:
+            if rtype in ("read", "write"):
+                global_pair = int(request["pair"])
+                if rtype == "read":
+                    return self._route_read(global_pair)[0]
+                return self._owner_of_pair(global_pair)
+            if rtype in ("get", "put"):
+                return self.shard_for_key(str(request["key"]))
+            if rtype == "scan":
+                return self.shard_for_key(str(request.get("start", "")))
+        except (KeyError, TypeError, ValueError, ConfigError):
+            return None
+        return None
+
+    def try_admit(self, client: str, request: Dict[str, Any]) -> bool:
+        """Route, then ask the owning shard's own admission controller.
+
+        Scatter scans are metered against the start-key owner (one
+        decision per request, not one per shard it touches).
+        """
+        shard = self.shard_for_request(request)
+        if shard is None:
+            self.unroutable += 1
+            return True  # let dispatch raise the precise BAD_REQUEST
+        return shard.admission.try_admit(client, shard.inflight)
+
+    # ----------------------------------------------------------- submission
+
+    def _finish(self, shard: RackShard, kind: str,
+                inner: "asyncio.Future",
+                extra: Dict[str, Any]) -> "asyncio.Future":
+        """Wrap a shard future: tag the response with its rack and feed
+        the aggregate collector (cancellation propagates both ways)."""
+        loop = asyncio.get_running_loop()
+        outer: "asyncio.Future" = loop.create_future()
+
+        def _done(fut: "asyncio.Future") -> None:
+            if outer.done():
+                return
+            if fut.cancelled():
+                outer.cancel()
+                return
+            exc = fut.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            payload = dict(fut.result())
+            payload.update(extra)
+            latency = payload.get("latency_us")
+            if latency is not None:
+                self.metrics.record(
+                    kind, latency, at=shard.bridge.rack.sim.now,
+                    storage_us=payload.get("storage_us"),
+                )
+            outer.set_result(payload)
+
+        def _cancelled(out: "asyncio.Future") -> None:
+            if out.cancelled() and not inner.done():
+                inner.cancel()
+
+        inner.add_done_callback(_done)
+        outer.add_done_callback(_cancelled)
+        return outer
+
+    def submit_read(self, pair_index: int, lpn: int,
+                    client: str = "live", replica: bool = False,
+                    ) -> "asyncio.Future":
+        shard, local, redirected = self._route_read(int(pair_index))
+        self.routed += 1
+        extra: Dict[str, Any] = {"rack": shard.index}
+        if redirected:
+            self.cross_rack_redirects += 1
+            shard.redirected_in += 1
+            extra["cross_rack"] = True
+        future = shard.bridge.submit_read(local, lpn, client, replica=replica)
+        return self._finish(shard, "read", future, extra)
+
+    def submit_write(self, pair_index: int, lpn: int,
+                     client: str = "live") -> "asyncio.Future":
+        shard = self._owner_of_pair(int(pair_index))
+        self.routed += 1
+        future = shard.bridge.submit_write(
+            self._local_pair(shard, int(pair_index)), lpn, client
+        )
+        return self._finish(shard, "write", future, {"rack": shard.index})
+
+    def submit_get(self, key: str, client: str = "live") -> "asyncio.Future":
+        shard = self.shard_for_key(str(key))
+        self.routed += 1
+        future = shard.bridge.submit_get(key, client)
+        return self._finish(shard, "read", future, {"rack": shard.index})
+
+    def submit_put(self, key: str, value: str,
+                   client: str = "live") -> "asyncio.Future":
+        shard = self.shard_for_key(str(key))
+        self.routed += 1
+        future = shard.bridge.submit_put(key, value, client)
+        return self._finish(shard, "write", future, {"rack": shard.index})
+
+    def submit_scan(self, start_key: str, count: int,
+                    client: str = "live") -> "asyncio.Future":
+        """Scatter-gather: every shard scans, the router merges.
+
+        Keys are placed by hash, so a range is spread over all shards;
+        each scans ``count`` candidates and the merge keeps the
+        ``count`` smallest keys ``>= start_key``.  Latency is the
+        slowest shard's (the scatter completes when the last leg does).
+        """
+        count = int(count)
+        self.routed += 1
+        self.scatter_scans += 1
+        legs = [
+            (shard, shard.bridge.submit_scan(start_key, count, client))
+            for shard in self.shards
+        ]
+        loop = asyncio.get_running_loop()
+        outer: "asyncio.Future" = loop.create_future()
+        remaining = len(legs)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(legs)
+
+        def _leg_done(slot: int, shard: RackShard):
+            def _cb(fut: "asyncio.Future") -> None:
+                nonlocal remaining
+                remaining -= 1
+                if not outer.done():
+                    if fut.cancelled():
+                        outer.cancel()
+                    else:
+                        exc = fut.exception()
+                        if exc is not None:
+                            outer.set_exception(exc)
+                        else:
+                            results[slot] = fut.result()
+                if remaining == 0 and not outer.done():
+                    merged = sorted(
+                        (tuple(item) for r in results if r
+                         for item in r["items"]),
+                    )[:count]
+                    latency = max(r["latency_us"] for r in results if r)
+                    self.metrics.record(
+                        "read", latency, at=shard.bridge.rack.sim.now
+                    )
+                    outer.set_result({
+                        "items": [list(item) for item in merged],
+                        "count": len(merged),
+                        "latency_us": latency,
+                        "racks": len(results),
+                    })
+            return _cb
+
+        def _cancelled(out: "asyncio.Future") -> None:
+            if out.cancelled():
+                for _, leg in legs:
+                    if not leg.done():
+                        leg.cancel()
+
+        for slot, (shard, leg) in enumerate(legs):
+            leg.add_done_callback(_leg_done(slot, shard))
+        outer.add_done_callback(_cancelled)
+        return outer
+
+    # ------------------------------------------------------------ reporting
+
+    def stats(self) -> BridgeStats:
+        """Aggregate bridge counters (the drain summary's view)."""
+        per = [shard.bridge.stats() for shard in self.shards]
+        return BridgeStats(
+            sim_now_us=max(s.sim_now_us for s in per),
+            inflight=sum(s.inflight for s in per),
+            submitted=sum(s.submitted for s in per),
+            completed=sum(s.completed for s in per),
+            timed_out=sum(s.timed_out for s in per),
+            sim_chunks=sum(s.sim_chunks for s in per),
+        )
+
+    def router_section(self) -> Dict[str, float]:
+        return {
+            "racks": float(len(self.shards)),
+            "virtual_nodes": float(self.ring.vnodes),
+            "routed": float(self.routed),
+            "cross_rack_redirects": float(self.cross_rack_redirects),
+            "scatter_scans": float(self.scatter_scans),
+            "unroutable": float(self.unroutable),
+            "gc_view_commits": float(self.gc_view_commits),
+        }
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The sharded stats body: aggregate sections + per-shard slices
+        (see :mod:`repro.service.schema`)."""
+        sections = {
+            str(shard.index): shard.stats_section() for shard in self.shards
+        }
+        out = schema.aggregate_sections(list(sections.values()))
+        out[schema.SECTION_METRICS] = self.metrics.summary()
+        out[schema.SECTION_ROUTER] = self.router_section()
+        out[schema.SECTION_SHARDS] = sections
+        return out
+
+    # --------------------------------------------------------- construction
+
+    @classmethod
+    def from_config(cls, config: RackConfig, racks: int, *,
+                    vnodes: int = DEFAULT_VNODES,
+                    ring_seed: int = DEFAULT_RING_SEED,
+                    gc_sync_s: float = DEFAULT_GC_SYNC_S,
+                    queue_depth: int = 256,
+                    client_rate_per_sec: float = 0.0,
+                    client_burst: float = 64.0,
+                    precondition: bool = True,
+                    **bridge_kwargs: Any) -> "ShardRouter":
+        """Build N shards from one base config (seeds and fault schedules
+        derived per rack by :func:`build_shard_configs`)."""
+        shards = []
+        for index, shard_config in enumerate(
+                build_shard_configs(config, racks)):
+            bridge = SimTimeBridge(shard_config, precondition=precondition,
+                                   **bridge_kwargs)
+            admission = AdmissionController(
+                max_queue_depth=queue_depth,
+                client_rate_per_sec=client_rate_per_sec,
+                client_burst=client_burst,
+            )
+            shards.append(RackShard(index, bridge, admission))
+        return cls(shards, vnodes=vnodes, ring_seed=ring_seed,
+                   gc_sync_s=gc_sync_s)
+
+
+class ShardedRackService(RackService):
+    """N racks behind one listener: the in-process sharded front-end."""
+
+    def __init__(self, router: ShardRouter, host: str = "127.0.0.1",
+                 port: int = 0, *,
+                 max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+                 ) -> None:
+        super().__init__(
+            router.shards[0].bridge.rack.config, host, port,
+            bridge=router,  # the router speaks the bridge surface
+            max_frame_bytes=max_frame_bytes,
+        )
+        self.router = router
+
+    def _capabilities(self) -> List[str]:
+        return super()._capabilities() + ["sharded"]
+
+    def _hello_fields(self) -> Dict[str, Any]:
+        fields = super()._hello_fields()
+        fields["racks"] = len(self.router.shards)
+        return fields
+
+    def _admit(self, client: str, request: Dict[str, Any]) -> bool:
+        return self.router.try_admit(client, request)
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        out = self.router.stats_payload()
+        out[schema.FIELD_CONNECTIONS] = float(self.connections_accepted)
+        return out
+
+
+# --------------------------------------------------------------------------
+# Multi-process mode: a relay proxy over one backend serve process per rack.
+# --------------------------------------------------------------------------
+
+_SERVING_RE = re.compile(r"\bon ([0-9.]+):(\d+)\s*$")
+
+
+class _BackendLink:
+    """One client's pipe to one backend: forward frames, relay responses.
+
+    Responses are relayed at frame granularity via
+    :class:`~repro.service.protocol.FrameSplitter` -- the body bytes are
+    never re-encoded, only peeked (``json.loads``) for the ``id`` so the
+    proxy can answer orphaned requests with a retryable ``TIMEOUT`` when
+    a backend dies mid-flight.
+    """
+
+    def __init__(self, node: int, client_writer: "asyncio.StreamWriter",
+                 max_frame_bytes: int) -> None:
+        self.node = node
+        self.client_writer = client_writer
+        self.max_frame_bytes = max_frame_bytes
+        self.reader: Optional["asyncio.StreamReader"] = None
+        self.writer: Optional["asyncio.StreamWriter"] = None
+        self.relay_task: Optional["asyncio.Task"] = None
+        self.inflight: Set[Any] = set()
+        self.relayed = 0
+        self.dead = False
+
+    async def open(self, host: str, port: int) -> None:
+        self.reader, self.writer = await asyncio.open_connection(host, port)
+        self.relay_task = asyncio.get_running_loop().create_task(
+            self._relay()
+        )
+
+    def send(self, frame: bytes, request_id: Any) -> None:
+        assert self.writer is not None
+        if request_id is not None:
+            self.inflight.add(request_id)
+        self.writer.write(frame)
+
+    async def _relay(self) -> None:
+        assert self.reader is not None
+        splitter = protocol.FrameSplitter(self.max_frame_bytes)
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                for frame in splitter.feed(data):
+                    try:
+                        response_id = json.loads(frame[4:]).get("id")
+                    except ValueError:
+                        response_id = None
+                    if response_id is not None:
+                        self.inflight.discard(response_id)
+                    if not self.client_writer.is_closing():
+                        self.client_writer.write(frame)
+                        self.relayed += 1
+        except (ConnectionResetError, BrokenPipeError, protocol.FrameError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self.dead = True
+            # Orphans get a retryable TIMEOUT: the backend (or its rack)
+            # died with their responses; other shards are untouched.
+            if not self.client_writer.is_closing():
+                for request_id in sorted(self.inflight, key=str):
+                    self.client_writer.write(protocol.encode_frame(
+                        protocol.error_response(
+                            protocol.TIMEOUT,
+                            f"backend rack {self.node} connection lost",
+                            request_id,
+                        )
+                    ))
+            self.inflight.clear()
+
+    async def close(self) -> None:
+        self.dead = True
+        if self.writer is not None:
+            self.writer.close()
+        if self.relay_task is not None:
+            self.relay_task.cancel()
+            try:
+                await self.relay_task
+            except asyncio.CancelledError:
+                pass
+            self.relay_task = None
+
+
+class ShardProxy:
+    """Frame-level relay over one backend ``serve`` process per rack.
+
+    The proxy decodes each client request once (to route it and rewrite
+    the global pair index to the backend's local index) and relays
+    responses as raw frames.  Admission, simulation, and draining all
+    happen in the backends; the proxy adds only placement.  GC-aware
+    cross-rack fallback is an in-process-router feature -- the proxy has
+    no switch-state channel -- so reads rely on the backends' own
+    in-rack redirect (documented in ``docs/serving.md``), and scans go
+    to the start-key owner only.
+    """
+
+    def __init__(self, backends: Sequence[Tuple[str, int]],
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 pairs_per_rack: int,
+                 vnodes: int = DEFAULT_VNODES,
+                 ring_seed: int = DEFAULT_RING_SEED,
+                 max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+                 ) -> None:
+        if not backends:
+            raise ConfigError("a proxy needs at least one backend")
+        if pairs_per_rack < 1:
+            raise ConfigError(
+                f"pairs_per_rack must be >= 1, got {pairs_per_rack}"
+            )
+        self.backends = list(backends)
+        self.host = host
+        self.port = port
+        self.pairs_per_rack = pairs_per_rack
+        self.max_frame_bytes = max_frame_bytes
+        self.ring = HashRing(range(len(self.backends)),
+                             vnodes=vnodes, seed=ring_seed)
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._connections: Set["asyncio.Task"] = set()
+        self._draining = False
+        self.connections_accepted = 0
+        self.routed = 0
+        self.unroutable = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -------------------------------------------------------------- routing
+
+    def _route(self, request: Dict[str, Any]) -> Optional[int]:
+        rtype = request.get("type")
+        try:
+            if rtype in ("read", "write"):
+                global_pair = int(request["pair"])
+                total = self.pairs_per_rack * len(self.backends)
+                if not 0 <= global_pair < total:
+                    raise ConfigError(
+                        f"pair index {global_pair} out of range [0, {total})"
+                    )
+                return self.ring.node_for(f"pair:{global_pair}")
+            if rtype in ("get", "put"):
+                return self.ring.node_for(f"key:{request['key']}")
+            if rtype == "scan":
+                return self.ring.node_for(f"key:{request.get('start', '')}")
+        except (KeyError, TypeError, ValueError, ConfigError):
+            return None
+        return None
+
+    # ---------------------------------------------------------- connections
+
+    async def _handle_client(self, reader: "asyncio.StreamReader",
+                             writer: "asyncio.StreamWriter") -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self.connections_accepted += 1
+        links: Dict[int, _BackendLink] = {}
+        decoder = protocol.FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    requests = decoder.feed(data)
+                except protocol.FrameError as exc:
+                    writer.write(protocol.encode_frame(
+                        protocol.error_response(protocol.BAD_REQUEST,
+                                                str(exc))
+                    ))
+                    break
+                for request in requests:
+                    await self._begin(request, writer, links)
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            for link in links.values():
+                await link.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _begin(self, request: Dict[str, Any],
+                     writer: "asyncio.StreamWriter",
+                     links: Dict[int, _BackendLink]) -> None:
+        request_id = request.get("id")
+
+        def reply(response: Dict[str, Any]) -> None:
+            if not writer.is_closing():
+                writer.write(protocol.encode_frame(response))
+
+        bad_version = protocol.check_version(request)
+        if bad_version is not None:
+            reply(protocol.error_response(
+                protocol.UNSUPPORTED_VERSION,
+                f"server speaks v{protocol.PROTOCOL_VERSION}, "
+                f"got v{bad_version!r}", request_id,
+            ))
+            return
+        rtype = request.get("type")
+        if rtype == "hello":
+            reply(protocol.hello_response(
+                request_id,
+                capabilities=["raw", "kv", "sharded", "proxy"],
+                racks=len(self.backends),
+            ))
+            return
+        if rtype == "ping":
+            reply(protocol.ok_response(request_id, pong=True))
+            return
+        if rtype == "stats":
+            try:
+                reply(protocol.ok_response(
+                    request_id, **(await self._gather_stats())
+                ))
+            except (ConnectionError, OSError, protocol.FrameError) as exc:
+                reply(protocol.error_response(
+                    protocol.INTERNAL, f"stats gather failed: {exc}",
+                    request_id,
+                ))
+            return
+        if self._draining:
+            reply(protocol.error_response(
+                protocol.SHUTTING_DOWN, "proxy is draining", request_id
+            ))
+            return
+        node = self._route(request)
+        if node is None:
+            self.unroutable += 1
+            reply(protocol.error_response(
+                protocol.BAD_REQUEST,
+                f"unroutable request type {rtype!r}", request_id,
+            ))
+            return
+        forward = dict(request)
+        if rtype in ("read", "write"):
+            forward["pair"] = int(request["pair"]) % self.pairs_per_rack
+        link = links.get(node)
+        if link is None or link.dead:
+            if link is not None:
+                await link.close()
+            link = _BackendLink(node, writer, self.max_frame_bytes)
+            host, port = self.backends[node]
+            try:
+                await link.open(host, port)
+            except (ConnectionError, OSError) as exc:
+                reply(protocol.error_response(
+                    protocol.TIMEOUT,
+                    f"backend rack {node} unreachable: {exc}", request_id,
+                ))
+                return
+            links[node] = link
+        self.routed += 1
+        link.send(protocol.encode_frame(forward), request_id)
+
+    # ------------------------------------------------------------ reporting
+
+    async def _gather_stats(self) -> Dict[str, Any]:
+        """Scatter ``stats`` to every backend and fold the results."""
+        sections: Dict[str, Dict[str, Any]] = {}
+        for node, (host, port) in enumerate(self.backends):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                protocol.write_frame(writer, {"type": "stats", "id": 0})
+                response = await protocol.read_frame(
+                    reader, self.max_frame_bytes
+                )
+            finally:
+                writer.close()
+            if response is None or not response.get("ok"):
+                raise ConnectionError(f"backend rack {node} stats failed")
+            sections[str(node)] = {
+                key: response[key]
+                for key in (schema.SECTION_BRIDGE, schema.SECTION_METRICS,
+                            schema.SECTION_KVSTORE, schema.SECTION_ADMISSION,
+                            schema.SECTION_CHAOS)
+                if key in response
+            }
+        out = schema.aggregate_sections(list(sections.values()))
+        out[schema.SECTION_METRICS] = schema.merge_metric_summaries(
+            [s.get(schema.SECTION_METRICS, {}) for s in sections.values()]
+        )
+        out[schema.SECTION_ROUTER] = {
+            "racks": float(len(self.backends)),
+            "virtual_nodes": float(self.ring.vnodes),
+            "routed": float(self.routed),
+            "cross_rack_redirects": 0.0,
+            "scatter_scans": 0.0,
+            "unroutable": float(self.unroutable),
+            "gc_view_commits": 0.0,
+        }
+        out[schema.SECTION_SHARDS] = sections
+        out[schema.FIELD_CONNECTIONS] = float(self.connections_accepted)
+        return out
+
+
+# --------------------------------------------------------------------------
+# Backend process management (used by `repro.cli serve --shard-mode process`
+# and the scaling benchmark).
+# --------------------------------------------------------------------------
+
+
+async def launch_backends(
+    racks: int, backend_args: Sequence[str], *, seed: int,
+    startup_timeout_s: float = 60.0,
+) -> Tuple[List["asyncio.subprocess.Process"], List[Tuple[str, int]]]:
+    """Spawn one ``repro.cli serve`` process per rack on ephemeral ports.
+
+    ``backend_args`` is everything after ``serve`` except ``--port`` and
+    ``--seed``, which are set here (port 0; seed ``seed + rack``, the
+    same derivation :func:`build_shard_configs` uses).  Returns the
+    processes plus their ``(host, port)`` endpoints, parsed from each
+    child's "serving ... on host:port" line.
+    """
+    import os
+    import pathlib
+    import sys
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    procs: List["asyncio.subprocess.Process"] = []
+    endpoints: List[Tuple[str, int]] = []
+    try:
+        for rack in range(racks):
+            proc = await asyncio.create_subprocess_exec(
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--seed", str(seed + rack),
+                *backend_args,
+                stdout=asyncio.subprocess.PIPE,
+                stderr=asyncio.subprocess.STDOUT,
+                env=env,
+            )
+            procs.append(proc)
+        for rack, proc in enumerate(procs):
+            assert proc.stdout is not None
+            deadline = asyncio.get_running_loop().time() + startup_timeout_s
+            while True:
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    raise ConfigError(
+                        f"backend rack {rack} did not report a port within "
+                        f"{startup_timeout_s:.0f}s"
+                    )
+                line = await asyncio.wait_for(proc.stdout.readline(),
+                                              timeout=remaining)
+                if not line:
+                    raise ConfigError(
+                        f"backend rack {rack} exited before serving "
+                        f"(exit code {proc.returncode})"
+                    )
+                match = _SERVING_RE.search(line.decode("utf-8", "replace"))
+                if match:
+                    endpoints.append((match.group(1), int(match.group(2))))
+                    break
+    except BaseException:
+        await shutdown_backends(procs)
+        raise
+    return procs, endpoints
+
+
+async def shutdown_backends(
+    procs: Sequence["asyncio.subprocess.Process"],
+    timeout_s: float = 15.0,
+) -> None:
+    """SIGTERM every backend (graceful drain) and reap it."""
+    import signal
+
+    for proc in procs:
+        if proc.returncode is None:
+            try:
+                proc.send_signal(signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+    for proc in procs:
+        if proc.returncode is None:
+            try:
+                await asyncio.wait_for(proc.wait(), timeout=timeout_s)
+            except asyncio.TimeoutError:
+                proc.kill()
+                await proc.wait()

@@ -1,0 +1,276 @@
+"""The one documented shape for every ``stats`` payload.
+
+Three producers used to improvise their own dicts -- the bridge
+(:meth:`BridgeStats.as_dict`), the server's ``stats`` response, and
+:meth:`ServiceClient.stats` -- which left consumers key-guessing.  This
+module is now the single source of truth: the section names, the fields
+each section carries, an assembler both server flavours use, and a
+validator the tests (and any consumer that wants a hard guarantee) can
+run against a live payload.
+
+A **single-rack** stats payload looks like::
+
+    {
+      "bridge":     {sim_now_us, inflight, submitted, completed,
+                     timed_out, sim_chunks},
+      "metrics":    {...ExperimentMetrics.summary()...},
+      "kvstore":    {keys, gets, puts, scans, misses},
+      "admission":  {admitted, shed_queue_full, shed_rate_limited,
+                     max_queue_depth, clients},
+      "connections": <float>,
+      "chaos":  {...}            # only when a fault schedule is armed
+      "traces": {...}            # only when tracing samples
+    }
+
+A **sharded** payload is a strict superset: the same top-level sections
+hold the *aggregate* view (counters summed across shards; ``sim_now_us``
+is the max; aggregate latency percentiles come from the router's own
+collector, since per-shard percentiles do not merge), plus::
+
+    "router": {racks, virtual_nodes, routed, cross_rack_redirects,
+               scatter_scans, unroutable, gc_view_commits},
+    "shards": {"0": {bridge, metrics, kvstore, admission[, chaos]}, ...}
+
+:meth:`ServiceClient.stats` adds one more section client-side::
+
+    "client": {retries, hedged, hedged_wins, reconnects, timeouts}
+
+All leaf values are numbers (floats on the wire) except inside
+``metrics`` / ``traces`` / ``chaos``, whose keys are owned by their
+producers (`ExperimentMetrics.summary`, the trace collector, the chaos
+injector) and may be numbers or null.
+"""
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ReproError
+
+# ------------------------------------------------------------- section names
+
+SECTION_BRIDGE = "bridge"
+SECTION_METRICS = "metrics"
+SECTION_KVSTORE = "kvstore"
+SECTION_ADMISSION = "admission"
+SECTION_CHAOS = "chaos"
+SECTION_TRACES = "traces"
+SECTION_CLIENT = "client"
+SECTION_ROUTER = "router"
+SECTION_SHARDS = "shards"
+FIELD_CONNECTIONS = "connections"
+
+# ------------------------------------------------------------ section fields
+
+BRIDGE_FIELDS = (
+    "sim_now_us", "inflight", "submitted", "completed", "timed_out",
+    "sim_chunks",
+)
+KVSTORE_FIELDS = ("keys", "gets", "puts", "scans", "misses")
+ADMISSION_FIELDS = (
+    "admitted", "shed_queue_full", "shed_rate_limited", "max_queue_depth",
+    "clients",
+)
+CLIENT_FIELDS = ("retries", "hedged", "hedged_wins", "reconnects", "timeouts")
+ROUTER_FIELDS = (
+    "racks", "virtual_nodes", "routed", "cross_rack_redirects",
+    "scatter_scans", "unroutable", "gc_view_commits",
+)
+
+#: Sections every server payload must carry.
+REQUIRED_SECTIONS = (
+    SECTION_BRIDGE, SECTION_METRICS, SECTION_KVSTORE, SECTION_ADMISSION,
+)
+
+#: Aggregating a bridge section across shards: every counter sums except
+#: the clock, which reads as the furthest-ahead shard.
+_BRIDGE_MAX_FIELDS = ("sim_now_us",)
+_ADMISSION_SUM_FIELDS = (
+    "admitted", "shed_queue_full", "shed_rate_limited", "max_queue_depth",
+    "clients",
+)
+
+
+class StatsSchemaError(ReproError):
+    """A stats payload does not match the documented schema."""
+
+
+# ---------------------------------------------------------------- assembly
+
+
+def assemble_server_stats(
+    bridge_payload: Dict[str, Any],
+    admission_stats: Dict[str, float],
+    connections: int,
+) -> Dict[str, Any]:
+    """The canonical server-side ``stats`` response body.
+
+    ``bridge_payload`` is ``SimTimeBridge.stats_payload()`` (bridge +
+    metrics + kvstore + optional chaos/traces); this adds the admission
+    and connection sections every server flavour owes its clients.
+    """
+    out = dict(bridge_payload)
+    out[SECTION_ADMISSION] = dict(admission_stats)
+    out[FIELD_CONNECTIONS] = float(connections)
+    return out
+
+
+def aggregate_sections(shard_sections: "list[Dict[str, Any]]",
+                       ) -> Dict[str, Any]:
+    """Fold per-shard bridge/kvstore/admission sections into aggregates.
+
+    Counters sum; ``sim_now_us`` is the max (each shard owns its own
+    simulated clock, so "the" time is the furthest one).  ``metrics`` is
+    deliberately *not* folded here -- percentiles do not merge -- the
+    router supplies its own aggregate collector for that.
+    """
+    agg: Dict[str, Any] = {
+        SECTION_BRIDGE: {field: 0.0 for field in BRIDGE_FIELDS},
+        SECTION_KVSTORE: {field: 0.0 for field in KVSTORE_FIELDS},
+        SECTION_ADMISSION: {field: 0.0 for field in ADMISSION_FIELDS},
+    }
+    for section in shard_sections:
+        for name, fields in (
+            (SECTION_BRIDGE, BRIDGE_FIELDS),
+            (SECTION_KVSTORE, KVSTORE_FIELDS),
+            (SECTION_ADMISSION, ADMISSION_FIELDS),
+        ):
+            src = section.get(name, {})
+            dst = agg[name]
+            for field in fields:
+                value = float(src.get(field, 0.0))
+                if name == SECTION_BRIDGE and field in _BRIDGE_MAX_FIELDS:
+                    dst[field] = max(dst[field], value)
+                else:
+                    dst[field] += value
+    return agg
+
+
+def merge_metric_summaries(summaries: "list[Mapping[str, Any]]",
+                           ) -> Dict[str, float]:
+    """Best-effort fold of per-shard ``ExperimentMetrics.summary()`` dicts.
+
+    Used only where no shared collector exists (the multi-process proxy):
+    counts and rates sum, tail percentiles take the worst shard (a valid
+    upper bound -- the aggregate p99 cannot exceed the worst shard's),
+    and means weight by their shard's count.
+    """
+    out: Dict[str, float] = {}
+    weights: Dict[str, float] = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            if value is None:
+                continue
+            value = float(value)
+            if key.endswith("_avg_us"):
+                count = float(summary.get(
+                    key.replace("_avg_us", "_count"), 1.0) or 1.0)
+                out[key] = out.get(key, 0.0) + value * count
+                weights[key] = weights.get(key, 0.0) + count
+            elif key.endswith(("_p99_us", "_p999_us")):
+                out[key] = max(out.get(key, 0.0), value)
+            else:  # counts, kiops, redirected/chaos counters: additive
+                out[key] = out.get(key, 0.0) + value
+    for key, weight in weights.items():
+        if weight > 0:
+            out[key] /= weight
+    return out
+
+
+# -------------------------------------------------------------- validation
+
+
+def _require_number(payload: Mapping, section: str, field: str,
+                    where: str) -> None:
+    value = payload.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise StatsSchemaError(
+            f"{where}: section {section!r} field {field!r} must be a "
+            f"number, got {type(value).__name__}"
+        )
+
+
+def _validate_section(payload: Mapping, section: str, fields: tuple,
+                      where: str, required: bool = True) -> None:
+    body = payload.get(section)
+    if body is None:
+        if required:
+            raise StatsSchemaError(f"{where}: missing section {section!r}")
+        return
+    if not isinstance(body, Mapping):
+        raise StatsSchemaError(
+            f"{where}: section {section!r} must be a mapping, "
+            f"got {type(body).__name__}"
+        )
+    for field in fields:
+        _require_number(body, section, field, where)
+
+
+def validate_stats(payload: Mapping, *, client: bool = False,
+                   where: str = "stats") -> None:
+    """Raise :class:`StatsSchemaError` unless ``payload`` fits the schema.
+
+    Accepts both single-rack and sharded payloads; ``client=True``
+    additionally requires the ``client`` section a
+    :meth:`ServiceClient.stats` response carries.
+    """
+    if not isinstance(payload, Mapping):
+        raise StatsSchemaError(
+            f"{where}: payload must be a mapping, got {type(payload).__name__}"
+        )
+    _validate_section(payload, SECTION_BRIDGE, BRIDGE_FIELDS, where)
+    _validate_section(payload, SECTION_KVSTORE, KVSTORE_FIELDS, where)
+    _validate_section(payload, SECTION_ADMISSION, ADMISSION_FIELDS, where)
+    metrics = payload.get(SECTION_METRICS)
+    if not isinstance(metrics, Mapping):
+        raise StatsSchemaError(
+            f"{where}: missing or non-mapping section "
+            f"{SECTION_METRICS!r}"
+        )
+    _require_number(payload, "<top>", FIELD_CONNECTIONS, where)
+    if client:
+        _validate_section(payload, SECTION_CLIENT, CLIENT_FIELDS, where)
+    router = payload.get(SECTION_ROUTER)
+    shards = payload.get(SECTION_SHARDS)
+    if (router is None) != (shards is None):
+        raise StatsSchemaError(
+            f"{where}: sharded payloads carry both {SECTION_ROUTER!r} and "
+            f"{SECTION_SHARDS!r}, or neither"
+        )
+    if router is not None:
+        _validate_section(payload, SECTION_ROUTER, ROUTER_FIELDS, where)
+        if not isinstance(shards, Mapping) or not shards:
+            raise StatsSchemaError(
+                f"{where}: {SECTION_SHARDS!r} must be a non-empty mapping"
+            )
+        for shard_id, section in shards.items():
+            shard_where = f"{where}.shards[{shard_id!r}]"
+            if not str(shard_id).isdigit():
+                raise StatsSchemaError(
+                    f"{shard_where}: shard keys are decimal rack indices"
+                )
+            if not isinstance(section, Mapping):
+                raise StatsSchemaError(
+                    f"{shard_where}: must be a mapping"
+                )
+            _validate_section(section, SECTION_BRIDGE, BRIDGE_FIELDS,
+                              shard_where)
+            _validate_section(section, SECTION_KVSTORE, KVSTORE_FIELDS,
+                              shard_where)
+            _validate_section(section, SECTION_ADMISSION, ADMISSION_FIELDS,
+                              shard_where)
+            if not isinstance(section.get(SECTION_METRICS), Mapping):
+                raise StatsSchemaError(
+                    f"{shard_where}: missing section {SECTION_METRICS!r}"
+                )
+
+
+def is_sharded(payload: Mapping) -> bool:
+    """True when a validated payload came from a sharded front-end."""
+    return SECTION_ROUTER in payload
+
+
+def shard_ids(payload: Mapping) -> "list[int]":
+    """The rack indices a sharded payload reports, sorted."""
+    shards: Optional[Mapping] = payload.get(SECTION_SHARDS)
+    if not shards:
+        return []
+    return sorted(int(k) for k in shards.keys())

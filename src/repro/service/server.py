@@ -21,7 +21,7 @@ from typing import Any, Dict, Optional, Set
 
 from repro.cluster.config import RackConfig
 from repro.errors import ConfigError
-from repro.service import protocol
+from repro.service import protocol, schema
 from repro.service.admission import AdmissionController
 from repro.service.bridge import SimTimeBridge
 
@@ -93,8 +93,10 @@ class RackService:
         await self.bridge.stop(drain=True, drain_timeout_s=drain_timeout_s)
         # Let queued done-callbacks buffer their final responses
         # (cancellations from a cut-short drain), then push them out
-        # before closing the connections under them.
-        await asyncio.sleep(0)
+        # before closing the connections under them.  Routed completions
+        # cross two chained futures, so yield a few ticks, not one.
+        for _ in range(3):
+            await asyncio.sleep(0)
         self._flush_writes()
         for task in list(self._connections):
             task.cancel()
@@ -187,6 +189,56 @@ class RackService:
             except (ConnectionResetError, BrokenPipeError):
                 continue
 
+    # ------------------------------------------------------- subclass hooks
+
+    def _capabilities(self) -> list:
+        """What this server advertises in the ``hello`` exchange."""
+        return ["raw", "kv"]
+
+    def _hello_fields(self) -> Dict[str, Any]:
+        """Extra fields for the ``hello`` response."""
+        return {"racks": 1}
+
+    def _admit(self, client: str, request: Dict[str, Any]) -> bool:
+        """One admission decision (sharded flavours route first)."""
+        return self.admission.try_admit(client, self.bridge.inflight)
+
+    def _submit(self, rtype: Optional[str], request: Dict[str, Any],
+                client: str) -> "asyncio.Future":
+        """Dispatch an admitted request into the simulator.
+
+        Raises ``KeyError``/``TypeError``/``ValueError``/``ConfigError``
+        for malformed operands or unknown types; the caller maps all of
+        them to ``BAD_REQUEST``.
+        """
+        bridge = self.bridge
+        if rtype == "read":
+            return bridge.submit_read(
+                int(request["pair"]), int(request["lpn"]), client,
+                replica=bool(request.get("replica", False)),
+            )
+        if rtype == "write":
+            return bridge.submit_write(
+                int(request["pair"]), int(request["lpn"]), client
+            )
+        if rtype == "get":
+            return bridge.submit_get(request["key"], client)
+        if rtype == "put":
+            return bridge.submit_put(request["key"], request["value"], client)
+        if rtype == "scan":
+            return bridge.submit_scan(
+                request.get("start", ""), int(request.get("count", 10)),
+                client,
+            )
+        raise ConfigError(f"unknown request type {rtype!r}")
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        """The full body of a ``stats`` response."""
+        return schema.assemble_server_stats(
+            self.bridge.stats_payload(), self.admission.stats(),
+            self.connections_accepted,
+        )
+
     # --------------------------------------------------------------- dispatch
 
     def _begin_request(self, request: Dict[str, Any], default_client: str,
@@ -196,19 +248,30 @@ class RackService:
         immediately (rejections, ping/stats) or from the sim future's
         done-callback when the simulated request completes."""
         request_id = request.get("id")
+        bad_version = protocol.check_version(request)
+        if bad_version is not None:
+            self._send_batched(writer, protocol.error_response(
+                protocol.UNSUPPORTED_VERSION,
+                f"server speaks v{protocol.PROTOCOL_VERSION}, "
+                f"got v{bad_version!r}", request_id,
+            ))
+            return
         rtype = request.get("type")
-        bridge = self.bridge
         # Cheap, non-simulated request types bypass admission entirely.
+        if rtype == "hello":
+            self._send_batched(writer, protocol.hello_response(
+                request_id, capabilities=self._capabilities(),
+                **self._hello_fields(),
+            ))
+            return
         if rtype == "ping":
             self._send_batched(writer,
                                protocol.ok_response(request_id, pong=True))
             return
         if rtype == "stats":
-            payload = bridge.stats_payload()
-            payload["admission"] = self.admission.stats()
-            payload["connections"] = float(self.connections_accepted)
-            self._send_batched(writer,
-                               protocol.ok_response(request_id, **payload))
+            self._send_batched(writer, protocol.ok_response(
+                request_id, **self._stats_payload()
+            ))
             return
         if self._draining:
             self._send_batched(writer, protocol.error_response(
@@ -216,39 +279,14 @@ class RackService:
             ))
             return
         client = str(request.get("client") or default_client)
-        if not self.admission.try_admit(client, bridge.inflight):
+        if not self._admit(client, request):
             self._send_batched(writer, protocol.error_response(
                 protocol.BUSY, "admission control shed this request",
                 request_id,
             ))
             return
         try:
-            if rtype == "read":
-                future = bridge.submit_read(
-                    int(request["pair"]), int(request["lpn"]), client,
-                    replica=bool(request.get("replica", False)),
-                )
-            elif rtype == "write":
-                future = bridge.submit_write(
-                    int(request["pair"]), int(request["lpn"]), client
-                )
-            elif rtype == "get":
-                future = bridge.submit_get(request["key"], client)
-            elif rtype == "put":
-                future = bridge.submit_put(
-                    request["key"], request["value"], client
-                )
-            elif rtype == "scan":
-                future = bridge.submit_scan(
-                    request.get("start", ""), int(request.get("count", 10)),
-                    client,
-                )
-            else:
-                self._send_batched(writer, protocol.error_response(
-                    protocol.BAD_REQUEST,
-                    f"unknown request type {rtype!r}", request_id,
-                ))
-                return
+            future = self._submit(rtype, request, client)
         except (KeyError, TypeError, ValueError, ConfigError) as exc:
             self._send_batched(writer, protocol.error_response(
                 protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",

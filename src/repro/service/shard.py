@@ -1,0 +1,192 @@
+"""Shards: a consistent-hash ring and the per-rack unit it places onto.
+
+The scale-out front-end (:mod:`repro.service.router`) is a classic
+front-end/back-end split: N independent racks, each its own simulator,
+switch, and admission controller, with placement decided by a **seeded
+consistent-hash ring with virtual nodes**.  Seeded, because placement
+must agree across processes and across restarts -- the ring hashes with
+BLAKE2 over an explicit seed, never Python's per-process ``hash()``.
+
+Virtual nodes smooth the split: with ``vnodes`` points per rack the
+largest shard owns close to ``1/N`` of the key space, and adding a rack
+steals roughly ``1/(N+1)`` of the keys from the incumbents instead of
+half of one unlucky rack (the rebalance property is pinned by
+``tests/test_ring.py``).
+"""
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.service.admission import AdmissionController
+from repro.service.bridge import SimTimeBridge
+
+#: Ring points per rack.  64 keeps the max/min shard-ownership ratio
+#: under ~1.35 for small N while the ring stays a few hundred entries.
+DEFAULT_VNODES = 64
+
+#: Ring seed: placement is part of the deployment's identity, so the
+#: default is fixed and explicit rather than derived from anything.
+DEFAULT_RING_SEED = 17
+
+
+class HashRing:
+    """A seeded consistent-hash ring over integer node ids."""
+
+    def __init__(self, nodes: Iterable[int] = (), *,
+                 vnodes: int = DEFAULT_VNODES,
+                 seed: int = DEFAULT_RING_SEED) -> None:
+        if vnodes < 1:
+            raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._points: List[int] = []          # sorted ring positions
+        self._owners: List[int] = []          # node owning each position
+        self._nodes: Dict[int, List[int]] = {}  # node -> its positions
+        for node in nodes:
+            self.add_node(node)
+
+    # ----------------------------------------------------------- membership
+
+    def _point(self, label: str) -> int:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{label}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def add_node(self, node: int) -> None:
+        node = int(node)
+        if node in self._nodes:
+            raise ConfigError(f"node {node} is already on the ring")
+        positions = []
+        for replica in range(self.vnodes):
+            point = self._point(f"node:{node}:{replica}")
+            idx = bisect.bisect(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+            positions.append(point)
+        self._nodes[node] = positions
+
+    def remove_node(self, node: int) -> None:
+        node = int(node)
+        positions = self._nodes.pop(node, None)
+        if positions is None:
+            raise ConfigError(f"node {node} is not on the ring")
+        for point in positions:
+            # Positions can collide across nodes in principle; remove the
+            # entry that belongs to *this* node.
+            idx = bisect.bisect_left(self._points, point)
+            while self._owners[idx] != node or self._points[idx] != point:
+                idx += 1
+            del self._points[idx]
+            del self._owners[idx]
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -------------------------------------------------------------- lookup
+
+    def node_for(self, key: str) -> int:
+        """The node owning ``key``: first ring point at or after its hash."""
+        if not self._nodes:
+            raise ConfigError("the ring has no nodes")
+        point = self._point(f"key:{key}")
+        idx = bisect.bisect(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def preference(self, key: str, count: int = 2) -> List[int]:
+        """The first ``count`` *distinct* nodes walking the ring from
+        ``key`` -- position 0 is the owner, position 1 the cross-rack
+        fallback, and so on (Dynamo's preference list)."""
+        if not self._nodes:
+            raise ConfigError("the ring has no nodes")
+        count = min(count, len(self._nodes))
+        point = self._point(f"key:{key}")
+        idx = bisect.bisect(self._points, point)
+        out: List[int] = []
+        total = len(self._points)
+        for step in range(total):
+            owner = self._owners[(idx + step) % total]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == count:
+                    break
+        return out
+
+
+class RackShard:
+    """One rack behind the router: bridge + its own admission control.
+
+    Each shard is a complete single-rack serving stack minus the TCP
+    listener -- its own simulator, its own pump, its own queue-depth cap
+    and token buckets.  Admission being per-shard is what makes a
+    whole-rack outage shed *only* that shard's traffic instead of
+    dragging the global cap down with zombie in-flight requests.
+    """
+
+    def __init__(self, index: int, bridge: SimTimeBridge,
+                 admission: Optional[AdmissionController] = None) -> None:
+        if index < 0:
+            raise ConfigError(f"shard index must be >= 0, got {index}")
+        self.index = index
+        self.bridge = bridge
+        self.admission = admission if admission is not None else (
+            AdmissionController()
+        )
+        #: Raw reads this shard served because the owner's copies were
+        #: both collecting (the receiving side of a cross-rack redirect).
+        self.redirected_in = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        await self.bridge.start()
+
+    async def stop(self, drain: bool = True,
+                   drain_timeout_s: float = 10.0) -> None:
+        await self.bridge.stop(drain=drain, drain_timeout_s=drain_timeout_s)
+
+    @property
+    def inflight(self) -> int:
+        return self.bridge.inflight
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.bridge.rack.pairs)
+
+    # -------------------------------------------------------------- GC view
+
+    def gc_busy_pairs(self) -> Tuple[bool, ...]:
+        """Per local pair: are *both* in-rack copies collecting right now?
+
+        This is the truth the shard's own ToR switch holds (the same two
+        table reads :meth:`MultiRackFabric.process_read` makes before it
+        redirects out of rack); the router sees it only after the
+        inter-switch sync delay.
+        """
+        switch = self.bridge.rack.switch
+        out = []
+        for pair in self.bridge.rack.pairs:
+            primary_busy = switch.replica_table.gc_status(
+                pair.primary.vssd_id) == 1
+            replica_busy = switch.destination_table.gc_status(
+                pair.replica.vssd_id) == 1
+            out.append(primary_busy and replica_busy)
+        return tuple(out)
+
+    # ------------------------------------------------------------ reporting
+
+    def stats_section(self) -> Dict[str, object]:
+        """This shard's slice of the sharded stats payload (see
+        :mod:`repro.service.schema`)."""
+        payload = self.bridge.stats_payload()
+        payload["admission"] = self.admission.stats()
+        payload["redirected_in"] = float(self.redirected_in)
+        return payload

@@ -70,6 +70,41 @@ class TestFaultEvent:
             FaultEvent.from_dict("not-a-dict")
 
 
+class TestRackQualifier:
+    """The sharded-serving extension: events optionally scoped to one rack."""
+
+    def test_default_is_broadcast(self):
+        assert crash().rack is None
+        assert "rack" not in crash().to_dict()
+
+    def test_rack_round_trips_through_dict(self):
+        event = FaultEvent(10.0, "server_crash", "server:0", rack=2)
+        payload = event.to_dict()
+        assert payload["rack"] == 2
+        assert FaultEvent.from_dict(payload) == event
+
+    def test_bad_rack_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(0.0, "server_crash", "server:0", rack=-1)
+        with pytest.raises(ConfigError):
+            FaultEvent(0.0, "server_crash", "server:0", rack=True)
+        with pytest.raises(ConfigError):
+            FaultEvent(0.0, "server_crash", "server:0", rack="1")
+
+    def test_for_rack_keeps_broadcast_and_own_events(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(1.0, "server_crash", "server:0", rack=0),
+            FaultEvent(2.0, "server_crash", "server:1", rack=1),
+            FaultEvent(3.0, "server_recover", "server:0"),  # broadcast
+        ), heartbeat_interval_us=777.0)
+        sliced = schedule.for_rack(1)
+        assert [e.at_us for e in sliced.events] == [2.0, 3.0]
+        # Schedule-level knobs survive the slice.
+        assert sliced.heartbeat_interval_us == 777.0
+        with pytest.raises(ConfigError):
+            schedule.for_rack(-1)
+
+
 class TestFaultSchedule:
     def test_detection_delay_bound(self):
         sched = FaultSchedule(heartbeat_interval_us=2000.0, miss_threshold=2)

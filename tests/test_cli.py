@@ -89,6 +89,9 @@ class TestServiceArgValidation:
         (["serve", "--pace", "-1"], "--pace"),
         (["serve", "--servers", "1"], "--servers"),
         (["serve", "--client-rate", "-5"], "--client-rate"),
+        (["serve", "--racks", "0"], "--racks"),
+        (["serve", "--racks", "2", "--shard-mode", "process",
+          "--fault-schedule", "schedule.json"], "--fault-schedule"),
         (["loadgen", "--pipeline", "0"], "--pipeline"),
         (["loadgen", "--clients", "0"], "--clients"),
         (["loadgen", "--write-ratio", "1.5"], "--write-ratio"),

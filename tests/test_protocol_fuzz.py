@@ -1,4 +1,6 @@
-"""Property-based fuzzing of the wire-protocol :class:`FrameDecoder`.
+"""Property-based fuzzing of the wire protocol: :class:`FrameDecoder`,
+the zero-parse :class:`FrameSplitter` the proxy relays with, and the
+version gate.
 
 Seeded ``random`` only (replayable, no extra dependencies).  The decoder
 contract under test:
@@ -10,7 +12,11 @@ contract under test:
   cut landed inside a frame;
 * **garbage never escapes the error taxonomy**: arbitrary bytes may only
   ever raise :class:`FrameError` subclasses, never anything else, and a
-  decoder on a poisoned stream stays in a raising (not corrupting) state.
+  decoder on a poisoned stream stays in a raising (not corrupting) state;
+* **splitting agrees with decoding**: the splitter cuts any re-chunked
+  stream at exactly the boundaries the decoder parses at, byte-for-byte;
+* **versioning**: ``v`` absent or equal to :data:`PROTOCOL_VERSION`
+  passes; anything else is rejected with the offending value.
 """
 
 import random
@@ -18,10 +24,13 @@ import random
 import pytest
 
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     FrameDecoder,
     FrameError,
+    FrameSplitter,
     FrameTooLarge,
     TruncatedFrame,
+    check_version,
     encode_frame,
 )
 
@@ -32,7 +41,7 @@ def random_messages(rng: "random.Random", count: int):
     """A batch of representative request/response payloads."""
     out = []
     for i in range(count):
-        shape = rng.randrange(4)
+        shape = rng.randrange(5)
         if shape == 0:
             out.append({"type": "read", "pair": rng.randrange(8),
                         "lpn": rng.randrange(4096), "id": i})
@@ -41,9 +50,15 @@ def random_messages(rng: "random.Random", count: int):
         elif shape == 2:
             out.append({"type": "put", "key": f"k{rng.randrange(999)}",
                         "value": "v" * rng.randrange(0, 200), "id": i})
-        else:
+        elif shape == 3:
             out.append({"ok": False, "error": "BUSY", "id": i,
                         "message": "x" * rng.randrange(0, 50)})
+        else:
+            # Versioned traffic: mostly v1 hellos, sometimes a version
+            # the gate will reject -- framing must not care either way.
+            out.append({"type": "hello", "id": i,
+                        "v": rng.choice([PROTOCOL_VERSION, PROTOCOL_VERSION,
+                                         0, 99])})
     return out
 
 
@@ -175,3 +190,73 @@ class TestGarbage:
         frame = len(body).to_bytes(4, "big") + body
         with pytest.raises(FrameError):
             FrameDecoder().feed(frame)
+
+
+class TestFrameSplitter:
+    """The proxy's relay path: cut at frame boundaries, decode nothing."""
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_splitting_agrees_with_decoding(self, seed):
+        rng = random.Random(f"fuzz-split:{seed}")
+        messages = random_messages(rng, rng.randrange(1, 30))
+        frames = [encode_frame(m) for m in messages]
+        splitter = FrameSplitter()
+        split = []
+        for chunk in rechunk(rng, b"".join(frames)):
+            split.extend(splitter.feed(chunk))
+        # Byte-for-byte the original frames (4-byte prefix included):
+        # relaying them must be indistinguishable from the backend's own
+        # writes, and re-decoding them round-trips the messages.
+        assert split == frames
+        decoder = FrameDecoder()
+        assert [m for f in split for m in decoder.feed(f)] == messages
+        splitter.close()
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_truncation_detected_like_the_decoder(self, seed):
+        rng = random.Random(f"fuzz-split-trunc:{seed}")
+        frames = [encode_frame(m)
+                  for m in random_messages(rng, rng.randrange(1, 12))]
+        stream = b"".join(frames)
+        cut = rng.randrange(0, len(stream) + 1)
+        splitter = FrameSplitter()
+        split = []
+        for chunk in rechunk(rng, stream[:cut]):
+            split.extend(splitter.feed(chunk))
+        assert b"".join(split) == stream[:sum(len(f) for f in split)]
+        if cut == sum(len(f) for f in split):
+            splitter.close()  # cut on a boundary: clean EOF
+        else:
+            with pytest.raises(TruncatedFrame):
+                splitter.close()
+
+    def test_splitter_never_parses_the_body(self):
+        # The splitter must relay syntactically-invalid JSON untouched:
+        # the proxy's contract is framing, not validation.
+        body = b"\xff\xfe this is not json at all"
+        frame = len(body).to_bytes(4, "big") + body
+        assert FrameSplitter().feed(frame) == [frame]
+
+    def test_oversized_frame_rejected(self):
+        splitter = FrameSplitter(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge):
+            splitter.feed((2048).to_bytes(4, "big"))
+
+
+class TestCheckVersion:
+    def test_absent_and_current_pass(self):
+        assert check_version({"type": "ping"}) is None
+        assert check_version({"type": "ping", "v": PROTOCOL_VERSION}) is None
+        # An explicit null is v1 traffic too, same as an absent field.
+        assert check_version({"type": "ping", "v": None}) is None
+
+    @pytest.mark.parametrize("bad", [0, 2, 99, -1, "1", "one", 1.5])
+    def test_everything_else_is_returned_for_the_error(self, bad):
+        assert check_version({"type": "ping", "v": bad}) == bad
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_fuzzed_versions_never_raise(self, seed):
+        rng = random.Random(f"fuzz-version:{seed}")
+        for message in random_messages(rng, 20):
+            verdict = check_version(message)
+            assert verdict is None or verdict != PROTOCOL_VERSION

@@ -1,0 +1,340 @@
+"""The in-process shard router: placement, fallback, and aggregation.
+
+These tests drive :class:`ShardRouter` directly (no TCP) so every
+routing decision is observable: which shard's bridge a request landed
+on, what the response's ``rack`` tag says, and how the per-shard and
+aggregate counters move.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultSchedule
+from repro.cluster.config import RackConfig, SystemType
+from repro.errors import ConfigError
+from repro.service import schema
+from repro.service.router import ShardRouter, build_shard_configs
+from repro.service.shard import HashRing
+
+pytestmark = pytest.mark.shard
+
+MS = 1000.0
+
+
+def base_config(**overrides) -> RackConfig:
+    defaults = dict(
+        system=SystemType("rackblox"), num_servers=2, num_pairs=2, seed=11,
+    )
+    defaults.update(overrides)
+    return RackConfig(**defaults)
+
+
+def make_router(racks=3, **kwargs) -> ShardRouter:
+    kwargs.setdefault("gc_sync_s", 0.0)  # view moves only when tests say so
+    kwargs.setdefault("precondition", False)
+    kwargs.setdefault("chunk_us", 2000.0)
+    return ShardRouter.from_config(base_config(), racks, **kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBuildShardConfigs:
+    def test_single_rack_is_the_base_config_untouched(self):
+        config = base_config()
+        assert build_shard_configs(config, 1) == [config]
+        assert build_shard_configs(config, 1)[0] is config
+
+    def test_each_rack_gets_a_distinct_seed(self):
+        configs = build_shard_configs(base_config(seed=100), 3)
+        assert [c.seed for c in configs] == [100, 101, 102]
+        assert all(c.num_pairs == 2 for c in configs)
+
+    def test_fault_schedule_sliced_per_rack(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(1.0 * MS, "server_crash", "server:0", rack=1),
+            FaultEvent(2.0 * MS, "server_crash", "server:1"),  # broadcast
+        ))
+        configs = build_shard_configs(base_config(fault_schedule=schedule), 3)
+        assert [len(c.fault_schedule.events) for c in configs] == [1, 2, 1]
+        assert configs[1].fault_schedule.events[0].target == "server:0"
+
+    def test_zero_racks_rejected(self):
+        with pytest.raises(ConfigError):
+            build_shard_configs(base_config(), 0)
+
+
+class TestPlacement:
+    def test_routing_matches_the_public_ring(self):
+        # The router's placement is exactly HashRing over "pair:g" /
+        # "key:k" labels -- an external client can predict it.
+        async def scenario():
+            router = make_router(racks=3)
+            ring = HashRing(range(3))
+            await router.start()
+            try:
+                landed = {}
+                for g in range(router.total_pairs):
+                    result = await router.submit_write(g, lpn=1)
+                    landed[g] = result["rack"]
+                return landed, {g: ring.node_for(f"pair:{g}")
+                                for g in range(router.total_pairs)}
+            finally:
+                await router.stop()
+
+        landed, predicted = run(scenario())
+        assert landed == predicted
+
+    def test_kv_routing_matches_the_ring_too(self):
+        async def scenario():
+            router = make_router(racks=3)
+            ring = HashRing(range(3))
+            await router.start()
+            try:
+                out = {}
+                for i in range(12):
+                    key = f"k{i:08d}"
+                    result = await router.submit_put(key, "v")
+                    out[key] = (result["rack"], ring.node_for(f"key:{key}"))
+                return out
+            finally:
+                await router.stop()
+
+        for key, (landed, predicted) in run(scenario()).items():
+            assert landed == predicted, key
+
+    def test_out_of_range_pair_rejected(self):
+        async def scenario():
+            router = make_router(racks=2)  # 4 global pairs
+            await router.start()
+            try:
+                with pytest.raises(ConfigError, match="out of range"):
+                    router.submit_read(4, 0)
+                with pytest.raises(ConfigError):
+                    router.submit_write(-1, 0)
+            finally:
+                await router.stop()
+
+        run(scenario())
+
+    def test_every_shard_simulates_independently(self):
+        async def scenario():
+            router = make_router(racks=3)
+            await router.start()
+            try:
+                for g in range(router.total_pairs):
+                    await router.submit_write(g, lpn=g)
+                return [s.bridge.stats().submitted for s in router.shards]
+            finally:
+                await router.stop()
+
+        submitted = run(scenario())
+        assert sum(submitted) == 6
+        assert all(count > 0 for count in submitted)
+
+
+class TestScatterGatherScan:
+    def test_scan_merges_sorted_across_all_shards(self):
+        async def scenario():
+            router = make_router(racks=3)
+            await router.start()
+            try:
+                keys = [f"k{i:04d}" for i in range(24)]
+                for key in keys:
+                    await router.submit_put(key, f"v-{key}")
+                # Keys hash-spread over the shards; a single-shard scan
+                # could never see them all.
+                per_shard = [len(s.bridge.kv) for s in router.shards]
+                result = await router.submit_scan("", count=10)
+                return keys, per_shard, result
+            finally:
+                await router.stop()
+
+        keys, per_shard, result = run(scenario())
+        assert all(count > 0 for count in per_shard)
+        scanned = [key for key, _ in result["items"]]
+        assert scanned == sorted(keys)[:10]
+        assert result["racks"] == 3
+        assert result["count"] == 10
+        assert result["latency_us"] > 0
+
+    def test_scan_respects_start_key(self):
+        async def scenario():
+            router = make_router(racks=2)
+            await router.start()
+            try:
+                for i in range(12):
+                    await router.submit_put(f"k{i:04d}", "v")
+                return await router.submit_scan("k0006", count=100)
+            finally:
+                await router.stop()
+
+        result = run(scenario())
+        assert [k for k, _ in result["items"]] == [
+            f"k{i:04d}" for i in range(6, 12)
+        ]
+
+
+class TestPerShardAdmission:
+    def test_overload_on_one_shard_sheds_only_that_shard(self):
+        async def scenario():
+            router = make_router(racks=2, queue_depth=1)
+            await router.start()
+            try:
+                ring = HashRing(range(2))
+                by_owner = {0: [], 1: []}
+                for g in range(router.total_pairs):
+                    by_owner[ring.node_for(f"pair:{g}")].append(g)
+                busy_pair = by_owner[0][0]
+                other_pair = by_owner[1][0]
+                request = {"type": "write", "pair": busy_pair, "lpn": 0}
+                assert router.try_admit("c", request)
+                hold = router.submit_write(busy_pair, 0)  # fills depth=1
+                # Same shard: over its own cap.  Other shard: untouched.
+                shed = router.try_admit("c", request)
+                admitted_elsewhere = router.try_admit(
+                    "c", {"type": "write", "pair": other_pair, "lpn": 0}
+                )
+                await hold
+                return shed, admitted_elsewhere
+            finally:
+                await router.stop()
+
+        shed, admitted_elsewhere = run(scenario())
+        assert shed is False
+        assert admitted_elsewhere is True
+
+    def test_unroutable_is_admitted_for_dispatch_to_reject(self):
+        async def scenario():
+            router = make_router(racks=2)
+            await router.start()
+            try:
+                assert router.try_admit("c", {"type": "frobnicate"})
+                assert router.try_admit("c", {"type": "read"})  # no pair
+                return router.unroutable
+            finally:
+                await router.stop()
+
+        assert run(scenario()) == 2
+
+
+class TestGcFallback:
+    @staticmethod
+    def _mark_both_collecting(shard, local_pair, status=1):
+        pair = shard.bridge.rack.pairs[local_pair]
+        switch = shard.bridge.rack.switch
+        switch.replica_table.set_gc_status(pair.primary.vssd_id, status)
+        switch.destination_table.set_gc_status(pair.replica.vssd_id, status)
+
+    def test_fallback_waits_for_the_view_to_sync(self):
+        async def scenario():
+            router = make_router(racks=3)
+            await router.start()
+            try:
+                g = 0
+                owner = router._owner_of_pair(g)
+                local = g % owner.num_pairs
+                self._mark_both_collecting(owner, local)
+
+                # The truth changed, but the router's *view* is stale:
+                # reads still go to the owner (the staleness window the
+                # batch fabric's 40us sync delay models).
+                stale = await router.submit_read(g, lpn=1)
+
+                router.sync_gc_views()
+                redirected = await router.submit_read(g, lpn=1)
+
+                # GC finished; one more sync and traffic comes home.
+                self._mark_both_collecting(owner, local, status=0)
+                router.sync_gc_views()
+                recovered = await router.submit_read(g, lpn=1)
+                return owner.index, stale, redirected, recovered, router
+            finally:
+                await router.stop()
+
+        owner_index, stale, redirected, recovered, router = run(scenario())
+        assert stale["rack"] == owner_index
+        assert "cross_rack" not in stale
+        assert redirected["rack"] != owner_index
+        assert redirected["cross_rack"] is True
+        assert recovered["rack"] == owner_index
+        assert router.cross_rack_redirects == 1
+        fallback = router._by_index[redirected["rack"]]
+        assert fallback.redirected_in == 1
+        # The fallback is deterministic: the next distinct ring node.
+        assert redirected["rack"] == HashRing(range(3)).preference(
+            "pair:0", count=2)[1]
+
+    def test_writes_never_redirect(self):
+        async def scenario():
+            router = make_router(racks=3)
+            await router.start()
+            try:
+                owner = router._owner_of_pair(0)
+                self._mark_both_collecting(owner, 0)
+                router.sync_gc_views()
+                return owner.index, await router.submit_write(0, lpn=1)
+            finally:
+                await router.stop()
+
+        owner_index, result = run(scenario())
+        assert result["rack"] == owner_index
+
+    def test_single_rack_never_redirects(self):
+        async def scenario():
+            router = make_router(racks=1)
+            await router.start()
+            try:
+                shard = router.shards[0]
+                self._mark_both_collecting(shard, 0)
+                router.sync_gc_views()
+                return await router.submit_read(0, lpn=1)
+            finally:
+                await router.stop()
+
+        result = run(scenario())
+        assert result["rack"] == 0
+        assert "cross_rack" not in result
+
+
+class TestAggregateStats:
+    def test_stats_payload_validates_and_aggregates(self):
+        async def scenario():
+            router = make_router(racks=3)
+            await router.start()
+            try:
+                for g in range(router.total_pairs):
+                    await router.submit_write(g, lpn=1)
+                await router.submit_get("k1")
+                router.sync_gc_views()
+                return router.stats_payload(), router.stats()
+            finally:
+                await router.stop()
+
+        payload, bridge_stats = run(scenario())
+        payload[schema.FIELD_CONNECTIONS] = 0.0
+        schema.validate_stats(payload)
+        assert schema.is_sharded(payload)
+        assert schema.shard_ids(payload) == [0, 1, 2]
+        assert payload["router"]["racks"] == 3.0
+        assert payload["router"]["routed"] == 7.0
+        assert payload["router"]["gc_view_commits"] == 1.0
+        # Aggregate bridge counters equal the sum of the shard slices.
+        per_shard = payload["shards"].values()
+        assert payload["bridge"]["completed"] == sum(
+            s["bridge"]["completed"] for s in per_shard) == 7.0
+        assert bridge_stats.completed == 7
+        assert bridge_stats.inflight == 0
+        # The aggregate latency collector saw every request.
+        assert payload["metrics"]["write_count"] == 6.0
+        assert payload["metrics"]["read_count"] == 1.0
+
+    def test_duplicate_shard_indices_rejected(self):
+        async def scenario():
+            router = make_router(racks=2)
+            with pytest.raises(ConfigError, match="unique"):
+                ShardRouter([router.shards[0], router.shards[0]])
+
+        run(scenario())

@@ -1,0 +1,154 @@
+"""The unified stats schema: assembly, aggregation, and validation.
+
+``repro.service.schema`` is the single source of truth for what a
+``stats`` payload looks like; these tests pin the validator against
+hand-built payloads (good and subtly broken) and against the real
+producers (a live bridge's payload must validate unchanged).
+"""
+
+import pytest
+
+from repro.cluster.config import RackConfig, SystemType
+from repro.service import schema
+from repro.service.bridge import SimTimeBridge
+
+
+def bridge_section(**overrides):
+    out = {field: 0.0 for field in schema.BRIDGE_FIELDS}
+    out.update(overrides)
+    return out
+
+
+def single_rack_payload():
+    return {
+        "bridge": bridge_section(sim_now_us=123.0, completed=4.0),
+        "metrics": {"read_count": 4.0, "read_p99_us": 90.0},
+        "kvstore": {f: 0.0 for f in schema.KVSTORE_FIELDS},
+        "admission": {f: 0.0 for f in schema.ADMISSION_FIELDS},
+        "connections": 1.0,
+    }
+
+
+def sharded_payload(racks=2):
+    payload = single_rack_payload()
+    payload["router"] = {f: 0.0 for f in schema.ROUTER_FIELDS}
+    payload["router"]["racks"] = float(racks)
+    payload["shards"] = {
+        str(i): {
+            "bridge": bridge_section(sim_now_us=100.0 + i),
+            "metrics": {},
+            "kvstore": {f: 0.0 for f in schema.KVSTORE_FIELDS},
+            "admission": {f: 0.0 for f in schema.ADMISSION_FIELDS},
+        }
+        for i in range(racks)
+    }
+    return payload
+
+
+class TestValidate:
+    def test_single_rack_payload_passes(self):
+        schema.validate_stats(single_rack_payload())
+
+    def test_sharded_payload_passes(self):
+        schema.validate_stats(sharded_payload())
+
+    def test_client_section_required_when_asked(self):
+        payload = single_rack_payload()
+        with pytest.raises(schema.StatsSchemaError, match="client"):
+            schema.validate_stats(payload, client=True)
+        payload["client"] = {f: 0.0 for f in schema.CLIENT_FIELDS}
+        schema.validate_stats(payload, client=True)
+
+    def test_missing_section_named_in_error(self):
+        payload = single_rack_payload()
+        del payload["admission"]
+        with pytest.raises(schema.StatsSchemaError, match="admission"):
+            schema.validate_stats(payload)
+
+    def test_non_numeric_field_rejected(self):
+        payload = single_rack_payload()
+        payload["bridge"]["completed"] = "4"
+        with pytest.raises(schema.StatsSchemaError, match="completed"):
+            schema.validate_stats(payload)
+
+    def test_bool_is_not_a_number(self):
+        payload = single_rack_payload()
+        payload["bridge"]["inflight"] = True
+        with pytest.raises(schema.StatsSchemaError, match="inflight"):
+            schema.validate_stats(payload)
+
+    def test_router_without_shards_rejected(self):
+        payload = single_rack_payload()
+        payload["router"] = {f: 0.0 for f in schema.ROUTER_FIELDS}
+        with pytest.raises(schema.StatsSchemaError, match="shards"):
+            schema.validate_stats(payload)
+
+    def test_shards_without_router_rejected(self):
+        payload = sharded_payload()
+        del payload["router"]
+        with pytest.raises(schema.StatsSchemaError):
+            schema.validate_stats(payload)
+
+    def test_non_decimal_shard_key_rejected(self):
+        payload = sharded_payload()
+        payload["shards"]["rack-0"] = payload["shards"].pop("0")
+        with pytest.raises(schema.StatsSchemaError, match="decimal"):
+            schema.validate_stats(payload)
+
+    def test_broken_shard_section_located(self):
+        payload = sharded_payload()
+        del payload["shards"]["1"]["kvstore"]
+        with pytest.raises(schema.StatsSchemaError, match=r"shards\['1'\]"):
+            schema.validate_stats(payload)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(schema.StatsSchemaError):
+            schema.validate_stats([("bridge", {})])
+
+    def test_helpers(self):
+        assert not schema.is_sharded(single_rack_payload())
+        payload = sharded_payload(racks=3)
+        assert schema.is_sharded(payload)
+        assert schema.shard_ids(payload) == [0, 1, 2]
+        assert schema.shard_ids(single_rack_payload()) == []
+
+
+class TestAggregation:
+    def test_counters_sum_and_clock_maxes(self):
+        sections = [
+            {"bridge": bridge_section(sim_now_us=200.0, completed=3.0),
+             "kvstore": {"keys": 2.0}, "admission": {"admitted": 5.0}},
+            {"bridge": bridge_section(sim_now_us=90.0, completed=4.0),
+             "kvstore": {"keys": 1.0}, "admission": {"admitted": 7.0}},
+        ]
+        agg = schema.aggregate_sections(sections)
+        assert agg["bridge"]["sim_now_us"] == 200.0
+        assert agg["bridge"]["completed"] == 7.0
+        assert agg["kvstore"]["keys"] == 3.0
+        assert agg["admission"]["admitted"] == 12.0
+
+    def test_merge_metric_summaries(self):
+        merged = schema.merge_metric_summaries([
+            {"read_count": 3.0, "read_avg_us": 100.0, "read_p99_us": 400.0,
+             "read_kiops": 1.0},
+            {"read_count": 1.0, "read_avg_us": 500.0, "read_p99_us": 900.0,
+             "read_kiops": 2.0, "write_count": None},
+        ])
+        assert merged["read_count"] == 4.0
+        assert merged["read_p99_us"] == 900.0  # worst shard bounds the tail
+        assert merged["read_avg_us"] == pytest.approx(200.0)  # count-weighted
+        assert merged["read_kiops"] == 3.0
+        assert "write_count" not in merged  # nulls are skipped, not zeroed
+
+    def test_assemble_server_stats_validates(self):
+        bridge = SimTimeBridge(
+            RackConfig(system=SystemType("rackblox"), num_servers=2,
+                       num_pairs=2, seed=11),
+            precondition=False,
+        )
+        payload = schema.assemble_server_stats(
+            bridge.stats_payload(), {f: 0.0 for f in schema.ADMISSION_FIELDS},
+            3,
+        )
+        schema.validate_stats(payload)
+        assert payload["connections"] == 3.0

@@ -1,0 +1,118 @@
+"""Codec micro-benchmarks: the wire path without sockets.
+
+Two guards:
+
+* **large-stream decode** -- :class:`FrameDecoder` must digest a
+  multi-megabyte burst in one ``feed`` (and byte-dribbled) in time that
+  only an amortized-compaction buffer can deliver.  The pre-PR-6 scheme
+  memmoved the remainder of the buffer once per frame, which on this
+  stream is quadratic work (minutes, not milliseconds) -- the wall-time
+  ceiling here fails loudly if that ever regresses;
+* **binary beats JSON** -- one encode+decode round trip of the hot
+  request shape must be cheaper in the v2 binary codec than in JSON,
+  and the binary frame itself must be smaller.  Measured over enough
+  iterations to drown out scheduler noise.
+"""
+
+import time
+
+from repro.service.protocol import (
+    BIN_CODEC,
+    FrameDecoder,
+    FrameSplitter,
+    encode_frame,
+)
+
+#: Frames in the large-stream guard.  ~37 bytes/frame JSON keeps the
+#: stream a few MB: big enough that a per-frame memmove scheme takes
+#: minutes, small enough that the amortized one finishes in well under
+#: a second on any host.
+STREAM_FRAMES = 60_000
+#: Generous wall ceiling for decoding the stream once (seconds).  The
+#: quadratic scheme exceeds this by two orders of magnitude.
+STREAM_CEILING_S = 5.0
+
+
+def _stream() -> bytes:
+    frames = []
+    for i in range(STREAM_FRAMES):
+        frames.append(encode_frame(
+            {"type": "read", "pair": i % 8, "lpn": i % 4096, "id": i}
+        ))
+    return b"".join(frames)
+
+
+def test_large_stream_single_feed_is_amortized(benchmark):
+    stream = _stream()
+
+    def decode() -> int:
+        decoder = FrameDecoder()
+        return len(decoder.feed(stream))
+
+    t0 = time.perf_counter()
+    decoded = benchmark.pedantic(decode, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
+    assert decoded == STREAM_FRAMES
+    mb = len(stream) / 1e6
+    print(f"\nsingle-feed decode: {mb:.1f} MB, {STREAM_FRAMES} frames "
+          f"in {elapsed:.3f}s ({mb / elapsed:.0f} MB/s)")
+    assert elapsed < STREAM_CEILING_S, (
+        f"{elapsed:.1f}s to decode {mb:.1f} MB -- the receive buffer has "
+        f"gone quadratic again"
+    )
+
+
+def test_large_stream_chunked_feed_is_amortized():
+    stream = _stream()
+    decoder = FrameDecoder()
+    decoded = 0
+    t0 = time.perf_counter()
+    for at in range(0, len(stream), 3_000):
+        decoded += len(decoder.feed(stream[at:at + 3_000]))
+    elapsed = time.perf_counter() - t0
+    assert decoded == STREAM_FRAMES
+    assert elapsed < STREAM_CEILING_S
+
+
+def test_splitter_keeps_up_with_the_decoder():
+    stream = _stream()
+    splitter = FrameSplitter()
+    t0 = time.perf_counter()
+    split = len(splitter.feed(stream))
+    elapsed = time.perf_counter() - t0
+    assert split == STREAM_FRAMES
+    assert elapsed < STREAM_CEILING_S
+
+
+def test_binary_round_trip_beats_json(benchmark):
+    request = {"type": "read", "pair": 3, "lpn": 1024, "id": 123456,
+               "client": "bench"}
+    bin_frame = BIN_CODEC.encode(request)
+    json_frame = encode_frame(request)
+    assert len(bin_frame) < len(json_frame), (
+        f"binary frame ({len(bin_frame)}B) should undercut JSON "
+        f"({len(json_frame)}B)"
+    )
+    iterations = 20_000
+
+    def round_trips() -> float:
+        decoder = FrameDecoder()
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            decoder.feed(BIN_CODEC.encode(request))
+        t_bin = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            decoder.feed(encode_frame(request))
+        t_json = time.perf_counter() - t0
+        return t_bin / t_json
+
+    ratio = benchmark.pedantic(round_trips, rounds=1, iterations=1)
+    print(f"\nbin/json round-trip time ratio: {ratio:.2f} "
+          f"(bin {len(bin_frame)}B vs json {len(json_frame)}B)")
+    # A soft-but-real guard: the binary codec exists to be cheaper.
+    # Anything above parity means the fast path stopped being one.
+    assert ratio < 1.0, (
+        f"binary round trip is {ratio:.2f}x JSON -- the fast path "
+        f"regressed past parity"
+    )

@@ -15,7 +15,8 @@ The surface, by layer:
 * **Chaos** -- :class:`FaultEvent`, :class:`FaultSchedule`,
   :func:`run_chaos_experiment`, :class:`ChaosReport`;
 * **Serving** -- :class:`RackService`, :class:`ServiceClient`,
-  :class:`ServiceError`, :func:`run_loadgen`, :data:`PROTOCOL_VERSION`;
+  :class:`ServiceError`, :func:`run_loadgen`, :data:`PROTOCOL_VERSION`,
+  :data:`SUPPORTED_VERSIONS`;
 * **Sharded serving** -- :class:`HashRing`, :class:`RackShard`,
   :class:`ShardRouter`, :class:`ShardedRackService`,
   :class:`ShardProxy`, :func:`build_shard_configs`;
@@ -29,7 +30,7 @@ from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.runner import RackResult
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.loadgen import LoadgenReport, run_loadgen
-from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.protocol import PROTOCOL_VERSION, SUPPORTED_VERSIONS
 from repro.service.router import (
     ShardedRackService,
     ShardProxy,
@@ -60,6 +61,7 @@ __all__ = [
     "LoadgenReport",
     "run_loadgen",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     # sharded serving
     "HashRing",
     "RackShard",

@@ -115,6 +115,16 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(deterministic, full semantics); process: "
                               "one backend serve process per rack behind "
                               "a relay proxy (scales across cores)")
+    serve_p.add_argument("--workers", type=int, default=1,
+                         help="per-core acceptors: N single-rack worker "
+                              "processes sharing one port via "
+                              "SO_REUSEPORT (the kernel balances "
+                              "connections across them; each worker is "
+                              "an independent rack simulator). Requires "
+                              "--racks 1")
+    serve_p.add_argument("--reuseport", action="store_true",
+                         help="bind the listener with SO_REUSEPORT "
+                              "(set automatically on --workers children)")
     serve_p.add_argument("--queue-depth", type=int, default=256,
                          help="global in-flight cap before BUSY shedding")
     serve_p.add_argument("--client-rate", type=float, default=0.0,
@@ -167,6 +177,12 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--retries", type=int, default=0,
                            help="re-send a request up to N times on "
                                 "BUSY/TIMEOUT (default 0: fail fast)")
+    loadgen_p.add_argument("--protocol", default="auto",
+                           choices=["auto", "json", "bin"],
+                           help="wire framing: auto negotiates via hello "
+                                "and uses binary iff the server offers "
+                                "it; json forces v1; bin fails if the "
+                                "server cannot speak binary")
 
     figures_p = sub.add_parser("figures", help="reproduce paper figures")
     figures_p.add_argument("names", nargs="*",
@@ -302,6 +318,7 @@ def _report_traces(args, traces) -> None:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import socket
 
     from repro.service.admission import AdmissionController
     from repro.service.server import RackService
@@ -312,6 +329,19 @@ def _cmd_serve(args) -> int:
     _require(args.shard_mode == "inproc" or args.fault_schedule is None,
              "--fault-schedule requires --shard-mode inproc (backend "
              "processes cannot share one schedule deterministically)")
+    _require(args.workers >= 1, f"--workers must be >= 1, got {args.workers}")
+    _require(args.workers == 1 or args.racks == 1,
+             "--workers > 1 requires --racks 1 (per-core acceptors "
+             "multiply one rack; shard with --racks instead)")
+    _require(args.workers == 1 or args.fault_schedule is None,
+             "--fault-schedule requires --workers 1 (workers cannot "
+             "share one schedule deterministically)")
+    _require((args.workers == 1 and not args.reuseport)
+             or hasattr(socket, "SO_REUSEPORT"),
+             "--workers / --reuseport need SO_REUSEPORT, which this "
+             "platform does not provide")
+    _require(not args.reuseport or args.racks == 1,
+             "--reuseport applies to the single-rack service only")
     _require(args.queue_depth >= 1,
              f"--queue-depth must be >= 1, got {args.queue_depth}")
     _require(args.client_rate >= 0,
@@ -346,6 +376,8 @@ def _cmd_serve(args) -> int:
     )
     if args.racks > 1 and args.shard_mode == "process":
         return _serve_proxy(args)
+    if args.workers > 1:
+        return _serve_percore(args)
 
     if args.racks == 1:
         # The single-rack special case: exactly the unsharded service.
@@ -359,6 +391,7 @@ def _cmd_serve(args) -> int:
             pace=args.pace,
             chunk_us=args.chunk_us,
             request_timeout_us=args.request_timeout_us,
+            reuse_port=args.reuseport,
         )
         label = f"{args.system} rack"
     else:
@@ -464,6 +497,81 @@ def _serve_proxy(args) -> int:
     return 0
 
 
+def _serve_percore(args) -> int:
+    """``serve --workers N``: N single-rack worker processes sharing one
+    port via SO_REUSEPORT -- the kernel spreads incoming connections
+    across them, so each acceptor (and its rack simulator) owns a core.
+
+    Workers are independent simulators (seeds ``seed + worker``): any
+    one connection sees one consistent rack, but state is not shared
+    across workers -- the per-core mode is a throughput fan-out, like N
+    racks behind one VIP, not a coherent single rack.
+    """
+    import asyncio
+    import socket
+
+    from repro.service.router import launch_backends, shutdown_backends
+
+    worker_args = [
+        "--racks", "1",
+        "--workers", "1",
+        "--reuseport",
+        "--host", args.host,
+        "--system", args.system,
+        "--servers", str(args.servers),
+        "--pairs", str(args.pairs),
+        "--device", args.device,
+        "--network", args.network,
+        "--queue-depth", str(args.queue_depth),
+        "--client-rate", str(args.client_rate),
+        "--client-burst", str(args.client_burst),
+        "--pace", str(args.pace),
+        "--chunk-us", str(args.chunk_us),
+        "--trace-sample-rate", str(args.trace_sample_rate),
+    ]
+    if args.request_timeout_us is not None:
+        worker_args += ["--request-timeout-us", str(args.request_timeout_us)]
+
+    async def serve() -> None:
+        import signal
+
+        # Reserve the shared port before any worker exists: a bound
+        # (never listening) SO_REUSEPORT probe socket holds the number,
+        # the workers bind beside it, and connections only ever land on
+        # listening sockets -- so there is no startup race and no
+        # ephemeral-port guessing.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            probe.bind((args.host, args.port))
+            port = probe.getsockname()[1]
+            procs, _endpoints = await launch_backends(
+                args.workers, worker_args, seed=args.seed, port=port,
+            )
+        finally:
+            probe.close()
+        try:
+            print(f"serving {args.system} rack "
+                  f"({args.pairs} pairs / {args.servers} servers, "
+                  f"{args.workers} per-core workers) "
+                  f"on {args.host}:{port}", flush=True)
+            stopping = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stopping.set)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+            await stopping.wait()
+            print("draining in-flight requests...", flush=True)
+        finally:
+            await shutdown_backends(procs)
+        print(f"stopped {args.workers} per-core workers", flush=True)
+
+    asyncio.run(serve())
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
 
@@ -493,6 +601,7 @@ def _cmd_loadgen(args) -> int:
             rate_rps=args.rate, write_ratio=args.write_ratio,
             kind=args.kind, pairs=args.pairs, keyspace=args.keyspace,
             seed=args.seed, retries=args.retries,
+            wire_protocol=args.protocol,
         ))
     except OSError as exc:
         print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",

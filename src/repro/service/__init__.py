@@ -6,8 +6,9 @@ from scripts; this package puts the same rack behind an asyncio TCP
 front-end so real clients can issue raw vSSD I/O and key-value
 GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
 
-* :mod:`repro.service.protocol` -- framing, versioning (``hello``), and
-  request/response schema;
+* :mod:`repro.service.protocol` -- framing, versioning (``hello``), the
+  request/response schema, and the negotiated v2 binary codec for the
+  hot ops (JSON stays the fallback and the handshake wire);
 * :mod:`repro.service.schema` -- the one documented shape every
   ``stats`` payload follows;
 * :mod:`repro.service.bridge` -- the sim-time bridge that injects live
@@ -27,16 +28,23 @@ from repro.service.bridge import BridgeStats, SimTimeBridge
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.loadgen import LoadgenReport, run_loadgen
 from repro.service.protocol import (
+    BIN_CODEC,
+    BIN_MAGIC,
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    BinFrameCodec,
     FrameDecoder,
     FrameError,
     FrameSplitter,
     FrameTooLarge,
     TruncatedFrame,
+    UnencodableFrame,
     check_version,
     encode_frame,
+    encode_frame_as,
     error_response,
+    frame_is_binary,
     hello_response,
     ok_response,
     read_frame,
@@ -61,16 +69,23 @@ __all__ = [
     "ServiceError",
     "LoadgenReport",
     "run_loadgen",
+    "BIN_CODEC",
+    "BIN_MAGIC",
     "DEFAULT_MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "BinFrameCodec",
     "FrameDecoder",
     "FrameError",
     "FrameSplitter",
     "FrameTooLarge",
     "TruncatedFrame",
+    "UnencodableFrame",
     "check_version",
     "encode_frame",
+    "encode_frame_as",
     "error_response",
+    "frame_is_binary",
     "hello_response",
     "ok_response",
     "read_frame",

@@ -21,8 +21,17 @@ historical fail-fast behaviour):
   policy), so hedges only spawn for genuine stragglers.
 
 Counters (``retries``, ``hedged``, ``hedged_wins``, ``reconnects``,
-``timeouts``) accumulate in :attr:`counters` and are merged into
-:meth:`stats` responses under ``"client"``.
+``timeouts``, ``bytes_sent``, ``bytes_received``) accumulate in
+:attr:`counters` and are merged into :meth:`stats` responses under
+``"client"``.
+
+Protocol selection (``wire_protocol``): ``"json"`` (default) speaks v1
+length-prefixed JSON only -- byte-identical to older clients.
+``"auto"`` performs the ``hello`` exchange on connect and switches the
+hot ops to the binary codec iff the server advertises the ``"bin"``
+capability.  ``"bin"`` does the same but raises if the server lacks the
+capability.  Either way the first bytes on the wire are a JSON
+``hello`` -- binary frames only ever follow a successful negotiation.
 """
 
 import asyncio
@@ -69,10 +78,18 @@ class ServiceClient:
                  request_timeout_s: Optional[float] = None,
                  hedge_reads: bool = False,
                  hedge_delay_s: Optional[float] = None,
-                 hedge_delay_floor_s: float = 0.002) -> None:
+                 hedge_delay_floor_s: float = 0.002,
+                 wire_protocol: str = "json") -> None:
+        if wire_protocol not in ("json", "auto", "bin"):
+            raise ValueError(
+                f"wire_protocol must be 'json', 'auto', or 'bin', "
+                f"got {wire_protocol!r}"
+            )
         self.host = host
         self.port = port
         self.client_name = client_name
+        self.wire_protocol = wire_protocol
+        self._use_bin = False
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.retry_backoff_max_s = retry_backoff_max_s
@@ -83,6 +100,7 @@ class ServiceClient:
         self.counters: Dict[str, int] = {
             "retries": 0, "hedged": 0, "hedged_wins": 0,
             "reconnects": 0, "timeouts": 0,
+            "bytes_sent": 0, "bytes_received": 0,
         }
         #: The last ``hello`` response (version, capabilities, racks).
         self.server_info: Optional[Dict[str, Any]] = None
@@ -107,7 +125,14 @@ class ServiceClient:
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
+        if self.wire_protocol != "json":
+            await self.hello()
         return self
+
+    @property
+    def negotiated_protocol(self) -> str:
+        """``"bin"`` once binary framing has been negotiated, else ``"json"``."""
+        return "bin" if self._use_bin else "json"
 
     async def __aenter__(self) -> "ServiceClient":
         return await self.connect()
@@ -147,6 +172,7 @@ class ServiceClient:
         self._reader = self._writer = None
         self._outbox.clear()
         self._flush_scheduled = False
+        self._use_bin = False  # re-negotiated by connect() per wire_protocol
         await self.connect()
 
     def _flush_outbox(self) -> None:
@@ -161,7 +187,8 @@ class ServiceClient:
         try:
             self._writer.write(data)
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            return
+        self.counters["bytes_sent"] += len(data)
 
     def _fail_pending(self, exc: Exception) -> None:
         for future in self._pending.values():
@@ -177,6 +204,7 @@ class ServiceClient:
                 data = await self._reader.read(65536)
                 if not data:
                     break
+                self.counters["bytes_received"] += len(data)
                 for response in decoder.feed(data):
                     future = self._pending.pop(response.get("id"), None)
                     if future is not None and not future.done():
@@ -245,7 +273,7 @@ class ServiceClient:
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         self._pending[request_id] = future
-        self._outbox += protocol.encode_frame(message)
+        self._outbox += protocol.encode_frame_as(message, self._use_bin)
         if not self._flush_scheduled:
             self._flush_scheduled = True
             loop.call_soon(self._flush_outbox)
@@ -320,12 +348,22 @@ class ServiceClient:
 
     async def hello(self) -> Dict[str, Any]:
         """The HELLO exchange: learn the server's protocol version and
-        capabilities (``"sharded"`` marks a multi-rack front-end).  The
-        response is cached on :attr:`server_info`."""
+        capabilities (``"sharded"`` marks a multi-rack front-end,
+        ``"bin"`` offers binary framing).  The response is cached on
+        :attr:`server_info`, and under ``wire_protocol="auto"``/``"bin"``
+        it decides whether the hot ops switch to the binary codec."""
         response = await self.request(
             {"type": "hello", "v": protocol.PROTOCOL_VERSION}
         )
         self.server_info = response
+        if self.wire_protocol != "json":
+            capable = "bin" in (response.get("capabilities") or [])
+            if not capable and self.wire_protocol == "bin":
+                raise ServiceError(
+                    protocol.BAD_REQUEST,
+                    "server does not offer the 'bin' capability",
+                )
+            self._use_bin = capable
         return response
 
     async def ping(self) -> Dict[str, Any]:

@@ -38,8 +38,20 @@ class LoadgenReport:
     busy: int = 0
     errors: int = 0
     retried: int = 0
+    #: The framing the run actually used after negotiation ("json"/"bin").
+    protocol: str = "json"
+    #: Wall seconds the generator spent encoding requests + decoding
+    #: responses (closed loop only) -- the loadgen runs one event loop,
+    #: so ``codec_s / wall_s`` is the codec's share of generator time.
+    codec_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     server_stats: Optional[Dict] = None
+
+    @property
+    def codec_share(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.codec_s / self.wall_s
 
     @property
     def throughput_rps(self) -> float:
@@ -66,6 +78,10 @@ class LoadgenReport:
             f"({self.shed_fraction:.1%} shed)  errors {self.errors}"
             + (f"  retried {self.retried}" if self.retried else ""),
             f"  throughput {self.throughput_rps:,.0f} req/s (admitted)",
+            f"  protocol {self.protocol}"
+            + (f"  codec {self.codec_s:.2f}s "
+               f"({self.codec_share:.1%} of wall)"
+               if self.codec_s > 0 else ""),
         ]
         if self.latencies_ms:
             lines.append(
@@ -117,7 +133,7 @@ class _ClosedLoopConnection(asyncio.Protocol):
     def __init__(self, index: int, quota: int, pipeline: int,
                  report: LoadgenReport, write_ratio: float, kind: str,
                  pairs: int, keyspace: int, seed: int,
-                 retries: int = 0) -> None:
+                 retries: int = 0, wire_protocol: str = "json") -> None:
         self.report = report
         self.quota = quota
         self.pipeline = pipeline
@@ -126,6 +142,9 @@ class _ClosedLoopConnection(asyncio.Protocol):
         self.pairs = pairs
         self.keyspace = keyspace
         self.retries = retries
+        self.wire_protocol = wire_protocol
+        self.use_bin = False
+        self._negotiating = False
         self.client_name = f"loadgen-{index}"
         self.rng = random.Random(seed * 1_000_003 + index)
         self.decoder = protocol.FrameDecoder()
@@ -146,8 +165,22 @@ class _ClosedLoopConnection(asyncio.Protocol):
         self.transport = transport  # type: ignore[assignment]
 
     def start(self, deadline: Optional[float]) -> None:
-        """Fire the initial window (called once all connections are up)."""
+        """Fire the initial window (called once all connections are up).
+
+        Under ``wire_protocol`` "auto"/"bin" a JSON ``hello`` goes out
+        first and the window waits for its answer -- binary frames only
+        ever follow a successful negotiation.
+        """
         self.deadline = deadline
+        if self.wire_protocol != "json":
+            self._negotiating = True
+            self.transport.write(protocol.encode_frame(
+                {"type": "hello", "v": protocol.PROTOCOL_VERSION, "id": 0}
+            ))
+            return
+        self._fire_window()
+
+    def _fire_window(self) -> None:
         burst = bytearray()
         for _ in range(self.pipeline):
             if not self._may_send():
@@ -159,11 +192,30 @@ class _ClosedLoopConnection(asyncio.Protocol):
             self._finish()
 
     def data_received(self, data: bytes) -> None:
+        t_dec = time.perf_counter()
         try:
             responses = self.decoder.feed(data)
         except protocol.FrameError:
             self._abort()
             return
+        self.report.codec_s += time.perf_counter() - t_dec
+        if self._negotiating:
+            hello = next((r for r in responses if r.get("id") == 0), None)
+            if hello is not None:
+                responses = [r for r in responses if r.get("id") != 0]
+                self._negotiating = False
+                capable = "bin" in (hello.get("capabilities") or [])
+                if not capable and self.wire_protocol == "bin":
+                    self.done.set_exception(ConfigError(
+                        "server does not offer the 'bin' capability"
+                    ))
+                    if (self.transport is not None
+                            and not self.transport.is_closing()):
+                        self.transport.close()
+                    return
+                self.use_bin = capable
+                self.report.protocol = "bin" if capable else "json"
+                self._fire_window()
         now = time.monotonic()
         burst = bytearray()
         for response in responses:
@@ -189,7 +241,7 @@ class _ClosedLoopConnection(asyncio.Protocol):
                 burst += self._next_request()
         if burst:
             self.transport.write(bytes(burst))
-        elif not self._inflight:
+        elif not self._inflight and not self._negotiating:
             self._finish()
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
@@ -220,7 +272,10 @@ class _ClosedLoopConnection(asyncio.Protocol):
         op["id"] = rid
         op["client"] = self.client_name
         self._inflight[rid] = (time.monotonic(), op, attempt)
-        return protocol.encode_frame(op)
+        t_enc = time.perf_counter()
+        frame = protocol.encode_frame_as(op, self.use_bin)
+        self.report.codec_s += time.perf_counter() - t_enc
+        return frame
 
     def _finish(self) -> None:
         if not self.done.done():
@@ -269,6 +324,7 @@ async def run_loadgen(
     keyspace: int = 1024,
     seed: int = 42,
     retries: int = 0,
+    wire_protocol: str = "auto",
     fetch_stats: bool = True,
     connect_retries: int = 25,
 ) -> LoadgenReport:
@@ -287,6 +343,12 @@ async def run_loadgen(
     answers ``BUSY``/``TIMEOUT`` (or, open loop, the connection drops) --
     the knob that turns transient chaos-window failures into retried
     successes instead of errors.
+
+    ``wire_protocol`` picks the framing: ``"auto"`` (default) negotiates
+    via ``hello`` and uses binary iff the server offers it, ``"json"``
+    stays on v1 JSON (no hello -- byte-identical to older generators),
+    ``"bin"`` demands binary and fails when unavailable.  The framing
+    the run actually used lands in ``report.protocol``.
     """
     if mode not in ("closed", "open"):
         raise ConfigError(f"mode must be closed/open, got {mode!r}")
@@ -300,18 +362,23 @@ async def run_loadgen(
         raise ConfigError("open-loop mode needs duration_s > 0")
     if retries < 0:
         raise ConfigError(f"retries must be >= 0, got {retries}")
+    if wire_protocol not in ("json", "bin", "auto"):
+        raise ConfigError(
+            f"wire_protocol must be json/bin/auto, got {wire_protocol!r}"
+        )
     report = LoadgenReport(mode=mode, clients=clients, wall_s=0.0)
     if mode == "closed":
         await _closed_loop(host, port, report, clients,
                            requests_per_client, duration_s, write_ratio,
                            kind, pairs, keyspace, seed, pipeline,
-                           connect_retries, retries)
+                           connect_retries, retries, wire_protocol)
     else:
         pool: List[ServiceClient] = []
         for i in range(clients):
             client = ServiceClient(host, port, client_name=f"loadgen-{i}",
                                    max_retries=retries,
-                                   retry_backoff_s=0.005)
+                                   retry_backoff_s=0.005,
+                                   wire_protocol=wire_protocol)
             for attempt in range(connect_retries):
                 try:
                     await client.connect()
@@ -321,6 +388,7 @@ async def run_loadgen(
                         raise
                     await asyncio.sleep(0.2)
             pool.append(client)
+        report.protocol = pool[0].negotiated_protocol if pool else "json"
         t_start = time.monotonic()
         try:
             await _open_loop(pool, report, duration_s, rate_rps,
@@ -348,13 +416,15 @@ async def _closed_loop(host: str, port: int, report: LoadgenReport,
                        duration_s: float, write_ratio: float, kind: str,
                        pairs: int, keyspace: int, seed: int,
                        pipeline: int, connect_retries: int,
-                       retries: int = 0) -> None:
+                       retries: int = 0,
+                       wire_protocol: str = "json") -> None:
     loop = asyncio.get_running_loop()
     connections: List[_ClosedLoopConnection] = []
     for i in range(clients):
         conn = _ClosedLoopConnection(i, requests_per_client, pipeline,
                                      report, write_ratio, kind, pairs,
-                                     keyspace, seed, retries)
+                                     keyspace, seed, retries,
+                                     wire_protocol)
         for attempt in range(connect_retries):
             try:
                 await loop.create_connection(lambda c=conn: c, host, port)

@@ -523,9 +523,11 @@ class _BackendLink:
 
     Responses are relayed at frame granularity via
     :class:`~repro.service.protocol.FrameSplitter` -- the body bytes are
-    never re-encoded, only peeked (``json.loads``) for the ``id`` so the
-    proxy can answer orphaned requests with a retryable ``TIMEOUT`` when
-    a backend dies mid-flight.
+    never re-encoded, only peeked for the ``id`` (a fixed-offset header
+    read for binary frames, one ``json.loads`` for JSON) so the proxy
+    can answer orphaned requests with a retryable ``TIMEOUT`` when a
+    backend dies mid-flight.  All frames decoded from one socket read
+    go back out as a single ``writelines`` call.
     """
 
     def __init__(self, node: int, client_writer: "asyncio.StreamWriter",
@@ -546,11 +548,21 @@ class _BackendLink:
             self._relay()
         )
 
-    def send(self, frame: bytes, request_id: Any) -> None:
+    def send_frames(self, frames: "List[Any]",
+                    request_ids: "List[Any]") -> None:
+        """Forward a batch of already-encoded frames in one write."""
         assert self.writer is not None
-        if request_id is not None:
-            self.inflight.add(request_id)
-        self.writer.write(frame)
+        for request_id in request_ids:
+            if request_id is not None:
+                self.inflight.add(request_id)
+        if not self.writer.is_closing():
+            self.writer.writelines(frames)
+
+    def _response_id(self, frame: Any) -> Any:
+        try:
+            return protocol.frame_request_id(frame)
+        except protocol.FrameError:
+            return None
 
     async def _relay(self) -> None:
         assert self.reader is not None
@@ -560,16 +572,15 @@ class _BackendLink:
                 data = await self.reader.read(65536)
                 if not data:
                     break
+                batch = []
                 for frame in splitter.feed(data):
-                    try:
-                        response_id = json.loads(frame[4:]).get("id")
-                    except ValueError:
-                        response_id = None
+                    response_id = self._response_id(frame)
                     if response_id is not None:
                         self.inflight.discard(response_id)
-                    if not self.client_writer.is_closing():
-                        self.client_writer.write(frame)
-                        self.relayed += 1
+                    batch.append(frame)
+                if batch and not self.client_writer.is_closing():
+                    self.client_writer.writelines(batch)
+                    self.relayed += len(batch)
         except (ConnectionResetError, BrokenPipeError, protocol.FrameError,
                 asyncio.CancelledError):
             pass
@@ -604,9 +615,11 @@ class _BackendLink:
 class ShardProxy:
     """Frame-level relay over one backend ``serve`` process per rack.
 
-    The proxy decodes each client request once (to route it and rewrite
-    the global pair index to the backend's local index) and relays
-    responses as raw frames.  Admission, simulation, and draining all
+    JSON requests are decoded once (to route them and rewrite the global
+    pair index to the backend's local index); binary (protocol v2)
+    requests are routed *without decoding at all* -- the pair/key is
+    read at its fixed offset and the only rewrite patches 4 bytes --
+    and responses relay as raw frames in both directions.  Admission, simulation, and draining all
     happen in the backends; the proxy adds only placement.  GC-aware
     cross-rack fallback is an in-process-router feature -- the proxy has
     no switch-state channel -- so reads rely on the backends' own
@@ -695,22 +708,35 @@ class ShardProxy:
             self._connections.add(task)
         self.connections_accepted += 1
         links: Dict[int, _BackendLink] = {}
-        decoder = protocol.FrameDecoder(self.max_frame_bytes)
+        splitter = protocol.FrameSplitter(self.max_frame_bytes)
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
+                # Per-read batches: every frame bound for the same
+                # backend inside one socket read coalesces into a
+                # single writelines, preserving arrival order per link.
+                batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]] = {}
                 try:
-                    requests = decoder.feed(data)
+                    frames = splitter.feed(data)
+                    for frame in frames:
+                        if protocol.frame_is_binary(frame):
+                            await self._begin_binary(frame, writer, links,
+                                                     batches)
+                        else:
+                            await self._begin(
+                                self._parse_json_frame(frame), writer,
+                                links, batches,
+                            )
                 except protocol.FrameError as exc:
                     writer.write(protocol.encode_frame(
                         protocol.error_response(protocol.BAD_REQUEST,
                                                 str(exc))
                     ))
+                    self._flush_batches(batches)
                     break
-                for request in requests:
-                    await self._begin(request, writer, links)
+                self._flush_batches(batches)
         except (asyncio.CancelledError, ConnectionResetError,
                 BrokenPipeError):
             pass
@@ -726,9 +752,133 @@ class ShardProxy:
             if task is not None:
                 self._connections.discard(task)
 
+    @staticmethod
+    def _parse_json_frame(frame: Any) -> Dict[str, Any]:
+        """Decode one complete JSON frame (the splitter checked framing)."""
+        try:
+            request = json.loads(bytes(frame[4:]))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise protocol.FrameError(
+                f"frame body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(request, dict):
+            raise protocol.FrameError(
+                f"frame body must be a JSON object, "
+                f"got {type(request).__name__}"
+            )
+        return request
+
+    @staticmethod
+    def _flush_batches(batches: "Dict[_BackendLink, Tuple[List[Any], List[Any]]]",
+                       ) -> None:
+        for link, (frames, request_ids) in batches.items():
+            if not link.dead:
+                link.send_frames(frames, request_ids)
+
+    @staticmethod
+    def _enqueue(batches: "Dict[_BackendLink, Tuple[List[Any], List[Any]]]",
+                 link: _BackendLink, frame: Any, request_id: Any) -> None:
+        batch = batches.get(link)
+        if batch is None:
+            batch = batches[link] = ([], [])
+        batch[0].append(frame)
+        batch[1].append(request_id)
+
+    async def _link_for(self, node: int, writer: "asyncio.StreamWriter",
+                        links: Dict[int, _BackendLink], request_id: Any,
+                        binary: bool) -> Optional[_BackendLink]:
+        """The live link to ``node``, dialing on first use; ``None`` (with
+        the error already sent, in the request's codec) if unreachable."""
+        link = links.get(node)
+        if link is None or link.dead:
+            if link is not None:
+                await link.close()
+            link = _BackendLink(node, writer, self.max_frame_bytes)
+            host, port = self.backends[node]
+            try:
+                await link.open(host, port)
+            except (ConnectionError, OSError) as exc:
+                if not writer.is_closing():
+                    writer.write(protocol.encode_frame_as(
+                        protocol.error_response(
+                            protocol.TIMEOUT,
+                            f"backend rack {node} unreachable: {exc}",
+                            request_id,
+                        ), binary))
+                return None
+            links[node] = link
+        return link
+
+    async def _begin_binary(self, frame: Any,
+                            writer: "asyncio.StreamWriter",
+                            links: Dict[int, _BackendLink],
+                            batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]],
+                            ) -> None:
+        """Route one binary frame without decoding it.
+
+        The pair/key routing fact sits at a fixed offset
+        (:func:`~repro.service.protocol.bin_frame_route`), and the only
+        rewrite -- global to rack-local pair index -- patches 4 bytes in
+        place (:func:`~repro.service.protocol.rewrite_bin_pair`).  Key
+        ops relay the splitter's memoryview untouched.  Binary frames
+        are v2 by construction, so the version gate does not apply.
+        """
+        request_id = protocol.frame_request_id(frame)
+
+        def reply(response: Dict[str, Any]) -> None:
+            if not writer.is_closing():
+                writer.write(protocol.encode_frame_as(response, True))
+
+        if self._draining:
+            reply(protocol.error_response(
+                protocol.SHUTTING_DOWN, "proxy is draining", request_id
+            ))
+            return
+        try:
+            route = protocol.bin_frame_route(frame)
+        except protocol.FrameError as exc:
+            self.unroutable += 1
+            reply(protocol.error_response(
+                protocol.BAD_REQUEST, f"malformed binary frame: {exc}",
+                request_id,
+            ))
+            return
+        if route is None:
+            self.unroutable += 1
+            reply(protocol.error_response(
+                protocol.BAD_REQUEST,
+                f"unroutable binary opcode 0x{frame[1]:02x}", request_id,
+            ))
+            return
+        kind, value = route
+        if kind == "pair":
+            total = self.pairs_per_rack * len(self.backends)
+            if not 0 <= value < total:
+                self.unroutable += 1
+                reply(protocol.error_response(
+                    protocol.BAD_REQUEST,
+                    f"pair index {value} out of range [0, {total})",
+                    request_id,
+                ))
+                return
+            node = self.ring.node_for(f"pair:{value}")
+            out_frame: Any = protocol.rewrite_bin_pair(
+                frame, value % self.pairs_per_rack
+            )
+        else:
+            node = self.ring.node_for(f"key:{value}")
+            out_frame = frame
+        link = await self._link_for(node, writer, links, request_id, True)
+        if link is None:
+            return
+        self.routed += 1
+        self._enqueue(batches, link, out_frame, request_id)
+
     async def _begin(self, request: Dict[str, Any],
                      writer: "asyncio.StreamWriter",
-                     links: Dict[int, _BackendLink]) -> None:
+                     links: Dict[int, _BackendLink],
+                     batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]],
+                     ) -> None:
         request_id = request.get("id")
 
         def reply(response: Dict[str, Any]) -> None:
@@ -747,7 +897,7 @@ class ShardProxy:
         if rtype == "hello":
             reply(protocol.hello_response(
                 request_id,
-                capabilities=["raw", "kv", "sharded", "proxy"],
+                capabilities=["raw", "kv", "sharded", "proxy", "bin"],
                 racks=len(self.backends),
             ))
             return
@@ -781,23 +931,12 @@ class ShardProxy:
         forward = dict(request)
         if rtype in ("read", "write"):
             forward["pair"] = int(request["pair"]) % self.pairs_per_rack
-        link = links.get(node)
-        if link is None or link.dead:
-            if link is not None:
-                await link.close()
-            link = _BackendLink(node, writer, self.max_frame_bytes)
-            host, port = self.backends[node]
-            try:
-                await link.open(host, port)
-            except (ConnectionError, OSError) as exc:
-                reply(protocol.error_response(
-                    protocol.TIMEOUT,
-                    f"backend rack {node} unreachable: {exc}", request_id,
-                ))
-                return
-            links[node] = link
+        link = await self._link_for(node, writer, links, request_id, False)
+        if link is None:
+            return
         self.routed += 1
-        link.send(protocol.encode_frame(forward), request_id)
+        self._enqueue(batches, link, protocol.encode_frame(forward),
+                      request_id)
 
     # ------------------------------------------------------------ reporting
 
@@ -848,15 +987,18 @@ class ShardProxy:
 
 async def launch_backends(
     racks: int, backend_args: Sequence[str], *, seed: int,
-    startup_timeout_s: float = 60.0,
+    startup_timeout_s: float = 60.0, port: int = 0,
 ) -> Tuple[List["asyncio.subprocess.Process"], List[Tuple[str, int]]]:
-    """Spawn one ``repro.cli serve`` process per rack on ephemeral ports.
+    """Spawn one ``repro.cli serve`` process per rack.
 
     ``backend_args`` is everything after ``serve`` except ``--port`` and
-    ``--seed``, which are set here (port 0; seed ``seed + rack``, the
-    same derivation :func:`build_shard_configs` uses).  Returns the
-    processes plus their ``(host, port)`` endpoints, parsed from each
-    child's "serving ... on host:port" line.
+    ``--seed``, which are set here (seed ``seed + rack``, the same
+    derivation :func:`build_shard_configs` uses).  ``port`` defaults to
+    0 -- an ephemeral port per backend; a fixed port is for
+    ``SO_REUSEPORT`` per-core worker fleets that all share one listener
+    (every child then also needs ``--reuseport`` in ``backend_args``).
+    Returns the processes plus their ``(host, port)`` endpoints, parsed
+    from each child's "serving ... on host:port" line.
     """
     import os
     import pathlib
@@ -875,7 +1017,7 @@ async def launch_backends(
         for rack in range(racks):
             proc = await asyncio.create_subprocess_exec(
                 sys.executable, "-m", "repro.cli", "serve",
-                "--port", "0", "--seed", str(seed + rack),
+                "--port", str(port), "--seed", str(seed + rack),
                 *backend_args,
                 stdout=asyncio.subprocess.PIPE,
                 stderr=asyncio.subprocess.STDOUT,

@@ -33,7 +33,8 @@ collector, since per-shard percentiles do not merge), plus::
 
 :meth:`ServiceClient.stats` adds one more section client-side::
 
-    "client": {retries, hedged, hedged_wins, reconnects, timeouts}
+    "client": {retries, hedged, hedged_wins, reconnects, timeouts,
+               bytes_sent, bytes_received}
 
 All leaf values are numbers (floats on the wire) except inside
 ``metrics`` / ``traces`` / ``chaos``, whose keys are owned by their
@@ -69,7 +70,10 @@ ADMISSION_FIELDS = (
     "admitted", "shed_queue_full", "shed_rate_limited", "max_queue_depth",
     "clients",
 )
-CLIENT_FIELDS = ("retries", "hedged", "hedged_wins", "reconnects", "timeouts")
+CLIENT_FIELDS = (
+    "retries", "hedged", "hedged_wins", "reconnects", "timeouts",
+    "bytes_sent", "bytes_received",
+)
 ROUTER_FIELDS = (
     "racks", "virtual_nodes", "routed", "cross_rack_redirects",
     "scatter_scans", "unroutable", "gc_view_commits",

@@ -41,9 +41,13 @@ class RackService:
         pace: float = 0.0,
         chunk_us: float = 1000.0,
         request_timeout_us: Optional[float] = None,
+        reuse_port: bool = False,
     ) -> None:
         self.host = host
         self.port = port
+        #: Bind with ``SO_REUSEPORT`` so several per-core acceptor
+        #: processes can share one listening port (``serve --workers``).
+        self.reuse_port = reuse_port
         if bridge is None:
             bridge_kwargs: Dict[str, Any] = dict(pace=pace, chunk_us=chunk_us)
             if request_timeout_us is not None:
@@ -70,8 +74,9 @@ class RackService:
         """Bind, listen, and start the bridge pump."""
         self.bridge.after_chunk = self._flush_writes
         await self.bridge.start()
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -122,15 +127,15 @@ class RackService:
                 if not data:
                     break
                 try:
-                    requests = decoder.feed(data)
+                    requests = decoder.feed_tagged(data)
                 except protocol.FrameError as exc:
                     self._send(writer, protocol.error_response(
                         protocol.BAD_REQUEST, str(exc)
                     ))
                     break  # framing is lost; drop the connection
-                for request in requests:
+                for request, binary in requests:
                     self._begin_request(request, default_client, writer,
-                                        outstanding)
+                                        outstanding, binary)
                 # Push out whatever the batch produced synchronously
                 # (rejections, pings); completions flush per sim chunk.
                 self._flush_writes()
@@ -166,14 +171,20 @@ class RackService:
         self.responses_sent += 1
 
     def _send_batched(self, writer: "asyncio.StreamWriter",
-                      response: Dict[str, Any]) -> None:
-        """Buffer a completion response for the next chunk flush."""
+                      response: Dict[str, Any],
+                      binary: bool = False) -> None:
+        """Buffer a completion response for the next chunk flush.
+
+        ``binary`` answers in the protocol-v2 codec (with automatic JSON
+        fallback for shapes it cannot express) -- set iff the request
+        arrived in binary, which is what keeps v1 clients on pure JSON.
+        """
         if writer.is_closing():
             return
         buffer = self._write_buffers.get(writer)
         if buffer is None:
             buffer = self._write_buffers[writer] = bytearray()
-        buffer += protocol.encode_frame(response)
+        buffer += protocol.encode_frame_as(response, binary)
         self.responses_sent += 1
 
     def _flush_writes(self) -> None:
@@ -193,7 +204,7 @@ class RackService:
 
     def _capabilities(self) -> list:
         """What this server advertises in the ``hello`` exchange."""
-        return ["raw", "kv"]
+        return ["raw", "kv", "bin"]
 
     def _hello_fields(self) -> Dict[str, Any]:
         """Extra fields for the ``hello`` response."""
@@ -243,10 +254,13 @@ class RackService:
 
     def _begin_request(self, request: Dict[str, Any], default_client: str,
                        writer: "asyncio.StreamWriter",
-                       outstanding: Set["asyncio.Future"]) -> None:
+                       outstanding: Set["asyncio.Future"],
+                       binary: bool = False) -> None:
         """Admit and dispatch one request; responses are written either
         immediately (rejections, ping/stats) or from the sim future's
-        done-callback when the simulated request completes."""
+        done-callback when the simulated request completes.  ``binary``
+        tags how the request arrived; every response to it answers in
+        the same codec."""
         request_id = request.get("id")
         bad_version = protocol.check_version(request)
         if bad_version is not None:
@@ -254,7 +268,7 @@ class RackService:
                 protocol.UNSUPPORTED_VERSION,
                 f"server speaks v{protocol.PROTOCOL_VERSION}, "
                 f"got v{bad_version!r}", request_id,
-            ))
+            ), binary)
             return
         rtype = request.get("type")
         # Cheap, non-simulated request types bypass admission entirely.
@@ -262,28 +276,29 @@ class RackService:
             self._send_batched(writer, protocol.hello_response(
                 request_id, capabilities=self._capabilities(),
                 **self._hello_fields(),
-            ))
+            ), binary)
             return
         if rtype == "ping":
             self._send_batched(writer,
-                               protocol.ok_response(request_id, pong=True))
+                               protocol.ok_response(request_id, pong=True),
+                               binary)
             return
         if rtype == "stats":
             self._send_batched(writer, protocol.ok_response(
                 request_id, **self._stats_payload()
-            ))
+            ), binary)
             return
         if self._draining:
             self._send_batched(writer, protocol.error_response(
                 protocol.SHUTTING_DOWN, "server is draining", request_id
-            ))
+            ), binary)
             return
         client = str(request.get("client") or default_client)
         if not self._admit(client, request):
             self._send_batched(writer, protocol.error_response(
                 protocol.BUSY, "admission control shed this request",
                 request_id,
-            ))
+            ), binary)
             return
         try:
             future = self._submit(rtype, request, client)
@@ -291,7 +306,7 @@ class RackService:
             self._send_batched(writer, protocol.error_response(
                 protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
                 request_id,
-            ))
+            ), binary)
             return
         outstanding.add(future)
 
@@ -301,27 +316,28 @@ class RackService:
                 self._send_batched(writer, protocol.error_response(
                     protocol.SHUTTING_DOWN, "request cancelled at shutdown",
                     request_id,
-                ))
+                ), binary)
                 return
             exc = fut.exception()
             if exc is None:
                 self._send_batched(
-                    writer, protocol.ok_response(request_id, **fut.result())
+                    writer, protocol.ok_response(request_id, **fut.result()),
+                    binary,
                 )
             elif isinstance(exc, asyncio.TimeoutError):
                 self._send_batched(writer, protocol.error_response(
                     protocol.TIMEOUT, str(exc), request_id
-                ))
+                ), binary)
             elif isinstance(exc, (KeyError, TypeError, ValueError,
                                   ConfigError)):
                 self._send_batched(writer, protocol.error_response(
                     protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
                     request_id,
-                ))
+                ), binary)
             else:
                 self._send_batched(writer, protocol.error_response(
                     protocol.INTERNAL, f"{type(exc).__name__}: {exc}",
                     request_id,
-                ))
+                ), binary)
 
         future.add_done_callback(_respond)

@@ -41,6 +41,7 @@ class TestFacadeSurface:
             "LoadgenReport": "repro.service.loadgen",
             "run_loadgen": "repro.service.loadgen",
             "PROTOCOL_VERSION": "repro.service.protocol",
+            "SUPPORTED_VERSIONS": "repro.service.protocol",
             "HashRing": "repro.service.shard",
             "RackShard": "repro.service.shard",
             "ShardRouter": "repro.service.router",

@@ -24,17 +24,35 @@ import random
 import pytest
 
 from repro.service.protocol import (
+    BAD_REQUEST,
+    BIN_CODEC,
+    BIN_MAGIC,
+    BUSY,
+    INTERNAL,
     PROTOCOL_VERSION,
+    SHUTTING_DOWN,
+    SUPPORTED_VERSIONS,
+    TIMEOUT,
+    UNSUPPORTED_VERSION,
     FrameDecoder,
     FrameError,
     FrameSplitter,
     FrameTooLarge,
     TruncatedFrame,
+    UnencodableFrame,
+    bin_frame_route,
     check_version,
     encode_frame,
+    encode_frame_as,
+    frame_is_binary,
+    frame_request_id,
+    rewrite_bin_pair,
 )
 
 NUM_TRIALS = 40
+
+_ERROR_CODES = (BUSY, BAD_REQUEST, SHUTTING_DOWN, TIMEOUT, INTERNAL,
+                UNSUPPORTED_VERSION)
 
 
 def random_messages(rng: "random.Random", count: int):
@@ -59,6 +77,59 @@ def random_messages(rng: "random.Random", count: int):
             out.append({"type": "hello", "id": i,
                         "v": rng.choice([PROTOCOL_VERSION, PROTOCOL_VERSION,
                                          0, 99])})
+    return out
+
+
+def random_bin_messages(rng: "random.Random", count: int):
+    """Messages drawn from the binary codec's canonical vocabulary.
+
+    Every shape here must satisfy ``BIN_CODEC.encode``'s strictness
+    (exact key sets, u32 ids, real bools) -- the generator *is* the
+    executable spec of what the fast path covers.
+    """
+    out = []
+    for i in range(count):
+        shape = rng.randrange(6)
+        extra = ({"client": f"c{rng.randrange(99)}"}
+                 if rng.random() < 0.5 else {})
+        if shape == 0:
+            m = {"type": "read", "pair": rng.randrange(1 << 32),
+                 "lpn": rng.randrange(1 << 32), "id": i, **extra}
+            if rng.random() < 0.3:
+                m["replica"] = True
+        elif shape == 1:
+            m = {"type": "write", "pair": rng.randrange(256),
+                 "lpn": rng.randrange(1 << 20), "id": i, **extra}
+        elif shape == 2:
+            m = {"type": "get", "key": "k" * rng.randrange(0, 40) + str(i),
+                 "id": i, **extra}
+        elif shape == 3:
+            m = {"type": "put", "key": f"k{i}",
+                 "value": "v" * rng.randrange(0, 200), "id": i, **extra}
+        elif shape == 4:
+            m = {"ok": True, "id": i}
+            if rng.random() < 0.8:
+                m["latency_us"] = rng.random() * 1e5
+            if rng.random() < 0.5:
+                m["storage_us"] = (None if rng.random() < 0.3
+                                   else rng.random() * 1e4)
+            if rng.random() < 0.3:
+                m["replicas"] = rng.randrange(4)
+            if rng.random() < 0.3:
+                m["value"] = (None if rng.random() < 0.3
+                              else "v" * rng.randrange(0, 64))
+                m["found"] = m["value"] is not None
+            if rng.random() < 0.3:
+                m["rack"] = rng.randrange(16)
+            if rng.random() < 0.2:
+                m["cross_rack"] = True
+        else:
+            m = {"ok": False, "error": rng.choice(_ERROR_CODES), "id": i}
+            if rng.random() < 0.7:
+                # An empty message is normalized to "absent" on decode,
+                # so the canonical vocabulary only has non-empty ones.
+                m["message"] = "x" * rng.randrange(1, 80)
+        out.append(m)
     return out
 
 
@@ -244,13 +315,15 @@ class TestFrameSplitter:
 
 
 class TestCheckVersion:
-    def test_absent_and_current_pass(self):
+    def test_absent_and_supported_pass(self):
         assert check_version({"type": "ping"}) is None
+        for version in SUPPORTED_VERSIONS:
+            assert check_version({"type": "ping", "v": version}) is None
         assert check_version({"type": "ping", "v": PROTOCOL_VERSION}) is None
         # An explicit null is v1 traffic too, same as an absent field.
         assert check_version({"type": "ping", "v": None}) is None
 
-    @pytest.mark.parametrize("bad", [0, 2, 99, -1, "1", "one", 1.5])
+    @pytest.mark.parametrize("bad", [0, 3, 99, -1, "1", "2", "one", 1.5])
     def test_everything_else_is_returned_for_the_error(self, bad):
         assert check_version({"type": "ping", "v": bad}) == bad
 
@@ -260,3 +333,185 @@ class TestCheckVersion:
         for message in random_messages(rng, 20):
             verdict = check_version(message)
             assert verdict is None or verdict != PROTOCOL_VERSION
+
+
+class TestBinaryCodecEquivalence:
+    """Satellite #3: the two codecs are interchangeable descriptions of
+    the same message space.  For every message the binary codec can
+    carry, encoding in either codec and decoding yields the identical
+    dict, the binary form round-trips byte-exactly, and relaying
+    through the splitter changes nothing."""
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_binary_round_trip_is_byte_exact(self, seed):
+        rng = random.Random(f"fuzz-bin-rt:{seed}")
+        for message in random_bin_messages(rng, 20):
+            frame = BIN_CODEC.encode(message)
+            assert frame_is_binary(frame) and frame[0] == BIN_MAGIC
+            decoded = FrameDecoder().feed(frame)
+            assert decoded == [message]
+            # The canonical property: re-encoding the decode result
+            # reproduces the original frame bit for bit.
+            assert BIN_CODEC.encode(decoded[0]) == frame
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_both_codecs_decode_to_the_same_dict(self, seed):
+        rng = random.Random(f"fuzz-bin-equiv:{seed}")
+        for message in random_bin_messages(rng, 20):
+            via_bin = FrameDecoder().feed(BIN_CODEC.encode(message))
+            via_json = FrameDecoder().feed(encode_frame(message))
+            assert via_bin == via_json == [message]
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_request_id_peek_agrees_across_codecs(self, seed):
+        rng = random.Random(f"fuzz-bin-id:{seed}")
+        for message in random_bin_messages(rng, 20):
+            assert (frame_request_id(BIN_CODEC.encode(message))
+                    == frame_request_id(encode_frame(message))
+                    == message["id"])
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_mixed_stream_survives_rechunking_with_tags(self, seed):
+        # JSON and binary frames interleaved on one connection, torn at
+        # arbitrary byte boundaries: feed_tagged must recover every
+        # message, in order, each tagged with the codec it arrived in.
+        rng = random.Random(f"fuzz-bin-mixed:{seed}")
+        expected = []
+        frames = []
+        for message in random_bin_messages(rng, 12):
+            binary = rng.random() < 0.5
+            frames.append(encode_frame_as(message, binary))
+            expected.append((message, binary))
+        for message in random_messages(rng, 6):
+            frames.append(encode_frame(message))
+            expected.append((message, False))
+        order = list(range(len(frames)))
+        rng.shuffle(order)
+        stream = b"".join(frames[i] for i in order)
+        decoder = FrameDecoder()
+        got = []
+        for chunk in rechunk(rng, stream):
+            got.extend(decoder.feed_tagged(chunk))
+        assert got == [expected[i] for i in order]
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_splitter_relays_binary_frames_byte_exact(self, seed):
+        # The proxy's zero-parse path: a mixed stream split into frames
+        # must reproduce the original frames verbatim, and re-decoding
+        # the relayed frames agrees with decoding the original stream.
+        rng = random.Random(f"fuzz-bin-split:{seed}")
+        messages = random_bin_messages(rng, 15)
+        frames = [encode_frame_as(m, rng.random() < 0.7)
+                  for m in messages]
+        splitter = FrameSplitter()
+        split = []
+        for chunk in rechunk(rng, b"".join(frames)):
+            split.extend(bytes(f) for f in splitter.feed(chunk))
+        splitter.close()
+        assert split == frames
+        decoder = FrameDecoder()
+        assert [m for f in split for m in decoder.feed(f)] == messages
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_garbage_after_magic_never_escapes_frame_error(self, seed):
+        rng = random.Random(f"fuzz-bin-garbage:{seed}")
+        blob = bytes([BIN_MAGIC]) + bytes(
+            rng.randrange(256) for _ in range(rng.randrange(1, 200))
+        )
+        decoder = FrameDecoder()
+        try:
+            for chunk in rechunk(rng, blob):
+                decoder.feed(chunk)
+        except FrameError:
+            pass  # rejection is fine; anything else is a bug
+        # A partial header/body still waiting for bytes is fine too.
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_truncated_binary_frames_detected_on_close(self, seed):
+        rng = random.Random(f"fuzz-bin-trunc:{seed}")
+        messages = random_bin_messages(rng, rng.randrange(1, 8))
+        stream = b"".join(BIN_CODEC.encode(m) for m in messages)
+        cut = rng.randrange(0, len(stream) + 1)
+        decoder = FrameDecoder()
+        got = []
+        try:
+            for chunk in rechunk(rng, stream[:cut]):
+                got.extend(decoder.feed(chunk))
+        except FrameError:
+            return  # a torn header can decode as garbage and reject
+        assert got == messages[:len(got)]
+        consumed = sum(len(BIN_CODEC.encode(m)) for m in got)
+        if cut == consumed:
+            decoder.close()  # cut on a frame boundary: clean EOF
+        else:
+            with pytest.raises(TruncatedFrame):
+                decoder.close()
+
+
+class TestUnencodableFallback:
+    """Messages outside the binary vocabulary fall back to JSON --
+    silently via encode_frame_as, loudly via BIN_CODEC.encode."""
+
+    FALLBACK_SHAPES = [
+        {"type": "hello", "v": PROTOCOL_VERSION, "id": 1},
+        {"type": "ping", "id": 2},
+        {"type": "stats", "id": 3},
+        {"type": "scan", "start": "", "count": 5, "id": 4},
+        {"type": "read", "pair": 1, "lpn": 2},            # no id
+        {"type": "read", "pair": -1, "lpn": 2, "id": 5},  # negative u32
+        {"type": "read", "pair": 1 << 32, "lpn": 2, "id": 6},
+        {"type": "read", "pair": True, "lpn": 2, "id": 7},  # bool != int
+        {"type": "get", "key": "k", "id": 8, "extra": 1},  # unknown key
+        {"ok": True, "id": 9, "pong": True},
+        {"ok": True, "id": 10, "latency_us": float("inf")},  # non-finite
+        {"ok": False, "error": "NO_SUCH_CODE", "id": 11},
+        {"ok": False, "id": 12},  # error code missing entirely
+        {"ok": "yes", "id": 13},
+    ]
+
+    @pytest.mark.parametrize("message", FALLBACK_SHAPES,
+                             ids=lambda m: str(sorted(m))[:40])
+    def test_fallback_is_json_and_lossless(self, message):
+        with pytest.raises(UnencodableFrame):
+            BIN_CODEC.encode(message)
+        assert BIN_CODEC.try_encode(message) is None
+        frame = encode_frame_as(message, True)
+        assert not frame_is_binary(frame)
+        assert FrameDecoder().feed(frame) == [message]
+
+    def test_unencodable_is_not_a_frame_error(self):
+        # Callers catch FrameError for wire corruption; an encode miss
+        # must not be mistaken for that.
+        assert not issubclass(UnencodableFrame, FrameError)
+
+
+class TestBinaryRouting:
+    """bin_frame_route / rewrite_bin_pair: the proxy's fixed-offset
+    peek must agree with a full decode."""
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_route_agrees_with_full_decode(self, seed):
+        rng = random.Random(f"fuzz-bin-route:{seed}")
+        for message in random_bin_messages(rng, 20):
+            frame = BIN_CODEC.encode(message)
+            route = bin_frame_route(frame)
+            kind = message.get("type")
+            if kind in ("read", "write"):
+                assert route == ("pair", message["pair"])
+            elif kind in ("get", "put"):
+                assert route == ("key", message["key"])
+            else:
+                assert route is None  # responses are not routable
+
+    @pytest.mark.parametrize("seed", range(NUM_TRIALS))
+    def test_rewrite_pair_patches_exactly_one_field(self, seed):
+        rng = random.Random(f"fuzz-bin-rewrite:{seed}")
+        for message in random_bin_messages(rng, 20):
+            if message.get("type") not in ("read", "write"):
+                continue
+            frame = BIN_CODEC.encode(message)
+            local = rng.randrange(1 << 32)
+            patched = rewrite_bin_pair(frame, local)
+            assert len(patched) == len(frame)
+            expected = dict(message, pair=local)
+            assert FrameDecoder().feed(bytes(patched)) == [expected]

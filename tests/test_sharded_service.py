@@ -75,7 +75,8 @@ class TestWireContract:
 
         exc = asyncio.run(scenario())
         assert exc.code == protocol.UNSUPPORTED_VERSION
-        assert "v1" in exc.message and "99" in exc.message
+        assert f"v{protocol.PROTOCOL_VERSION}" in exc.message
+        assert "99" in exc.message
 
     def test_responses_carry_their_rack(self):
         async def scenario():

@@ -20,6 +20,9 @@ The surface, by layer:
 * **Sharded serving** -- :class:`HashRing`, :class:`RackShard`,
   :class:`ShardRouter`, :class:`ShardedRackService`,
   :class:`ShardProxy`, :func:`build_shard_configs`;
+* **Elastic fleet** -- :class:`FleetController`, :class:`MigrationPlan`,
+  :class:`MigrationStream`, :class:`KeyRange`, :class:`MembershipError`,
+  :class:`MembershipBusy`, :class:`MigrationStreamError`;
 * **Stats schema** -- :func:`validate_stats`, :class:`StatsSchemaError`.
 """
 
@@ -30,6 +33,13 @@ from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.runner import RackResult
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.membership import (
+    FleetController,
+    MembershipBusy,
+    MembershipError,
+    MigrationPlan,
+)
+from repro.service.migration import MigrationStream, MigrationStreamError
 from repro.service.protocol import PROTOCOL_VERSION, SUPPORTED_VERSIONS
 from repro.service.router import (
     ShardedRackService,
@@ -39,7 +49,7 @@ from repro.service.router import (
 )
 from repro.service.schema import StatsSchemaError, validate_stats
 from repro.service.server import RackService
-from repro.service.shard import HashRing, RackShard
+from repro.service.shard import HashRing, KeyRange, RackShard
 
 __all__ = [
     # configuration
@@ -69,6 +79,14 @@ __all__ = [
     "ShardedRackService",
     "ShardProxy",
     "build_shard_configs",
+    # elastic fleet
+    "FleetController",
+    "MigrationPlan",
+    "MigrationStream",
+    "KeyRange",
+    "MembershipError",
+    "MembershipBusy",
+    "MigrationStreamError",
     # stats schema
     "validate_stats",
     "StatsSchemaError",

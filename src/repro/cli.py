@@ -184,6 +184,34 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "it; json forces v1; bin fails if the "
                                 "server cannot speak binary")
 
+    fleet_p = sub.add_parser(
+        "fleet", help="online fleet membership: add/drain racks, status"
+    )
+    fleet_p.add_argument("action", choices=["status", "add-rack",
+                                            "drain-rack"])
+    fleet_p.add_argument("--host", default="127.0.0.1")
+    fleet_p.add_argument("--port", type=int, default=7337,
+                         help="the fleet front-end (sharded serve or proxy)")
+    fleet_p.add_argument("--rack", type=int, default=None,
+                         help="rack index to drain (drain-rack)")
+    fleet_p.add_argument("--backend-host", default="127.0.0.1",
+                         help="new backend's host (proxy add-rack)")
+    fleet_p.add_argument("--backend-port", type=int, default=None,
+                         help="new backend's port (proxy add-rack: start "
+                              "the serve process first, then hand its "
+                              "address here)")
+    fleet_p.add_argument("--batch-size", type=int, default=None,
+                         help="keys per migration batch (default 64)")
+    fleet_p.add_argument("--pause-ms", type=float, default=None,
+                         help="pause between batches, milliseconds")
+    fleet_p.add_argument("--attempts", type=int, default=None,
+                         help="max migration attempts before abort")
+    fleet_p.add_argument("--timeout", type=float, default=300.0,
+                         help="seconds to wait for the cutover "
+                              "(default 300)")
+    fleet_p.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the raw response as JSON")
+
     figures_p = sub.add_parser("figures", help="reproduce paper figures")
     figures_p.add_argument("names", nargs="*",
                            help=f"subset of {sorted(ALL_FIGURES)} (default all)")
@@ -611,6 +639,87 @@ def _cmd_loadgen(args) -> int:
     return 0 if report.ok > 0 and report.errors == 0 else 1
 
 
+def _cmd_fleet(args) -> int:
+    import asyncio
+    import json as json_mod
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    _require(args.action != "drain-rack" or args.rack is not None,
+             "drain-rack needs --rack")
+    _require(args.timeout > 0, f"--timeout must be > 0, got {args.timeout}")
+    options = {}
+    if args.batch_size is not None:
+        _require(args.batch_size >= 1,
+                 f"--batch-size must be >= 1, got {args.batch_size}")
+        options["batch_size"] = args.batch_size
+    if args.pause_ms is not None:
+        _require(args.pause_ms >= 0,
+                 f"--pause-ms must be >= 0, got {args.pause_ms}")
+        options["pause_s"] = args.pause_ms / 1000.0
+    if args.attempts is not None:
+        _require(args.attempts >= 1,
+                 f"--attempts must be >= 1, got {args.attempts}")
+        options["max_attempts"] = args.attempts
+
+    async def _go():
+        client = ServiceClient(args.host, args.port, "fleet-cli",
+                               request_timeout_s=args.timeout)
+        await client.connect()
+        try:
+            if args.action == "status":
+                return await client.fleet_status()
+            if args.action == "add-rack":
+                if args.backend_port is not None:
+                    options["host"] = args.backend_host
+                    options["port"] = args.backend_port
+                return await client.fleet_add_rack(**options)
+            return await client.fleet_drain_rack(args.rack, **options)
+        finally:
+            await client.close()
+
+    try:
+        response = asyncio.run(_go())
+    except (ConnectionError, OSError) as exc:
+        print(f"repro fleet: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    except asyncio.TimeoutError:
+        print(f"repro fleet: {args.action} did not finish within "
+              f"{args.timeout:.0f}s", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"repro fleet: {args.action} failed: {exc}", file=sys.stderr)
+        return 1
+    body = {k: v for k, v in response.items()
+            if k not in ("ok", "id", "v")}
+    if args.as_json:
+        print(json_mod.dumps(body, indent=2, sort_keys=True))
+        return 0
+    if args.action == "status":
+        racks = body.get("racks", [])
+        print(f"epoch {body.get('epoch')}  racks {racks}  "
+              f"migrating {body.get('migrating')}  "
+              f"phase {body.get('phase')}")
+        change = body.get("change")
+        if change:
+            print(f"  in flight: {change.get('kind')} rack "
+                  f"{change.get('rack')} attempt {change.get('attempt')}"
+                  + (" (tainted)" if change.get("tainted") else ""))
+        counters = body.get("counters", {})
+        if counters:
+            moved = counters.get("keys_moved", 0)
+            print(f"  lifetime: keys_moved {moved:.0f}  "
+                  f"cutovers {counters.get('cutovers', 0):.0f}  "
+                  f"aborts {counters.get('aborts', 0):.0f}")
+        return 0
+    print(f"{body.get('kind')} rack {body.get('rack')}: epoch "
+          f"{body.get('epoch')}  keys_moved {body.get('keys_moved')}  "
+          f"moved_fraction {body.get('moved_fraction')}  "
+          f"attempts {body.get('attempts')}  racks {body.get('racks')}")
+    return 0
+
+
 def _cmd_wear(args) -> int:
     _require(args.servers >= 1, f"--servers must be >= 1, got {args.servers}")
     _require(args.ssds >= 1, f"--ssds must be >= 1, got {args.ssds}")
@@ -670,6 +779,8 @@ def _dispatch(args) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "figures":
         _require(args.jobs is None or args.jobs >= 0,
                  f"--jobs must be >= 0, got {args.jobs}")

@@ -19,6 +19,9 @@ GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
 * :mod:`repro.service.server` -- the TCP service with graceful drain;
 * :mod:`repro.service.shard` / :mod:`repro.service.router` -- the
   consistent-hash ring and the multi-rack front-ends built on it;
+* :mod:`repro.service.membership` / :mod:`repro.service.migration` --
+  the elastic-fleet control plane: online rack add/drain with live key
+  migration behind an epoch-stamped ring;
 * :mod:`repro.service.client` -- a pipelined async client;
 * :mod:`repro.service.loadgen` -- open/closed-loop load generation.
 """
@@ -27,6 +30,17 @@ from repro.service.admission import AdmissionController, WallClockTokenBucket
 from repro.service.bridge import BridgeStats, SimTimeBridge
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.membership import (
+    FleetController,
+    MembershipBusy,
+    MembershipError,
+    MigrationPlan,
+)
+from repro.service.migration import (
+    MigrationStream,
+    MigrationStreamError,
+    StreamReport,
+)
 from repro.service.protocol import (
     BIN_CODEC,
     BIN_MAGIC,
@@ -58,7 +72,7 @@ from repro.service.router import (
 )
 from repro.service.schema import StatsSchemaError, validate_stats
 from repro.service.server import RackService
-from repro.service.shard import HashRing, RackShard
+from repro.service.shard import HashRing, KeyRange, RackShard
 
 __all__ = [
     "AdmissionController",
@@ -92,11 +106,19 @@ __all__ = [
     "write_frame",
     "RackService",
     "HashRing",
+    "KeyRange",
     "RackShard",
     "ShardRouter",
     "ShardedRackService",
     "ShardProxy",
     "build_shard_configs",
+    "FleetController",
+    "MembershipBusy",
+    "MembershipError",
+    "MigrationPlan",
+    "MigrationStream",
+    "MigrationStreamError",
+    "StreamReport",
     "StatsSchemaError",
     "validate_stats",
 ]

@@ -207,6 +207,14 @@ class SimTimeBridge:
         return self._track("write", process,
                            lambda latency: {"latency_us": latency})
 
+    def submit_delete(self, key: str,
+                      client: str = "live") -> "asyncio.Future":
+        """KV replicated delete; resolves to the sim latency."""
+        process = self.rack.sim.spawn(self.kv.delete(str(key)))
+        return self._track("write", process,
+                           lambda latency: {"latency_us": latency,
+                                            "deleted": True})
+
     def submit_scan(self, start_key: str, count: int,
                     client: str = "live") -> "asyncio.Future":
         """KV range scan; resolves to the items + latency."""

@@ -21,7 +21,8 @@ historical fail-fast behaviour):
   policy), so hedges only spawn for genuine stragglers.
 
 Counters (``retries``, ``hedged``, ``hedged_wins``, ``reconnects``,
-``timeouts``, ``bytes_sent``, ``bytes_received``) accumulate in
+``timeouts``, ``bytes_sent``, ``bytes_received``,
+``ring_refreshes``) accumulate in
 :attr:`counters` and are merged into :meth:`stats` responses under
 ``"client"``.
 
@@ -60,6 +61,10 @@ class ServiceError(Exception):
 #: expiry.  (BAD_REQUEST would fail identically forever.)
 RETRYABLE_CODES = (protocol.BUSY, protocol.TIMEOUT)
 
+#: Request types that ride the data plane and may pin a ring epoch
+#: (``track_epoch``); control traffic (hello/ping/stats/admin) never does.
+_DATA_OPS = ("read", "write", "get", "put", "del", "scan")
+
 
 def _swallow(task: "asyncio.Task") -> None:
     """Reap a losing hedge task so its exception is never 'unretrieved'."""
@@ -79,7 +84,8 @@ class ServiceClient:
                  hedge_reads: bool = False,
                  hedge_delay_s: Optional[float] = None,
                  hedge_delay_floor_s: float = 0.002,
-                 wire_protocol: str = "json") -> None:
+                 wire_protocol: str = "json",
+                 track_epoch: bool = False) -> None:
         if wire_protocol not in ("json", "auto", "bin"):
             raise ValueError(
                 f"wire_protocol must be 'json', 'auto', or 'bin', "
@@ -101,9 +107,16 @@ class ServiceClient:
             "retries": 0, "hedged": 0, "hedged_wins": 0,
             "reconnects": 0, "timeouts": 0,
             "bytes_sent": 0, "bytes_received": 0,
+            "ring_refreshes": 0,
         }
         #: The last ``hello`` response (version, capabilities, racks).
         self.server_info: Optional[Dict[str, Any]] = None
+        #: With ``track_epoch``, data requests pin the ring epoch learned
+        #: from the last ``hello``; a fleet membership cutover then
+        #: answers ``WRONG_SHARD`` and the client refreshes its view and
+        #: retries once (epoch-pinned requests ride the JSON wire).
+        self.track_epoch = track_epoch
+        self.ring_epoch: Optional[int] = None
         self._reader: Optional["asyncio.StreamReader"] = None
         self._writer: Optional["asyncio.StreamWriter"] = None
         self._reader_task: Optional["asyncio.Task"] = None
@@ -228,12 +241,27 @@ class ServiceClient:
         With ``max_retries > 0``, retryable failures (``BUSY``,
         ``TIMEOUT``, connection loss, client-side timeout) are retried
         with exponential backoff, reconnecting as needed.
+
+        ``WRONG_SHARD`` (the request pinned a ring epoch a membership
+        cutover invalidated) refreshes the routing view with a fresh
+        ``hello`` and retries once, independent of ``max_retries`` --
+        the second failure surfaces.
         """
         attempt = 0
+        refreshed = False
         while True:
             try:
                 return await self._attempt(payload)
             except ServiceError as exc:
+                if exc.code == protocol.WRONG_SHARD and not refreshed:
+                    refreshed = True
+                    self.counters["ring_refreshes"] += 1
+                    try:
+                        await self.hello()
+                    except (ServiceError, ConnectionError, OSError,
+                            asyncio.TimeoutError):
+                        pass  # the data op's own retry path reconnects
+                    continue
                 if exc.code not in RETRYABLE_CODES or attempt >= self.max_retries:
                     raise
             except (ConnectionError, asyncio.TimeoutError, OSError):
@@ -270,6 +298,9 @@ class ServiceClient:
         message["id"] = request_id
         if self.client_name and "client" not in message:
             message["client"] = self.client_name
+        if self.track_epoch and self.ring_epoch is not None and \
+                "epoch" not in message and message.get("type") in _DATA_OPS:
+            message["epoch"] = self.ring_epoch
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         self._pending[request_id] = future
@@ -356,6 +387,8 @@ class ServiceClient:
             {"type": "hello", "v": protocol.PROTOCOL_VERSION}
         )
         self.server_info = response
+        if "epoch" in response:
+            self.ring_epoch = response["epoch"]
         if self.wire_protocol != "json":
             capable = "bin" in (response.get("capabilities") or [])
             if not capable and self.wire_protocol == "bin":
@@ -383,10 +416,33 @@ class ServiceClient:
     async def put(self, key: str, value: str) -> Dict[str, Any]:
         return await self.request({"type": "put", "key": key, "value": value})
 
+    async def delete(self, key: str) -> Dict[str, Any]:
+        return await self.request({"type": "del", "key": key})
+
     async def scan(self, start: str = "", count: int = 10) -> Dict[str, Any]:
         return await self.request(
             {"type": "scan", "start": start, "count": count}
         )
+
+    # ------------------------------------------------------------ fleet admin
+
+    async def fleet_status(self) -> Dict[str, Any]:
+        """The fleet's membership view: epoch, racks, live migration."""
+        return await self.request({"type": "admin", "op": "status"})
+
+    async def fleet_add_rack(self, **options: Any) -> Dict[str, Any]:
+        """Admit a new rack under live load; returns when the cutover
+        lands (or the migration aborts).  ``options`` pass through to
+        the server: ``batch_size``, ``pause_s``, ``max_attempts``, and
+        for process-mode proxies the new backend's ``host``/``port``."""
+        return await self.request({"type": "admin", "op": "add_rack",
+                                   **options})
+
+    async def fleet_drain_rack(self, rack: int,
+                               **options: Any) -> Dict[str, Any]:
+        """Drain rack ``rack`` out of the fleet under live load."""
+        return await self.request({"type": "admin", "op": "drain_rack",
+                                   "rack": int(rack), **options})
 
     async def stats(self) -> Dict[str, Any]:
         """Live collector + trace-attribution metrics from the server,

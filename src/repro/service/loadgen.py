@@ -99,6 +99,17 @@ class LoadgenReport:
                 f"completed {bridge.get('completed', 0):.0f}  "
                 f"shed {admission.get('shed_queue_full', 0):.0f}"
             )
+            migration = self.server_stats.get("migration", {})
+            if migration.get("cutovers", 0) or migration.get("active", 0) \
+                    or migration.get("aborts", 0):
+                lines.append(
+                    f"  migration: epoch {migration.get('epoch', 0):.0f}  "
+                    f"keys_moved {migration.get('keys_moved', 0):.0f}  "
+                    f"forwards {migration.get('write_forwards', 0):.0f}  "
+                    f"dual_reads "
+                    f"{migration.get('dual_read_fallbacks', 0):.0f}  "
+                    f"aborts {migration.get('aborts', 0):.0f}"
+                )
             for key in sorted(metrics):
                 if key.endswith(("_avg_us", "_p99_us")):
                     lines.append(f"    {key:24s} {metrics[key]:12.1f}")

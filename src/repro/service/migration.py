@@ -1,0 +1,182 @@
+"""The data mover for fleet membership changes.
+
+:class:`MigrationStream` copies every key a
+:class:`~repro.service.membership.MigrationPlan` obliges to move from its
+old owner to its new one, while the fleet keeps serving.  It is
+deliberately dumb about transport: the caller hands it three async
+endpoints --
+
+* ``scan(src, start, count)`` -> ``[(key, value), ...]`` (key-ordered,
+  at most ``count`` items with key >= ``start``),
+* ``put(dst, key, value)``,
+* ``delete(src, key)`` (optional; post-commit shadow cleanup)
+
+-- which the in-proc router binds straight to the shards' sim-time
+bridges, and the process-mode proxy binds to wire-level
+:class:`~repro.service.client.ServiceClient` calls against the backend
+racks.  Either way the stream rides the same serving path as foreground
+traffic, so its load is *visible* to admission and the simulator rather
+than teleporting data behind the fleet's back.
+
+Two properties keep it correct under live load:
+
+* **bounded + throttled**: keys move in ``batch_size`` chunks with an
+  asyncio pause between batches, so foreground p99 survives the copy;
+* **forward-aware**: a key the write path dual-forwarded after the
+  stream read it would be *clobbered* by applying the stream's older
+  value, so forwarded keys are skipped at apply time (the forward
+  already delivered the freshest value to the destination).
+
+Any endpoint failure (a rack crash mid-migration surfaces here as a
+timeout or connection error) aborts the run with the partial tally
+attached; the caller decides whether to retry -- tainted, per
+:meth:`FleetController.retry` -- or abort the plan outright.
+"""
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.service.client import ServiceError
+from repro.service.membership import FleetController, MigrationPlan
+
+#: Keys copied per scan page / applied per burst.
+DEFAULT_BATCH_SIZE = 64
+
+#: Wall-clock pause between batches; the foreground's breathing room.
+DEFAULT_PAUSE_S = 0.002
+
+ScanFn = Callable[[int, str, int], Awaitable[List[Tuple[str, str]]]]
+PutFn = Callable[[int, str, str], Awaitable[None]]
+DeleteFn = Callable[[int, str], Awaitable[None]]
+
+
+class MigrationStreamError(ReproError):
+    """The stream could not finish; ``report`` holds the partial tally."""
+
+    def __init__(self, message: str, report: "StreamReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class StreamReport:
+    """What one stream run (or attempt) actually moved."""
+
+    keys_moved: int = 0
+    bytes_streamed: int = 0
+    batches: int = 0
+    skipped_forwarded: int = 0
+    sources_drained: int = 0
+    #: ``(src, key)`` pairs that were copied -- the post-commit shadow
+    #: cleanup list.
+    moved: List[Tuple[int, str]] = field(default_factory=list)
+
+
+class MigrationStream:
+    """Copies a plan's moving keys source-by-source, page-by-page."""
+
+    def __init__(self, controller: FleetController, plan: MigrationPlan, *,
+                 scan: ScanFn, put: PutFn, delete: Optional[DeleteFn] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 pause_s: float = DEFAULT_PAUSE_S) -> None:
+        if batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {batch_size}")
+        self.controller = controller
+        self.plan = plan
+        self._scan = scan
+        self._put = put
+        self._delete = delete
+        self.batch_size = batch_size
+        self.pause_s = max(0.0, pause_s)
+
+    async def run(self) -> StreamReport:
+        """Stream every moving key; raises :class:`MigrationStreamError`
+        wrapping the first endpoint failure."""
+        report = StreamReport()
+        counters = self.controller.counters
+        sources = sorted({rng.src for rng in self.plan.ranges})
+        try:
+            for src in sources:
+                await self._stream_source(src, report)
+                report.sources_drained += 1
+        except (asyncio.TimeoutError, ConnectionError, OSError,
+                ReproError, ServiceError) as exc:
+            raise MigrationStreamError(
+                f"migration stream failed after {report.keys_moved} keys "
+                f"({type(exc).__name__}: {exc})", report
+            ) from exc
+        finally:
+            counters["keys_moved"] += report.keys_moved
+            counters["bytes_streamed"] += report.bytes_streamed
+            counters["batches"] += report.batches
+        return report
+
+    async def _stream_source(self, src: int, report: StreamReport) -> None:
+        plan = self.plan
+        start = ""
+        while True:
+            items = await self._scan(src, start, self.batch_size)
+            if not items:
+                return
+            moving: List[Tuple[str, str]] = []
+            for key, value in items:
+                rng = plan.moving_range_for_key(key)
+                if rng is None or rng.src != src:
+                    continue
+                if self.controller.is_forwarded(key):
+                    # The write path already delivered a fresher value to
+                    # the destination; applying ours would clobber it.
+                    report.skipped_forwarded += 1
+                    continue
+                moving.append((key, value))
+            if moving:
+                await asyncio.gather(*(
+                    self._apply(src, key, value, report)
+                    for key, value in moving
+                ))
+                report.batches += 1
+            # Resume strictly after the last key this page returned.
+            start = items[-1][0] + "\x00"
+            if len(items) < self.batch_size:
+                return
+            if self.pause_s:
+                await asyncio.sleep(self.pause_s)
+
+    async def _apply(self, src: int, key: str, value: str,
+                     report: StreamReport) -> None:
+        rng = self.plan.moving_range_for_key(key)
+        assert rng is not None
+        if self.controller.is_forwarded(key):
+            report.skipped_forwarded += 1
+            return
+        # Register the in-flight put so a concurrent forwarded write to
+        # the same key orders itself *after* us at the destination.
+        token = self.controller.stream_put_begin(key)
+        try:
+            await self._put(rng.dst, key, value)
+        finally:
+            self.controller.stream_put_end(key, token)
+        report.keys_moved += 1
+        report.bytes_streamed += len(key.encode("utf-8")) + \
+            len(str(value).encode("utf-8"))
+        report.moved.append((src, key))
+
+    async def cleanup(self, report: StreamReport) -> int:
+        """Post-commit: delete the moved keys' shadow copies from their
+        old owners (best-effort -- the copies are harmless to reads,
+        they only pad scans).  Returns the number deleted."""
+        if self._delete is None:
+            return 0
+        deleted = 0
+        for offset in range(0, len(report.moved), self.batch_size):
+            batch = report.moved[offset:offset + self.batch_size]
+            results = await asyncio.gather(*(
+                self._delete(src, key) for src, key in batch
+            ), return_exceptions=True)
+            deleted += sum(1 for r in results if not isinstance(r, Exception))
+            if self.pause_s and offset + self.batch_size < len(report.moved):
+                await asyncio.sleep(self.pause_s)
+        self.controller.counters["cleanup_deletes"] += deleted
+        return deleted

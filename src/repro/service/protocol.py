@@ -76,6 +76,7 @@ SHUTTING_DOWN = "SHUTTING_DOWN"  # server is draining; connection will close
 TIMEOUT = "TIMEOUT"              # the simulated request missed its deadline
 INTERNAL = "INTERNAL"            # unexpected server-side failure
 UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"  # frame's v is not spoken here
+WRONG_SHARD = "WRONG_SHARD"      # request pinned a stale ring epoch; re-hello
 
 
 class FrameError(Exception):
@@ -144,7 +145,7 @@ _OK_CROSS_RACK = 0x40   # cross_rack (present means True)
 #: Error codes by binary index.  Appending is wire-compatible;
 #: reordering is not.
 _ERR_CODES = (BUSY, BAD_REQUEST, SHUTTING_DOWN, TIMEOUT, INTERNAL,
-              UNSUPPORTED_VERSION)
+              UNSUPPORTED_VERSION, WRONG_SHARD)
 _ERR_INDEX = {code: i for i, code in enumerate(_ERR_CODES)}
 
 _REQUEST_OPS = {"read": OP_READ, "write": OP_WRITE,

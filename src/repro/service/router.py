@@ -48,6 +48,12 @@ from repro.metrics.collector import ExperimentMetrics
 from repro.service import protocol, schema
 from repro.service.admission import AdmissionController
 from repro.service.bridge import BridgeStats, SimTimeBridge
+from repro.service.membership import (
+    FleetController,
+    MembershipBusy,
+    MembershipError,
+)
+from repro.service.migration import MigrationStream, MigrationStreamError
 from repro.service.server import RackService
 from repro.service.shard import (
     DEFAULT_RING_SEED,
@@ -108,9 +114,19 @@ class ShardRouter:
         self._by_index = {shard.index: shard for shard in self.shards}
         if len(self._by_index) != len(self.shards):
             raise ConfigError("shard indices must be unique")
-        self.ring = HashRing((s.index for s in self.shards),
-                             vnodes=vnodes, seed=ring_seed)
+        #: Membership control plane: owns the ring, the epoch, and at
+        #: most one live migration (``admit_rack``/``drain_rack``).
+        self.fleet = FleetController(HashRing(
+            (s.index for s in self.shards), vnodes=vnodes, seed=ring_seed,
+        ))
         self.gc_sync_s = gc_sync_s
+        # Construction recipe for racks admitted later; ``from_config``
+        # fills these in, direct construction leaves them unset and
+        # ``admit_rack`` then needs an explicit config.
+        self._base_config: Optional[RackConfig] = None
+        self._precondition = False
+        self._bridge_kwargs: Dict[str, Any] = {}
+        self._admission_kwargs: Dict[str, Any] = {}
         #: Aggregate latency collector.  Per-shard collectors cannot be
         #: merged (percentiles do not add), so the router records every
         #: completed request itself.
@@ -129,6 +145,11 @@ class ShardRouter:
         self._after_chunk: Optional[Any] = None
         self._gc_task: Optional["asyncio.Task"] = None
         self._running = False
+
+    @property
+    def ring(self) -> HashRing:
+        """The *current* ring -- swapped atomically at membership commit."""
+        return self.fleet.ring
 
     # ------------------------------------------------------------ lifecycle
 
@@ -243,7 +264,9 @@ class ShardRouter:
         return owner, local, False
 
     def shard_for_key(self, key: str) -> RackShard:
-        return self._by_index[self.ring.node_for(f"key:{key}")]
+        """The shard holding the *authoritative* copy of ``key`` right
+        now (the old owner while that key's range is migrating)."""
+        return self._by_index[self.fleet.read_owner(str(key))]
 
     def shard_for_request(self, request: Dict[str, Any]) -> Optional[RackShard]:
         """The shard that would *execute* a request; None if unroutable.
@@ -259,7 +282,7 @@ class ShardRouter:
                 if rtype == "read":
                     return self._route_read(global_pair)[0]
                 return self._owner_of_pair(global_pair)
-            if rtype in ("get", "put"):
+            if rtype in ("get", "put", "del"):
                 return self.shard_for_key(str(request["key"]))
             if rtype == "scan":
                 return self.shard_for_key(str(request.get("start", "")))
@@ -340,17 +363,105 @@ class ShardRouter:
         return self._finish(shard, "write", future, {"rack": shard.index})
 
     def submit_get(self, key: str, client: str = "live") -> "asyncio.Future":
-        shard = self.shard_for_key(str(key))
+        key = str(key)
+        first, fallback = self.fleet.read_route(key)
         self.routed += 1
-        future = shard.bridge.submit_get(key, client)
-        return self._finish(shard, "read", future, {"rack": shard.index})
+        if fallback is None:
+            shard = self._by_index[first]
+            future = shard.bridge.submit_get(key, client)
+            return self._finish(shard, "read", future, {"rack": shard.index})
+        return asyncio.ensure_future(
+            self._dual_read(key, client, first, fallback)
+        )
+
+    async def _dual_read(self, key: str, client: str,
+                         first_idx: int, fallback_idx: int) -> Dict[str, Any]:
+        """Migration-window read: new owner first, old owner on a miss.
+
+        The new owner serves freshly-moved (and forwarded) keys without
+        touching the source; keys the stream has not reached yet miss
+        and resolve at the still-authoritative old owner.  Latency is
+        the sum of the legs actually taken.
+        """
+        first = self._by_index[first_idx]
+        payload = dict(await first.bridge.submit_get(key, client))
+        if payload.get("found"):
+            payload["rack"] = first.index
+            self.metrics.record("read", payload["latency_us"],
+                                at=first.bridge.rack.sim.now)
+            return payload
+        self.fleet.counters["dual_read_fallbacks"] += 1
+        second = self._by_index[fallback_idx]
+        fell_back = dict(await second.bridge.submit_get(key, client))
+        fell_back["rack"] = second.index
+        fell_back["dual_read"] = True
+        fell_back["latency_us"] = (payload["latency_us"] +
+                                   fell_back["latency_us"])
+        self.metrics.record("read", fell_back["latency_us"],
+                            at=second.bridge.rack.sim.now)
+        return fell_back
 
     def submit_put(self, key: str, value: str,
                    client: str = "live") -> "asyncio.Future":
-        shard = self.shard_for_key(str(key))
+        key = str(key)
+        primary, forward = self.fleet.write_route(key)
         self.routed += 1
-        future = shard.bridge.submit_put(key, value, client)
-        return self._finish(shard, "write", future, {"rack": shard.index})
+        if forward is None:
+            shard = self._by_index[primary]
+            future = shard.bridge.submit_put(key, value, client)
+            return self._finish(shard, "write", future,
+                                {"rack": shard.index})
+        return asyncio.ensure_future(
+            self._forwarded_write(key, value, client, primary, forward)
+        )
+
+    def submit_delete(self, key: str,
+                      client: str = "live") -> "asyncio.Future":
+        key = str(key)
+        primary, forward = self.fleet.write_route(key)
+        self.routed += 1
+        if forward is None:
+            shard = self._by_index[primary]
+            future = shard.bridge.submit_delete(key, client)
+            return self._finish(shard, "write", future,
+                                {"rack": shard.index})
+        return asyncio.ensure_future(
+            self._forwarded_write(key, None, client, primary, forward,
+                                  delete=True)
+        )
+
+    async def _forwarded_write(self, key: str, value: Optional[str],
+                               client: str, primary_idx: int,
+                               forward_idx: int,
+                               delete: bool = False) -> Dict[str, Any]:
+        """Migration-window write: old owner first (it stays fully
+        authoritative, so an abort at any instant loses nothing), then
+        chained to the new owner so the streamed copy never goes stale.
+        The client's ack covers both legs; a failed forward surfaces as
+        a retryable error with the primary already durably applied.
+        """
+        self.fleet.note_forwarded(key)
+        self.fleet.counters["write_forwards"] += 1
+        src = self._by_index[primary_idx]
+        dst = self._by_index[forward_idx]
+
+        def submit(bridge: SimTimeBridge) -> "asyncio.Future":
+            if delete:
+                return bridge.submit_delete(key, client)
+            return bridge.submit_put(key, value, client)
+
+        payload = dict(await submit(src.bridge))
+        # Order after any in-flight stream put for this key, so the
+        # forwarded value is deterministically the last writer at dst.
+        await self.fleet.await_stream_put(key)
+        forwarded = dict(await submit(dst.bridge))
+        payload["rack"] = src.index
+        payload["forwarded"] = True
+        payload["latency_us"] = (payload["latency_us"] +
+                                 forwarded["latency_us"])
+        self.metrics.record("write", payload["latency_us"],
+                            at=src.bridge.rack.sim.now)
+        return payload
 
     def submit_scan(self, start_key: str, count: int,
                     client: str = "live") -> "asyncio.Future":
@@ -387,9 +498,16 @@ class ShardRouter:
                         else:
                             results[slot] = fut.result()
                 if remaining == 0 and not outer.done():
+                    # Keep only items whose reporting shard is the key's
+                    # authoritative owner: during (and right after) a
+                    # migration window both the source and destination
+                    # hold copies of moving keys, and post-abort shadow
+                    # copies can linger until cleanup.
                     merged = sorted(
-                        (tuple(item) for r in results if r
-                         for item in r["items"]),
+                        (key, value)
+                        for slot, r in enumerate(results) if r
+                        for key, value in r["items"]
+                        if self.fleet.read_owner(key) == legs[slot][0].index
                     )[:count]
                     latency = max(r["latency_us"] for r in results if r)
                     self.metrics.record(
@@ -432,6 +550,7 @@ class ShardRouter:
         return {
             "racks": float(len(self.shards)),
             "virtual_nodes": float(self.ring.vnodes),
+            "epoch": float(self.fleet.epoch),
             "routed": float(self.routed),
             "cross_rack_redirects": float(self.cross_rack_redirects),
             "scatter_scans": float(self.scatter_scans),
@@ -448,8 +567,178 @@ class ShardRouter:
         out = schema.aggregate_sections(list(sections.values()))
         out[schema.SECTION_METRICS] = self.metrics.summary()
         out[schema.SECTION_ROUTER] = self.router_section()
+        out[schema.SECTION_MIGRATION] = self.fleet.stats_section()
         out[schema.SECTION_SHARDS] = sections
         return out
+
+    # ------------------------------------------------------------ membership
+
+    def _stream_endpoints(self):
+        """Bridge-level scan/put/delete endpoints for the migration
+        stream -- the same simulated serving path foreground traffic
+        takes, under the ``"migrate"`` client name."""
+        async def scan(src: int, start: str, count: int):
+            result = await self._by_index[src].bridge.submit_scan(
+                start, count, "migrate"
+            )
+            return [(key, value) for key, value in result["items"]]
+
+        async def put(dst: int, key: str, value: str) -> None:
+            await self._by_index[dst].bridge.submit_put(key, value, "migrate")
+
+        async def delete(src: int, key: str) -> None:
+            if src in self._by_index:
+                await self._by_index[src].bridge.submit_delete(key, "migrate")
+
+        return scan, put, delete
+
+    async def _run_stream(self, plan, *, batch_size: int, pause_s: float,
+                          max_attempts: int,
+                          retry_backoff_s: float) -> Tuple[MigrationStream,
+                                                           Any]:
+        """Drive the migration stream to completion, retrying tainted on
+        mid-stream failure (a rack crash during migration lands here);
+        raises :class:`MigrationStreamError` after the last attempt."""
+        scan, put, delete = self._stream_endpoints()
+        while True:
+            stream = MigrationStream(
+                self.fleet, plan, scan=scan, put=put, delete=delete,
+                batch_size=batch_size, pause_s=pause_s,
+            )
+            try:
+                return stream, await stream.run()
+            except MigrationStreamError:
+                if plan.attempt >= max_attempts:
+                    raise
+                plan = self.fleet.retry()
+                await asyncio.sleep(retry_backoff_s * plan.attempt)
+
+    def _register_shard(self, shard: RackShard) -> None:
+        self.shards.append(shard)
+        self._by_index[shard.index] = shard
+        self._gc_views[shard.index] = tuple(
+            False for _ in range(shard.num_pairs)
+        )
+        # Re-apply the after_chunk hook so the new shard's pump flushes
+        # the server's write buffers like every incumbent's does.
+        self.after_chunk = self._after_chunk
+
+    def _deregister_shard(self, shard: RackShard) -> None:
+        self.shards = [s for s in self.shards if s.index != shard.index]
+        self._by_index.pop(shard.index, None)
+        self._gc_views.pop(shard.index, None)
+
+    async def admit_rack(self, config: Optional[RackConfig] = None, *,
+                         batch_size: int = 64, pause_s: float = 0.002,
+                         max_attempts: int = 3,
+                         retry_backoff_s: float = 0.05) -> Dict[str, Any]:
+        """Admit a new rack shard under live load.
+
+        Builds rack ``max(index) + 1`` from the fleet's construction
+        recipe (seed and fault-schedule slice derived exactly as
+        :func:`build_shard_configs` would have), registers it, streams
+        the moving ~1/(N+1) of keys over while dual-read and
+        write-forwarding keep every request correct, then commits the
+        epoch cutover and deletes the moved keys' shadow copies from
+        their old owners.  A mid-stream failure retries up to
+        ``max_attempts`` times (tainted: reads pin to the old owner);
+        past that the plan aborts, the new shard is torn down, and the
+        fleet is exactly as before -- no acked write lost either way.
+        """
+        base = config if config is not None else self._base_config
+        if base is None:
+            raise MembershipError(
+                "this router was not built via from_config; pass an "
+                "explicit RackConfig to admit_rack"
+            )
+        index = max(self._by_index) + 1
+        plan = self.fleet.begin_add(index)
+        schedule = base.fault_schedule
+        if schedule is not None:
+            schedule = schedule.for_rack(index)
+        shard_config = dataclasses.replace(
+            base, seed=base.seed + index, fault_schedule=schedule,
+        )
+        bridge = SimTimeBridge(shard_config,
+                               precondition=self._precondition,
+                               **self._bridge_kwargs)
+        shard = RackShard(index, bridge,
+                          AdmissionController(**self._admission_kwargs))
+        try:
+            await shard.start()
+            self._register_shard(shard)
+        except BaseException:
+            self.fleet.abort()
+            raise
+        try:
+            stream, report = await self._run_stream(
+                plan, batch_size=batch_size, pause_s=pause_s,
+                max_attempts=max_attempts, retry_backoff_s=retry_backoff_s,
+            )
+        except MigrationStreamError as exc:
+            attempts = self.fleet.plan.attempt if self.fleet.plan else 0
+            self.fleet.abort()
+            self._deregister_shard(shard)
+            await shard.stop(drain=False)
+            raise MembershipError(
+                f"admitting rack {index} failed after {attempts} "
+                f"attempt(s): {exc}"
+            ) from exc
+        epoch = self.fleet.commit()
+        await stream.cleanup(report)
+        return {
+            "rack": index, "epoch": epoch, "kind": "add",
+            "keys_moved": report.keys_moved,
+            "bytes_streamed": report.bytes_streamed,
+            "skipped_forwarded": report.skipped_forwarded,
+            "attempts": plan.attempt,
+            "moved_fraction": round(plan.moved_fraction, 6),
+            "racks": self.ring.nodes,
+        }
+
+    async def drain_rack(self, index: int, *,
+                         batch_size: int = 64, pause_s: float = 0.002,
+                         max_attempts: int = 3,
+                         retry_backoff_s: float = 0.05,
+                         drain_timeout_s: float = 10.0) -> Dict[str, Any]:
+        """Drain rack ``index`` out of the fleet under live load.
+
+        Streams its keys to their new owners (the rack keeps serving --
+        and keeps taking forwarded writes -- until the cutover), commits
+        the epoch bump, then stops the shard with a graceful drain.  A
+        rack that is already crashed drains through its own replica
+        fail-over path; if even that cannot complete, the plan aborts
+        and the rack simply stays a member.
+        """
+        index = int(index)
+        if index not in self._by_index:
+            raise MembershipError(f"rack {index} is not part of this fleet")
+        plan = self.fleet.begin_drain(index)
+        shard = self._by_index[index]
+        try:
+            stream, report = await self._run_stream(
+                plan, batch_size=batch_size, pause_s=pause_s,
+                max_attempts=max_attempts, retry_backoff_s=retry_backoff_s,
+            )
+        except MigrationStreamError as exc:
+            attempts = self.fleet.plan.attempt if self.fleet.plan else 0
+            self.fleet.abort()
+            raise MembershipError(
+                f"draining rack {index} failed after {attempts} "
+                f"attempt(s): {exc}"
+            ) from exc
+        epoch = self.fleet.commit()
+        self._deregister_shard(shard)
+        await shard.stop(drain=True, drain_timeout_s=drain_timeout_s)
+        return {
+            "rack": index, "epoch": epoch, "kind": "drain",
+            "keys_moved": report.keys_moved,
+            "bytes_streamed": report.bytes_streamed,
+            "skipped_forwarded": report.skipped_forwarded,
+            "attempts": plan.attempt,
+            "moved_fraction": round(plan.moved_fraction, 6),
+            "racks": self.ring.nodes,
+        }
 
     # --------------------------------------------------------- construction
 
@@ -465,19 +754,27 @@ class ShardRouter:
                     **bridge_kwargs: Any) -> "ShardRouter":
         """Build N shards from one base config (seeds and fault schedules
         derived per rack by :func:`build_shard_configs`)."""
+        admission_kwargs = dict(
+            max_queue_depth=queue_depth,
+            client_rate_per_sec=client_rate_per_sec,
+            client_burst=client_burst,
+        )
         shards = []
         for index, shard_config in enumerate(
                 build_shard_configs(config, racks)):
             bridge = SimTimeBridge(shard_config, precondition=precondition,
                                    **bridge_kwargs)
-            admission = AdmissionController(
-                max_queue_depth=queue_depth,
-                client_rate_per_sec=client_rate_per_sec,
-                client_burst=client_burst,
-            )
-            shards.append(RackShard(index, bridge, admission))
-        return cls(shards, vnodes=vnodes, ring_seed=ring_seed,
-                   gc_sync_s=gc_sync_s)
+            shards.append(RackShard(index, bridge,
+                                    AdmissionController(**admission_kwargs)))
+        router = cls(shards, vnodes=vnodes, ring_seed=ring_seed,
+                     gc_sync_s=gc_sync_s)
+        # Remember the recipe so ``admit_rack`` can build rack N+1 the
+        # same way this fleet was built.
+        router._base_config = config
+        router._precondition = precondition
+        router._bridge_kwargs = dict(bridge_kwargs)
+        router._admission_kwargs = admission_kwargs
+        return router
 
 
 class ShardedRackService(RackService):
@@ -504,6 +801,27 @@ class ShardedRackService(RackService):
 
     def _admit(self, client: str, request: Dict[str, Any]) -> bool:
         return self.router.try_admit(client, request)
+
+    def _current_epoch(self) -> int:
+        return self.router.fleet.epoch
+
+    def _fleet_status(self) -> Dict[str, Any]:
+        return self.router.fleet.status()
+
+    def _admin_mutation(self, op: str,
+                        request: Dict[str, Any]) -> Optional[Any]:
+        knobs: Dict[str, Any] = {}
+        if "batch_size" in request:
+            knobs["batch_size"] = int(request["batch_size"])
+        if "pause_s" in request:
+            knobs["pause_s"] = float(request["pause_s"])
+        if "max_attempts" in request:
+            knobs["max_attempts"] = int(request["max_attempts"])
+        if op == "add_rack":
+            return self.router.admit_rack(**knobs)
+        if op == "drain_rack":
+            return self.router.drain_rack(int(request["rack"]), **knobs)
+        return None
 
     def _stats_payload(self) -> Dict[str, Any]:
         out = self.router.stats_payload()
@@ -645,14 +963,27 @@ class ShardProxy:
         self.port = port
         self.pairs_per_rack = pairs_per_rack
         self.max_frame_bytes = max_frame_bytes
-        self.ring = HashRing(range(len(self.backends)),
-                             vnodes=vnodes, seed=ring_seed)
+        #: Membership control plane (same object the in-proc router
+        #: uses); the proxy's ring lives inside it.  Drained backends
+        #: keep their ``backends`` slot -- indices stay stable -- they
+        #: just leave the ring.
+        self.fleet = FleetController(HashRing(
+            range(len(self.backends)), vnodes=vnodes, seed=ring_seed,
+        ))
+        self.drained: Set[int] = set()
         self._server: Optional["asyncio.base_events.Server"] = None
         self._connections: Set["asyncio.Task"] = set()
+        self._admin_tasks: Set["asyncio.Task"] = set()
         self._draining = False
         self.connections_accepted = 0
         self.routed = 0
         self.unroutable = 0
+        self.write_dups = 0
+
+    @property
+    def ring(self) -> HashRing:
+        """The *current* ring -- swapped atomically at membership commit."""
+        return self.fleet.ring
 
     # ------------------------------------------------------------ lifecycle
 
@@ -672,6 +1003,11 @@ class ShardProxy:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for task in list(self._admin_tasks):
+            task.cancel()
+        if self._admin_tasks:
+            await asyncio.gather(*self._admin_tasks, return_exceptions=True)
+        self._admin_tasks.clear()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -680,24 +1016,37 @@ class ShardProxy:
 
     # -------------------------------------------------------------- routing
 
-    def _route(self, request: Dict[str, Any]) -> Optional[int]:
+    def _route(self, request: Dict[str, Any],
+               ) -> Tuple[Optional[int], Optional[int]]:
+        """``(node, forward)``: where the frame goes, plus the second
+        backend a write is duplicated to during a migration window.
+
+        The proxy relays frames without response matching, so it cannot
+        dual-*read*; reads and scans pin to the authoritative (old)
+        owner until the cutover -- correct, just without the in-proc
+        router's new-owner-first optimisation (documented asymmetry,
+        like the GC-fallback).
+        """
         rtype = request.get("type")
         try:
             if rtype in ("read", "write"):
                 global_pair = int(request["pair"])
-                total = self.pairs_per_rack * len(self.backends)
+                total = self.pairs_per_rack * len(self.ring)
                 if not 0 <= global_pair < total:
                     raise ConfigError(
                         f"pair index {global_pair} out of range [0, {total})"
                     )
-                return self.ring.node_for(f"pair:{global_pair}")
-            if rtype in ("get", "put"):
-                return self.ring.node_for(f"key:{request['key']}")
+                return self.ring.node_for(f"pair:{global_pair}"), None
+            if rtype == "get":
+                return self.fleet.read_owner(str(request["key"])), None
+            if rtype in ("put", "del"):
+                return self.fleet.write_route(str(request["key"]))
             if rtype == "scan":
-                return self.ring.node_for(f"key:{request.get('start', '')}")
+                return self.fleet.read_owner(str(request.get("start", ""))), \
+                    None
         except (KeyError, TypeError, ValueError, ConfigError):
-            return None
-        return None
+            return None, None
+        return None, None
 
     # ---------------------------------------------------------- connections
 
@@ -851,8 +1200,9 @@ class ShardProxy:
             ))
             return
         kind, value = route
+        forward_node: Optional[int] = None
         if kind == "pair":
-            total = self.pairs_per_rack * len(self.backends)
+            total = self.pairs_per_rack * len(self.ring)
             if not 0 <= value < total:
                 self.unroutable += 1
                 reply(protocol.error_response(
@@ -865,14 +1215,20 @@ class ShardProxy:
             out_frame: Any = protocol.rewrite_bin_pair(
                 frame, value % self.pairs_per_rack
             )
+        elif frame[1] == protocol.OP_PUT:
+            node, forward_node = self.fleet.write_route(str(value))
+            out_frame = frame
         else:
-            node = self.ring.node_for(f"key:{value}")
+            node = self.fleet.read_owner(str(value))
             out_frame = frame
         link = await self._link_for(node, writer, links, request_id, True)
         if link is None:
             return
         self.routed += 1
         self._enqueue(batches, link, out_frame, request_id)
+        if forward_node is not None:
+            await self._dup_write(str(value), out_frame, forward_node,
+                                  writer, links, batches, request_id, True)
 
     async def _begin(self, request: Dict[str, Any],
                      writer: "asyncio.StreamWriter",
@@ -898,7 +1254,8 @@ class ShardProxy:
             reply(protocol.hello_response(
                 request_id,
                 capabilities=["raw", "kv", "sharded", "proxy", "bin"],
-                racks=len(self.backends),
+                racks=len(self.ring),
+                epoch=self.fleet.epoch,
             ))
             return
         if rtype == "ping":
@@ -915,12 +1272,23 @@ class ShardProxy:
                     request_id,
                 ))
             return
+        if rtype == "admin":
+            self._begin_admin(request, writer)
+            return
+        epoch = request.get("epoch")
+        if epoch is not None and epoch != self.fleet.epoch:
+            reply(protocol.error_response(
+                protocol.WRONG_SHARD,
+                f"request pinned ring epoch {epoch!r}, fleet is at "
+                f"epoch {self.fleet.epoch}", request_id,
+            ))
+            return
         if self._draining:
             reply(protocol.error_response(
                 protocol.SHUTTING_DOWN, "proxy is draining", request_id
             ))
             return
-        node = self._route(request)
+        node, forward_node = self._route(request)
         if node is None:
             self.unroutable += 1
             reply(protocol.error_response(
@@ -928,15 +1296,261 @@ class ShardProxy:
                 f"unroutable request type {rtype!r}", request_id,
             ))
             return
-        forward = dict(request)
+        out_request = dict(request)
+        # The epoch gate is the proxy's: backend processes are fixed
+        # single racks pinned at epoch 0 and would reject the fleet's.
+        out_request.pop("epoch", None)
         if rtype in ("read", "write"):
-            forward["pair"] = int(request["pair"]) % self.pairs_per_rack
+            out_request["pair"] = int(request["pair"]) % self.pairs_per_rack
         link = await self._link_for(node, writer, links, request_id, False)
         if link is None:
             return
         self.routed += 1
-        self._enqueue(batches, link, protocol.encode_frame(forward),
-                      request_id)
+        frame = protocol.encode_frame(out_request)
+        self._enqueue(batches, link, frame, request_id)
+        if forward_node is not None:
+            await self._dup_write(str(request.get("key", "")), frame,
+                                  forward_node, writer, links, batches,
+                                  request_id, False)
+
+    # ----------------------------------------------------------- membership
+
+    async def _dup_write(self, key: str, frame: Any, forward_node: int,
+                         writer: "asyncio.StreamWriter",
+                         links: Dict[int, _BackendLink],
+                         batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]],
+                         request_id: Any, binary: bool) -> None:
+        """Duplicate a migrating key's write to its future owner.
+
+        The proxy relays frames without matching responses, so it cannot
+        chain the two legs the way the in-proc router does; instead the
+        *same* frame -- same id -- goes to both backends.  Both client
+        implementations resolve an id exactly once and drop the
+        duplicate response, so whichever leg answers first wins.  If the
+        destination leg dies, its orphan ``TIMEOUT`` either arrives
+        second (ignored) or first (a retryable error while the
+        authoritative old owner durably applied the write) -- never a
+        lost ack.
+        """
+        self.fleet.note_forwarded(key)
+        self.fleet.counters["write_forwards"] += 1
+        self.write_dups += 1
+        # Order after any in-flight stream copy of the same key so the
+        # forwarded (fresher) value lands last at the destination.
+        await self.fleet.await_stream_put(key)
+        # Dial errors reply with id ``None`` (clients ignore them): the
+        # primary leg is already queued and must own the id's response.
+        link = await self._link_for(forward_node, writer, links, None, binary)
+        if link is not None:
+            self._enqueue(batches, link, frame, request_id)
+
+    def _begin_admin(self, request: Dict[str, Any],
+                     writer: "asyncio.StreamWriter") -> None:
+        """In-band fleet administration, proxy flavour.
+
+        ``status`` answers immediately; ``add_rack`` admits an
+        *already-running* backend ``serve`` process (the proxy does not
+        spawn processes -- the operator starts it and hands its
+        ``host``/``port`` here) and ``drain_rack`` streams a backend's
+        keys out, after which the operator may stop the process.  Both
+        run as background tasks so foreground frames keep relaying.
+        """
+        request_id = request.get("id")
+
+        def reply(response: Dict[str, Any]) -> None:
+            if not writer.is_closing():
+                writer.write(protocol.encode_frame(response))
+
+        op = str(request.get("op", "status"))
+        if op in ("status", "fleet_status"):
+            status = self.fleet.status()
+            status["drained"] = sorted(self.drained)
+            reply(protocol.ok_response(request_id, **status))
+            return
+        try:
+            knobs: Dict[str, Any] = {}
+            if "batch_size" in request:
+                knobs["batch_size"] = int(request["batch_size"])
+            if "pause_s" in request:
+                knobs["pause_s"] = float(request["pause_s"])
+            if "max_attempts" in request:
+                knobs["max_attempts"] = int(request["max_attempts"])
+            if op == "add_rack":
+                pending = self._admin_add_rack(request, knobs)
+            elif op == "drain_rack":
+                pending = self._admin_drain_rack(int(request["rack"]), knobs)
+            else:
+                reply(protocol.error_response(
+                    protocol.BAD_REQUEST, f"unsupported admin op {op!r}",
+                    request_id,
+                ))
+                return
+        except (KeyError, TypeError, ValueError, ConfigError) as exc:
+            reply(protocol.error_response(
+                protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
+                request_id,
+            ))
+            return
+        task = asyncio.ensure_future(pending)
+        self._admin_tasks.add(task)
+
+        def _respond(done: "asyncio.Task") -> None:
+            self._admin_tasks.discard(done)
+            if done.cancelled():
+                return
+            exc = done.exception()
+            if exc is None:
+                reply(protocol.ok_response(request_id, **done.result()))
+            elif isinstance(exc, MembershipBusy):
+                reply(protocol.error_response(
+                    protocol.BUSY, str(exc), request_id
+                ))
+            elif isinstance(exc, (KeyError, TypeError, ValueError,
+                                  ConfigError)):
+                reply(protocol.error_response(
+                    protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
+                    request_id,
+                ))
+            elif isinstance(exc, (MembershipError, asyncio.TimeoutError,
+                                  ConnectionError, OSError)):
+                reply(protocol.error_response(
+                    protocol.INTERNAL, f"membership change failed: {exc}",
+                    request_id,
+                ))
+            else:
+                reply(protocol.error_response(
+                    protocol.INTERNAL, str(exc), request_id
+                ))
+
+        task.add_done_callback(_respond)
+
+    def _wire_endpoints(self):
+        """Wire-level scan/put/delete endpoints for the migration
+        stream: one :class:`~repro.service.client.ServiceClient` per
+        involved backend under the ``migrate`` client name, dialed
+        lazily.  Returns ``(scan, put, delete, close)``; the caller owns
+        ``close`` (also used between retry attempts so a crashed
+        backend gets a fresh dial)."""
+        from repro.service.client import ServiceClient
+
+        clients: Dict[int, "ServiceClient"] = {}
+
+        async def client_for(node: int) -> "ServiceClient":
+            client = clients.get(node)
+            if client is None:
+                host, port = self.backends[node]
+                client = ServiceClient(host, port, "migrate")
+                await client.connect()
+                clients[node] = client
+            return client
+
+        async def scan(src: int, start: str, count: int):
+            result = await (await client_for(src)).scan(start, count)
+            return [(key, value) for key, value in result["items"]]
+
+        async def put(dst: int, key: str, value: str) -> None:
+            await (await client_for(dst)).put(key, value)
+
+        async def delete(src: int, key: str) -> None:
+            if 0 <= src < len(self.backends) and src not in self.drained:
+                await (await client_for(src)).delete(key)
+
+        async def close() -> None:
+            for client in clients.values():
+                await client.close()
+            clients.clear()
+
+        return scan, put, delete, close
+
+    async def _run_stream(self, plan, *, batch_size: int = 64,
+                          pause_s: float = 0.002, max_attempts: int = 3,
+                          retry_backoff_s: float = 0.05):
+        """Drive the migration stream over the wire, retrying tainted on
+        mid-stream failure with freshly-dialed endpoints.  Returns
+        ``(stream, report, close)``; raises
+        :class:`MigrationStreamError` after the last attempt."""
+        while True:
+            scan, put, delete, close = self._wire_endpoints()
+            stream = MigrationStream(
+                self.fleet, plan, scan=scan, put=put, delete=delete,
+                batch_size=batch_size, pause_s=pause_s,
+            )
+            try:
+                report = await stream.run()
+            except MigrationStreamError:
+                await close()
+                if plan.attempt >= max_attempts:
+                    raise
+                plan = self.fleet.retry()
+                await asyncio.sleep(retry_backoff_s * plan.attempt)
+                continue
+            return stream, report, close
+
+    async def _admin_add_rack(self, request: Dict[str, Any],
+                              knobs: Dict[str, Any]) -> Dict[str, Any]:
+        if "port" not in request:
+            raise ConfigError(
+                "add_rack via the proxy needs the new backend's host/port "
+                "(start its serve process first)"
+            )
+        host = str(request.get("host", "127.0.0.1"))
+        port = int(request["port"])
+        node = len(self.backends)
+        plan = self.fleet.begin_add(node)
+        self.backends.append((host, port))
+        try:
+            stream, report, close = await self._run_stream(plan, **knobs)
+        except MigrationStreamError as exc:
+            attempts = self.fleet.plan.attempt if self.fleet.plan else 0
+            self.fleet.abort()
+            self.backends.pop()
+            raise MembershipError(
+                f"admitting rack {node} failed after {attempts} "
+                f"attempt(s): {exc}"
+            ) from exc
+        epoch = self.fleet.commit()
+        try:
+            await stream.cleanup(report)
+        finally:
+            await close()
+        return {
+            "rack": node, "epoch": epoch, "kind": "add",
+            "keys_moved": report.keys_moved,
+            "bytes_streamed": report.bytes_streamed,
+            "skipped_forwarded": report.skipped_forwarded,
+            "attempts": plan.attempt,
+            "moved_fraction": round(plan.moved_fraction, 6),
+            "racks": self.ring.nodes,
+        }
+
+    async def _admin_drain_rack(self, node: int,
+                                knobs: Dict[str, Any]) -> Dict[str, Any]:
+        if not 0 <= node < len(self.backends) or node in self.drained:
+            raise ConfigError(f"rack {node} is not a live backend")
+        plan = self.fleet.begin_drain(node)
+        try:
+            stream, report, close = await self._run_stream(plan, **knobs)
+        except MigrationStreamError as exc:
+            attempts = self.fleet.plan.attempt if self.fleet.plan else 0
+            self.fleet.abort()
+            raise MembershipError(
+                f"draining rack {node} failed after {attempts} "
+                f"attempt(s): {exc}"
+            ) from exc
+        epoch = self.fleet.commit()
+        await close()
+        # The slot stays (indices must remain stable); the backend just
+        # left the ring.  The operator stops the process at leisure.
+        self.drained.add(node)
+        return {
+            "rack": node, "epoch": epoch, "kind": "drain",
+            "keys_moved": report.keys_moved,
+            "bytes_streamed": report.bytes_streamed,
+            "skipped_forwarded": report.skipped_forwarded,
+            "attempts": plan.attempt,
+            "moved_fraction": round(plan.moved_fraction, 6),
+            "racks": self.ring.nodes,
+        }
 
     # ------------------------------------------------------------ reporting
 
@@ -944,6 +1558,8 @@ class ShardProxy:
         """Scatter ``stats`` to every backend and fold the results."""
         sections: Dict[str, Dict[str, Any]] = {}
         for node, (host, port) in enumerate(self.backends):
+            if node in self.drained:
+                continue
             reader, writer = await asyncio.open_connection(host, port)
             try:
                 protocol.write_frame(writer, {"type": "stats", "id": 0})
@@ -966,14 +1582,16 @@ class ShardProxy:
             [s.get(schema.SECTION_METRICS, {}) for s in sections.values()]
         )
         out[schema.SECTION_ROUTER] = {
-            "racks": float(len(self.backends)),
+            "racks": float(len(self.ring)),
             "virtual_nodes": float(self.ring.vnodes),
             "routed": float(self.routed),
             "cross_rack_redirects": 0.0,
             "scatter_scans": 0.0,
             "unroutable": float(self.unroutable),
             "gc_view_commits": 0.0,
+            "epoch": float(self.fleet.epoch),
         }
+        out[schema.SECTION_MIGRATION] = self.fleet.stats_section()
         out[schema.SECTION_SHARDS] = sections
         out[schema.FIELD_CONNECTIONS] = float(self.connections_accepted)
         return out

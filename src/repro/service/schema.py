@@ -28,7 +28,11 @@ is the max; aggregate latency percentiles come from the router's own
 collector, since per-shard percentiles do not merge), plus::
 
     "router": {racks, virtual_nodes, routed, cross_rack_redirects,
-               scatter_scans, unroutable, gc_view_commits},
+               scatter_scans, unroutable, gc_view_commits, epoch},
+    "migration": {keys_moved, bytes_streamed, batches,
+                  dual_read_fallbacks, write_forwards, aborts, cutovers,
+                  cleanup_deletes, racks_added, racks_drained, epoch,
+                  active},
     "shards": {"0": {bridge, metrics, kvstore, admission[, chaos]}, ...}
 
 :meth:`ServiceClient.stats` adds one more section client-side::
@@ -56,6 +60,7 @@ SECTION_CHAOS = "chaos"
 SECTION_TRACES = "traces"
 SECTION_CLIENT = "client"
 SECTION_ROUTER = "router"
+SECTION_MIGRATION = "migration"
 SECTION_SHARDS = "shards"
 FIELD_CONNECTIONS = "connections"
 
@@ -72,11 +77,18 @@ ADMISSION_FIELDS = (
 )
 CLIENT_FIELDS = (
     "retries", "hedged", "hedged_wins", "reconnects", "timeouts",
-    "bytes_sent", "bytes_received",
+    "bytes_sent", "bytes_received", "ring_refreshes",
 )
 ROUTER_FIELDS = (
     "racks", "virtual_nodes", "routed", "cross_rack_redirects",
-    "scatter_scans", "unroutable", "gc_view_commits",
+    "scatter_scans", "unroutable", "gc_view_commits", "epoch",
+)
+#: Fleet-membership counters (:meth:`FleetController.stats_section`);
+#: present on every sharded payload, absent from single-rack ones.
+MIGRATION_FIELDS = (
+    "keys_moved", "bytes_streamed", "batches", "dual_read_fallbacks",
+    "write_forwards", "aborts", "cutovers", "cleanup_deletes",
+    "racks_added", "racks_drained", "epoch", "active",
 )
 
 #: Sections every server payload must carry.
@@ -239,6 +251,8 @@ def validate_stats(payload: Mapping, *, client: bool = False,
             f"{where}: sharded payloads carry both {SECTION_ROUTER!r} and "
             f"{SECTION_SHARDS!r}, or neither"
         )
+    _validate_section(payload, SECTION_MIGRATION, MIGRATION_FIELDS, where,
+                      required=False)
     if router is not None:
         _validate_section(payload, SECTION_ROUTER, ROUTER_FIELDS, where)
         if not isinstance(shards, Mapping) or not shards:

@@ -24,6 +24,7 @@ from repro.errors import ConfigError
 from repro.service import protocol, schema
 from repro.service.admission import AdmissionController
 from repro.service.bridge import SimTimeBridge
+from repro.service.membership import MembershipBusy, MembershipError
 
 
 class RackService:
@@ -208,7 +209,25 @@ class RackService:
 
     def _hello_fields(self) -> Dict[str, Any]:
         """Extra fields for the ``hello`` response."""
-        return {"racks": 1}
+        return {"racks": 1, "epoch": self._current_epoch()}
+
+    def _current_epoch(self) -> int:
+        """The fleet's ring epoch.  A single fixed rack never rebalances,
+        so the base service sits at epoch 0 forever; the sharded flavours
+        report their :class:`~repro.service.membership.FleetController`'s
+        epoch, which bumps at every membership cutover."""
+        return 0
+
+    def _fleet_status(self) -> Dict[str, Any]:
+        """Body of an ``admin``/``status`` response."""
+        return {"epoch": self._current_epoch(), "racks": [0],
+                "migrating": False, "phase": "static"}
+
+    def _admin_mutation(self, op: str,
+                        request: Dict[str, Any]) -> Optional["asyncio.Future"]:
+        """Start a membership mutation; returns an awaitable or ``None``
+        for unknown/unsupported ops.  A fixed single rack supports none."""
+        return None
 
     def _admit(self, client: str, request: Dict[str, Any]) -> bool:
         """One admission decision (sharded flavours route first)."""
@@ -236,6 +255,8 @@ class RackService:
             return bridge.submit_get(request["key"], client)
         if rtype == "put":
             return bridge.submit_put(request["key"], request["value"], client)
+        if rtype == "del":
+            return bridge.submit_delete(request["key"], client)
         if rtype == "scan":
             return bridge.submit_scan(
                 request.get("start", ""), int(request.get("count", 10)),
@@ -249,6 +270,79 @@ class RackService:
             self.bridge.stats_payload(), self.admission.stats(),
             self.connections_accepted,
         )
+
+    # ----------------------------------------------------------------- admin
+
+    def _begin_admin(self, request: Dict[str, Any],
+                     writer: "asyncio.StreamWriter",
+                     outstanding: Set["asyncio.Future"],
+                     binary: bool = False) -> None:
+        """In-band fleet administration on the v1 JSON wire.
+
+        ``status`` answers immediately; mutations (``add_rack`` /
+        ``drain_rack``) run as a task -- migration takes real time under
+        live load -- and respond when the cutover (or the abort) lands.
+        """
+        request_id = request.get("id")
+        op = request.get("op")
+        if op in ("status", "fleet_status"):
+            self._send_batched(writer, protocol.ok_response(
+                request_id, **self._fleet_status()
+            ), binary)
+            return
+        try:
+            pending = self._admin_mutation(str(op), request)
+        except (KeyError, TypeError, ValueError, ConfigError) as exc:
+            self._send_batched(writer, protocol.error_response(
+                protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
+                request_id,
+            ), binary)
+            return
+        if pending is None:
+            self._send_batched(writer, protocol.error_response(
+                protocol.BAD_REQUEST,
+                f"unsupported admin op {op!r} for this deployment",
+                request_id,
+            ), binary)
+            return
+        task = asyncio.ensure_future(pending)
+        outstanding.add(task)
+
+        def _respond(fut: "asyncio.Future") -> None:
+            outstanding.discard(fut)
+            if fut.cancelled():
+                self._send(writer, protocol.error_response(
+                    protocol.SHUTTING_DOWN, "admin op cancelled at shutdown",
+                    request_id,
+                ))
+                return
+            exc = fut.exception()
+            if exc is None:
+                self._send(writer,
+                           protocol.ok_response(request_id, **fut.result()))
+            elif isinstance(exc, MembershipBusy):
+                self._send(writer, protocol.error_response(
+                    protocol.BUSY, str(exc), request_id
+                ))
+            elif isinstance(exc, (KeyError, TypeError, ValueError,
+                                  ConfigError)):
+                self._send(writer, protocol.error_response(
+                    protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
+                    request_id,
+                ))
+            elif isinstance(exc, (MembershipError, asyncio.TimeoutError,
+                                  ConnectionError, OSError)):
+                self._send(writer, protocol.error_response(
+                    protocol.INTERNAL,
+                    f"membership change failed: {exc}", request_id,
+                ))
+            else:
+                self._send(writer, protocol.error_response(
+                    protocol.INTERNAL, f"{type(exc).__name__}: {exc}",
+                    request_id,
+                ))
+
+        task.add_done_callback(_respond)
 
     # --------------------------------------------------------------- dispatch
 
@@ -286,6 +380,19 @@ class RackService:
         if rtype == "stats":
             self._send_batched(writer, protocol.ok_response(
                 request_id, **self._stats_payload()
+            ), binary)
+            return
+        if rtype == "admin":
+            self._begin_admin(request, writer, outstanding, binary)
+            return
+        epoch = request.get("epoch")
+        if epoch is not None and epoch != self._current_epoch():
+            # The client pinned a routing view that a membership cutover
+            # has since invalidated; it must re-``hello`` and retry.
+            self._send_batched(writer, protocol.error_response(
+                protocol.WRONG_SHARD,
+                f"request pinned ring epoch {epoch!r}, fleet is at "
+                f"epoch {self._current_epoch()}", request_id,
             ), binary)
             return
         if self._draining:

@@ -16,6 +16,7 @@ half of one unlucky rack (the rebalance property is pinned by
 
 import bisect
 import hashlib
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
@@ -29,6 +30,43 @@ DEFAULT_VNODES = 64
 #: Ring seed: placement is part of the deployment's identity, so the
 #: default is fixed and explicit rather than derived from anything.
 DEFAULT_RING_SEED = 17
+
+#: The ring's position space: BLAKE2 digests truncated to 8 bytes.
+RING_SPACE = 1 << 64
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """One contiguous, non-wrapping slice of ring space changing owner.
+
+    ``start`` is inclusive, ``end`` exclusive; wraparound slices are
+    split before construction so ``start < end`` always holds.  ``src``
+    is the owner under the old ring, ``dst`` under the new one -- the
+    shard-to-shard move a membership change obliges.
+    """
+
+    start: int
+    end: int
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end <= RING_SPACE:
+            raise ConfigError(
+                f"bad key range [{self.start}, {self.end})"
+            )
+        if self.src == self.dst:
+            raise ConfigError(
+                f"range [{self.start}, {self.end}) does not move "
+                f"(src == dst == {self.src})"
+            )
+
+    def contains(self, point: int) -> bool:
+        return self.start <= point < self.end
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
 
 
 class HashRing:
@@ -89,6 +127,22 @@ class HashRing:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    def copy(self) -> "HashRing":
+        """An independent ring with the same seed, vnodes, and members."""
+        return HashRing(self.nodes, vnodes=self.vnodes, seed=self.seed)
+
+    def with_node(self, node: int) -> "HashRing":
+        """A copy of this ring after ``node`` joins (self is untouched)."""
+        ring = self.copy()
+        ring.add_node(node)
+        return ring
+
+    def without_node(self, node: int) -> "HashRing":
+        """A copy of this ring after ``node`` leaves (self is untouched)."""
+        ring = self.copy()
+        ring.remove_node(node)
+        return ring
+
     # -------------------------------------------------------------- lookup
 
     def node_for(self, key: str) -> int:
@@ -119,6 +173,81 @@ class HashRing:
                 if len(out) == count:
                     break
         return out
+
+    def point_for(self, key: str) -> int:
+        """The ring position ``key`` hashes to -- the value
+        :meth:`node_for` buckets, exposed so migration plans can test a
+        key against a :class:`KeyRange` without re-deriving the hash."""
+        return self._point(f"key:{key}")
+
+    def owner_of_point(self, point: int) -> int:
+        """The node owning an arbitrary ring position (first ring point
+        strictly after ``point``, wrapping)."""
+        if not self._nodes:
+            raise ConfigError("the ring has no nodes")
+        idx = bisect.bisect(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    # ---------------------------------------------------------- rebalancing
+
+    @staticmethod
+    def ranges_moving(old_ring: "HashRing",
+                      new_ring: "HashRing") -> List["KeyRange"]:
+        """The exact slices of ring space that change owner between two
+        rings -- the work a membership change obliges.
+
+        Both rings must share ``seed`` and ``vnodes`` (otherwise every
+        point moves and the diff is meaningless).  The result is sorted
+        by ``start``, non-overlapping, with adjacent same-``(src, dst)``
+        slices coalesced; a key moves between the rings **iff** its
+        :meth:`point_for` position falls inside one of the returned
+        ranges.  Summing ``span`` over the result gives the moved
+        fraction of ring space -- ~``1/(N+1)`` for a single add, which
+        the rebalance property tests pin.
+        """
+        if old_ring.seed != new_ring.seed:
+            raise ConfigError(
+                f"rings disagree on seed ({old_ring.seed} vs "
+                f"{new_ring.seed}); the movement diff is meaningless"
+            )
+        if old_ring.vnodes != new_ring.vnodes:
+            raise ConfigError(
+                f"rings disagree on vnodes ({old_ring.vnodes} vs "
+                f"{new_ring.vnodes}); the movement diff is meaningless"
+            )
+        if not old_ring._nodes or not new_ring._nodes:
+            raise ConfigError("cannot diff against an empty ring")
+        boundaries = sorted(set(old_ring._points) | set(new_ring._points))
+        # Ownership is constant on [b_j, b_{j+1}) -- no ring point of
+        # either ring lies strictly inside -- so one representative
+        # lookup per segment settles it.  The wrap segment
+        # [b_last, 2^64) + [0, b_0) shares a single owner pair too.
+        pieces: List[Tuple[int, int, int, int]] = []
+        for j in range(len(boundaries) - 1):
+            left, right = boundaries[j], boundaries[j + 1]
+            src = old_ring.owner_of_point(left)
+            dst = new_ring.owner_of_point(left)
+            if src != dst:
+                pieces.append((left, right, src, dst))
+        last, first = boundaries[-1], boundaries[0]
+        src = old_ring.owner_of_point(last)
+        dst = new_ring.owner_of_point(last)
+        if src != dst:
+            if last < RING_SPACE:
+                pieces.append((last, RING_SPACE, src, dst))
+            if first > 0:
+                pieces.insert(0, (0, first, src, dst))
+        pieces.sort()
+        merged: List[Tuple[int, int, int, int]] = []
+        for piece in pieces:
+            if merged and merged[-1][1] == piece[0] and \
+                    merged[-1][2:] == piece[2:]:
+                merged[-1] = (merged[-1][0], piece[1], piece[2], piece[3])
+            else:
+                merged.append(piece)
+        return [KeyRange(*piece) for piece in merged]
 
 
 class RackShard:

@@ -43,11 +43,18 @@ class TestFacadeSurface:
             "PROTOCOL_VERSION": "repro.service.protocol",
             "SUPPORTED_VERSIONS": "repro.service.protocol",
             "HashRing": "repro.service.shard",
+            "KeyRange": "repro.service.shard",
             "RackShard": "repro.service.shard",
             "ShardRouter": "repro.service.router",
             "ShardedRackService": "repro.service.router",
             "ShardProxy": "repro.service.router",
             "build_shard_configs": "repro.service.router",
+            "FleetController": "repro.service.membership",
+            "MembershipBusy": "repro.service.membership",
+            "MembershipError": "repro.service.membership",
+            "MigrationPlan": "repro.service.membership",
+            "MigrationStream": "repro.service.migration",
+            "MigrationStreamError": "repro.service.migration",
             "validate_stats": "repro.service.schema",
             "StatsSchemaError": "repro.service.schema",
         }

@@ -98,10 +98,69 @@ class TestServiceArgValidation:
         (["loadgen", "--mode", "open"], "--duration"),
         (["loadgen", "--rate", "0"], "--rate"),
         (["loadgen", "--keyspace", "0"], "--keyspace"),
+        (["fleet", "drain-rack"], "--rack"),
+        (["fleet", "status", "--timeout", "0"], "--timeout"),
+        (["fleet", "add-rack", "--batch-size", "0"], "--batch-size"),
+        (["fleet", "add-rack", "--pause-ms", "-1"], "--pause-ms"),
+        (["fleet", "add-rack", "--attempts", "0"], "--attempts"),
     ])
     def test_bad_args_exit_2(self, capsys, argv, flag):
         assert main(argv) == 2
         assert flag in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    """``repro.cli fleet`` round-trips against a live sharded service:
+    status -> add-rack -> status, entirely through the public CLI."""
+
+    @pytest.mark.shard
+    @pytest.mark.fleet
+    def test_status_and_add_rack_round_trip(self, capsys):
+        import asyncio
+        import json
+
+        from repro.cluster.config import RackConfig, SystemType
+        from repro.service.router import ShardedRackService, ShardRouter
+
+        async def scenario():
+            config = RackConfig(system=SystemType("rackblox"),
+                                num_servers=2, num_pairs=2, seed=11)
+            router = ShardRouter.from_config(config, 2, precondition=False,
+                                             chunk_us=2000.0)
+            service = ShardedRackService(router, port=0)
+            await service.start()
+            loop = asyncio.get_event_loop()
+
+            def cli(*argv):
+                # main() calls asyncio.run, so it needs its own thread
+                # (and gets its own event loop there) while the service
+                # keeps serving on this one.
+                return loop.run_in_executor(
+                    None, main,
+                    ["fleet", *argv, "--port", str(service.port)])
+
+            outputs = []
+            try:
+                for argv in (("status", "--json"), ("add-rack",),
+                             ("status", "--json")):
+                    assert await cli(*argv) == 0
+                    outputs.append(capsys.readouterr().out)
+            finally:
+                await service.stop()
+            return outputs
+
+        before_out, add_out, after_out = asyncio.run(scenario())
+        before = json.loads(before_out)
+        after = json.loads(after_out)
+        assert before["epoch"] == 0 and before["racks"] == [0, 1]
+        assert after["epoch"] == 1 and after["racks"] == [0, 1, 2]
+        assert "add rack 2: epoch 1" in add_out
+
+    def test_unreachable_server_exits_one(self, capsys):
+        # A port nothing listens on: the CLI reports and exits 1
+        # instead of tracebacking.
+        assert main(["fleet", "status", "--port", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
 
 
 class TestCompareCommand:

@@ -1,0 +1,332 @@
+"""The fleet-membership control plane, in isolation.
+
+:class:`FleetController` is pure routing policy -- no sockets, no
+simulator -- so every invariant the live drills depend on is pinned
+here first, cheaply:
+
+* one membership change at a time; ``commit`` is the single atomic
+  ring+epoch flip; ``abort`` leaves the old ring ruling;
+* writes always hit the old owner first (abort-safety), reads go
+  new-owner-first with an old-owner fallback -- unless the plan is
+  tainted by an earlier aborted attempt, in which case reads pin old;
+* the forwarded-key set keeps the stream from clobbering dual-written
+  keys, and the stream-put barrier orders a concurrent forward *after*
+  the stream's copy;
+* :class:`MigrationStream` moves exactly the plan's keys (paginated,
+  throttled), reports what it moved, and surfaces endpoint failures
+  with the partial tally attached.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.membership import (
+    FleetController,
+    MembershipBusy,
+    MembershipError,
+)
+from repro.service.migration import MigrationStream, MigrationStreamError
+from repro.service.schema import MIGRATION_FIELDS
+from repro.service.shard import HashRing
+
+pytestmark = pytest.mark.fleet
+
+KEYS = [f"k{i:05d}" for i in range(400)]
+
+
+def controller(racks=2):
+    return FleetController(HashRing(range(racks)))
+
+
+def moving_keys(plan):
+    return [k for k in KEYS if plan.moving_range_for_key(k) is not None]
+
+
+class TestLifecycle:
+    def test_one_change_at_a_time(self):
+        fleet = controller()
+        fleet.begin_add(2)
+        with pytest.raises(MembershipBusy):
+            fleet.begin_add(3)
+        with pytest.raises(MembershipBusy):
+            fleet.begin_drain(0)
+
+    def test_add_rejects_member_drain_rejects_stranger(self):
+        fleet = controller()
+        with pytest.raises(MembershipError):
+            fleet.begin_add(1)
+        with pytest.raises(MembershipError):
+            fleet.begin_drain(7)
+
+    def test_cannot_drain_the_last_rack(self):
+        fleet = controller(racks=1)
+        with pytest.raises(MembershipError):
+            fleet.begin_drain(0)
+
+    def test_commit_flips_ring_and_epoch_atomically(self):
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        assert fleet.ring.nodes == [0, 1]      # old ring rules until commit
+        assert fleet.epoch == 0
+        epoch = fleet.commit()
+        assert epoch == fleet.epoch == 1
+        assert fleet.ring is plan.new_ring
+        assert fleet.ring.nodes == [0, 1, 2]
+        assert not fleet.migrating
+        assert fleet.counters["racks_added"] == 1
+
+    def test_abort_keeps_the_old_ring(self):
+        fleet = controller()
+        fleet.begin_add(2)
+        fleet.abort()
+        assert fleet.ring.nodes == [0, 1]
+        assert fleet.epoch == 0
+        assert not fleet.migrating
+        assert fleet.counters["aborts"] == 1
+        # The fleet is exactly as before: the same add can start over.
+        fleet.begin_add(2)
+
+    def test_commit_without_plan_rejected(self):
+        with pytest.raises(MembershipError):
+            controller().commit()
+        with pytest.raises(MembershipError):
+            controller().retry()
+
+    def test_retry_taints_and_renumbers(self):
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        fleet.note_forwarded("k1")
+        same = fleet.retry()
+        assert same is plan
+        assert plan.attempt == 2 and plan.tainted
+        assert not fleet.is_forwarded("k1")     # forwards reset per attempt
+        assert fleet.counters["aborts"] == 1
+
+
+class TestRouting:
+    def test_static_fleet_routes_to_the_ring_owner(self):
+        fleet = controller()
+        for key in KEYS:
+            owner = fleet.ring.node_for(f"key:{key}")
+            assert fleet.read_route(key) == (owner, None)
+            assert fleet.write_route(key) == (owner, None)
+            assert fleet.read_owner(key) == owner
+
+    def test_writes_old_first_reads_new_first_in_the_window(self):
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        moved = moving_keys(plan)
+        assert moved, "the diff must move some test keys"
+        for key in moved:
+            rng = plan.moving_range_for_key(key)
+            assert rng.dst == 2
+            assert fleet.write_route(key) == (rng.src, 2)
+            assert fleet.read_route(key) == (2, rng.src)
+            # The old owner stays authoritative until the cutover.
+            assert fleet.read_owner(key) == rng.src
+        for key in set(KEYS) - set(moved):
+            owner = fleet.ring.node_for(f"key:{key}")
+            assert fleet.write_route(key) == (owner, None)
+            assert fleet.read_route(key) == (owner, None)
+
+    def test_tainted_plan_pins_reads_to_the_old_owner(self):
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        fleet.retry()
+        key = moving_keys(plan)[0]
+        rng = plan.moving_range_for_key(key)
+        assert fleet.read_route(key) == (rng.src, None)
+        # ...except keys re-forwarded since: provably fresh at the dst.
+        fleet.note_forwarded(key)
+        assert fleet.read_route(key) == (2, rng.src)
+
+    def test_routes_take_raw_keys_not_ring_labels(self):
+        # Regression guard for the label convention: the controller owns
+        # the "key:" prefixing, callers pass kv keys verbatim.
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        key = moving_keys(plan)[0]
+        assert plan.moving_range_for_key(f"key:{key}") is None or \
+            plan.moving_range_for_key(f"key:{key}") is not \
+            plan.moving_range_for_key(key)
+        assert fleet.read_owner(key) == plan.moving_range_for_key(key).src
+
+    def test_cutover_retargets_every_moved_key(self):
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        moved = moving_keys(plan)
+        fleet.commit()
+        for key in moved:
+            assert fleet.read_route(key) == (2, None)
+            assert fleet.write_route(key) == (2, None)
+            assert fleet.read_owner(key) == 2
+
+
+class TestTaintLifecycle:
+    def test_aborted_drain_taints_the_node_persistently(self):
+        fleet = controller(racks=3)
+        fleet.begin_drain(2)
+        fleet.abort()
+        plan = fleet.begin_drain(2)
+        assert plan.tainted, "survivor shards may hold stale shadows"
+
+    def test_committed_drain_clears_the_taint(self):
+        fleet = controller(racks=3)
+        fleet.begin_drain(2)
+        fleet.abort()
+        fleet.begin_drain(2)
+        fleet.commit()
+        fleet.begin_add(2)
+        fleet.commit()
+        assert not fleet.begin_drain(2).tainted
+
+    def test_aborted_add_does_not_taint_across_calls(self):
+        # A failed add tears the joining shard down, so a later attempt
+        # streams into a *fresh* destination.
+        fleet = controller()
+        fleet.begin_add(2)
+        fleet.abort()
+        assert not fleet.begin_add(2).tainted
+
+
+class TestStreamPutBarrier:
+    def test_forward_waits_out_an_inflight_stream_put(self):
+        async def scenario():
+            fleet = controller()
+            token = fleet.stream_put_begin("k1")
+            waiter = asyncio.ensure_future(fleet.await_stream_put("k1"))
+            await asyncio.sleep(0)
+            assert not waiter.done(), "forward must block while streaming"
+            fleet.stream_put_end("k1", token)
+            await asyncio.wait_for(waiter, 1.0)
+            # No in-flight put -> no wait at all.
+            await asyncio.wait_for(fleet.await_stream_put("k2"), 1.0)
+
+        asyncio.run(scenario())
+
+
+class TestReporting:
+    def test_status_shape(self):
+        fleet = controller()
+        status = fleet.status()
+        assert status["epoch"] == 0 and status["racks"] == [0, 1]
+        assert status["migrating"] is False and status["phase"] == "idle"
+        fleet.begin_add(2)
+        status = fleet.status()
+        assert status["migrating"] is True and status["phase"] == "streaming"
+        change = status["change"]
+        assert change["kind"] == "add" and change["rack"] == 2
+        assert 0 < change["moved_fraction"] < 1
+
+    def test_stats_section_matches_the_schema_fields(self):
+        section = controller().stats_section()
+        assert sorted(section) == sorted(MIGRATION_FIELDS)
+        assert all(isinstance(v, float) for v in section.values())
+
+
+class FakeShards:
+    """Dict-backed shard fleet exposing the stream's endpoint surface."""
+
+    def __init__(self, fleet, racks=2):
+        self.data = {n: {} for n in range(racks)}
+        self.fleet = fleet
+        self.put_log = []
+        self.fail_puts = 0
+
+    def seed(self, keys):
+        for key in keys:
+            src = self.fleet.ring.node_for(f"key:{key}")
+            self.data[src][key] = f"v-{key}"
+
+    async def scan(self, src, start, count):
+        items = sorted((k, v) for k, v in self.data[src].items()
+                       if k >= start)
+        return items[:count]
+
+    async def put(self, dst, key, value):
+        if self.fail_puts > 0:
+            self.fail_puts -= 1
+            raise ConnectionError("injected put failure")
+        self.put_log.append((dst, key))
+        self.data.setdefault(dst, {})[key] = value
+
+    async def delete(self, src, key):
+        self.data[src].pop(key, None)
+
+
+class TestMigrationStream:
+    def run_stream(self, fleet, plan, shards, **kwargs):
+        stream = MigrationStream(fleet, plan, scan=shards.scan,
+                                 put=shards.put, delete=shards.delete,
+                                 **kwargs)
+        return stream, asyncio.run(stream.run())
+
+    def test_moves_exactly_the_moving_keys(self):
+        fleet = controller()
+        shards = FakeShards(fleet)
+        shards.seed(KEYS)
+        plan = fleet.begin_add(2)
+        shards.data[2] = {}
+        stream, report = self.run_stream(fleet, plan, shards, batch_size=7,
+                                         pause_s=0.0)
+        moved = moving_keys(plan)
+        assert report.keys_moved == len(moved)
+        assert sorted(shards.data[2]) == sorted(moved)
+        assert all(dst == 2 for dst, _ in shards.put_log)
+        assert shards.data[2][moved[0]] == f"v-{moved[0]}"
+        assert report.batches >= len(moved) // 7
+        assert fleet.counters["keys_moved"] == len(moved)
+        # Cleanup erases the sources' shadow copies, nothing else.
+        deleted = asyncio.run(stream.cleanup(report))
+        assert deleted == len(moved)
+        for key in moved:
+            src = plan.moving_range_for_key(key).src
+            assert key not in shards.data[src]
+        survivors = set(KEYS) - set(moved)
+        assert survivors <= set(shards.data[0]) | set(shards.data[1])
+
+    def test_empty_source_is_a_clean_noop(self):
+        fleet = controller()
+        shards = FakeShards(fleet)          # nothing seeded
+        plan = fleet.begin_add(2)
+        shards.data[2] = {}
+        _, report = self.run_stream(fleet, plan, shards)
+        assert report.keys_moved == 0 and report.moved == []
+        assert report.sources_drained == len({r.src for r in plan.ranges})
+
+    def test_forwarded_keys_are_never_clobbered(self):
+        fleet = controller()
+        shards = FakeShards(fleet)
+        shards.seed(KEYS)
+        plan = fleet.begin_add(2)
+        shards.data[2] = {}
+        fresh = moving_keys(plan)[0]
+        fleet.note_forwarded(fresh)
+        shards.data[2][fresh] = "forwarded-fresh-value"
+        _, report = self.run_stream(fleet, plan, shards)
+        assert shards.data[2][fresh] == "forwarded-fresh-value"
+        assert report.skipped_forwarded >= 1
+        assert fresh not in [k for _, k in report.moved]
+
+    def test_endpoint_failure_surfaces_with_partial_tally(self):
+        fleet = controller()
+        shards = FakeShards(fleet)
+        shards.seed(KEYS)
+        plan = fleet.begin_add(2)
+        shards.data[2] = {}
+        moved_total = len(moving_keys(plan))
+        shards.fail_puts = 1
+        stream = MigrationStream(fleet, plan, scan=shards.scan,
+                                 put=shards.put, batch_size=4, pause_s=0.0)
+        with pytest.raises(MigrationStreamError) as info:
+            asyncio.run(stream.run())
+        assert info.value.report.keys_moved < moved_total
+        assert "ConnectionError" in str(info.value)
+
+    def test_bad_batch_size_rejected(self):
+        fleet = controller()
+        plan = fleet.begin_add(2)
+        with pytest.raises(ReproError):
+            MigrationStream(fleet, plan, scan=None, put=None, batch_size=0)

@@ -1,0 +1,472 @@
+"""Live fleet membership, end to end over TCP: racks join and leave a
+serving fleet while clients keep reading and writing.
+
+The acceptance drills:
+
+* **add under load** -- a third rack joins a live 2-rack fleet: only
+  ~1/(N+1) of the keys move, every acked write stays readable, the
+  epoch bumps exactly once, and scans stay duplicate-free;
+* **write mid-stream** -- a key rewritten while its range is streaming
+  resolves to the *rewritten* value (write-forwarding wins over the
+  stream's older copy);
+* **drain** -- a rack leaves and its keys are all still served by the
+  survivors; draining a rack that is *crashed* rides the retry path and
+  still completes once the rack recovers;
+* **abort + retry** -- a migration that cannot finish aborts cleanly
+  (old ring keeps ruling, zero lost writes) and the same change retried
+  later succeeds;
+* **epoch fencing** -- a client that pinned a routing epoch gets
+  ``WRONG_SHARD`` after the cutover and transparently refreshes.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultSchedule
+from repro.cluster.config import RackConfig, SystemType
+from repro.service import protocol, schema
+from repro.service.bridge import SimTimeBridge
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.membership import MembershipError
+from repro.service.router import ShardedRackService, ShardRouter
+
+pytestmark = [pytest.mark.fleet, pytest.mark.shard]
+
+MS = 1000.0
+
+
+def base_config(schedule=None, **overrides) -> RackConfig:
+    defaults = dict(
+        system=SystemType("rackblox"), num_servers=2, num_pairs=2, seed=11,
+        fault_schedule=schedule,
+    )
+    defaults.update(overrides)
+    return RackConfig(**defaults)
+
+
+async def start_sharded(racks, schedule=None, **router_kwargs):
+    router_kwargs.setdefault("precondition", False)
+    router_kwargs.setdefault("chunk_us", 2000.0)
+    router = ShardRouter.from_config(base_config(schedule), racks,
+                                     **router_kwargs)
+    service = ShardedRackService(router, port=0)
+    await service.start()
+    return service
+
+
+async def seed_keys(client, count):
+    """Write ``count`` keys; returns the acked {key: value} map."""
+    acked = {}
+    for i in range(count):
+        key = f"k{i:05d}"
+        await client.put(key, f"v{i}")
+        acked[key] = f"v{i}"
+    return acked
+
+
+async def scan_everything(client):
+    """Paginate scans to exhaustion; returns every (key, value) seen."""
+    items, start = [], ""
+    while True:
+        page = await client.scan(start, count=64)
+        items.extend((k, v) for k, v in page["items"])
+        if len(page["items"]) < 64:
+            return items
+        start = page["items"][-1][0] + "\x00"
+
+
+def flaky_migrate_puts(monkeypatch, fails):
+    """Make the next ``fails`` migration-stream puts raise (-1: all)."""
+    real = SimTimeBridge.submit_put
+    state = {"left": fails}
+
+    def wrapper(self, key, value, client="live"):
+        if client == "migrate" and state["left"] != 0:
+            if state["left"] > 0:
+                state["left"] -= 1
+            raise ConnectionError("injected migrate-put failure")
+        return real(self, key, value, client)
+
+    monkeypatch.setattr(SimTimeBridge, "submit_put", wrapper)
+    return state
+
+
+class TestAddRackLive:
+    @pytest.mark.slow
+    def test_add_under_load_moves_one_share_and_loses_nothing(self):
+        load_errors = []
+
+        async def scenario():
+            service = await start_sharded(racks=2)
+            try:
+                admin = ServiceClient("127.0.0.1", service.port, "admin")
+                worker = ServiceClient("127.0.0.1", service.port, "worker")
+                async with admin, worker:
+                    acked = await seed_keys(admin, 200)
+                    stop = asyncio.Event()
+
+                    async def background_load():
+                        i = 0
+                        while not stop.is_set():
+                            key = f"k{i % 200:05d}"
+                            try:
+                                if i % 3 == 0:
+                                    acked[key] = f"live-{i}"
+                                    await worker.put(key, f"live-{i}")
+                                else:
+                                    await worker.get(key)
+                            except ServiceError as exc:
+                                load_errors.append(exc.code)
+                            i += 1
+                            await asyncio.sleep(0)
+
+                    load = asyncio.ensure_future(background_load())
+                    result = await admin.fleet_add_rack(
+                        batch_size=16, pause_s=0.001,
+                    )
+                    stop.set()
+                    await load
+                    survived = {k: (await admin.get(k)) for k in acked}
+                    stats = await admin.stats()
+                    status = await admin.fleet_status()
+                return result, acked, survived, stats, status
+            finally:
+                await service.stop()
+
+        result, acked, survived, stats, status = asyncio.run(scenario())
+        assert load_errors == [], "live ops must not fail during the window"
+        assert result["kind"] == "add" and result["rack"] == 2
+        assert result["epoch"] == 1 and result["racks"] == [0, 1, 2]
+        # The rebalance property, live: ~1/(N+1) of the keys moved, with
+        # the same generous slack the ring property tests allow.
+        assert 0 < result["keys_moved"] <= 1.8 * len(acked) / 3
+        assert 0 < result["moved_fraction"] <= 1.8 / 3
+        # Zero lost acked writes: every key reads back its last acked
+        # value, including keys rewritten mid-migration.
+        for key, value in acked.items():
+            response = survived[key]
+            assert response["found"] and response["value"] == value, key
+        schema.validate_stats(stats, client=True)
+        migration = stats["migration"]
+        assert migration["epoch"] == 1.0 and migration["racks_added"] == 1.0
+        assert migration["keys_moved"] == float(result["keys_moved"])
+        assert migration["aborts"] == 0.0
+        assert stats["router"]["epoch"] == 1.0
+        assert schema.shard_ids(stats) == [0, 1, 2]
+        assert status["epoch"] == 1 and status["migrating"] is False
+
+    def test_add_to_empty_fleet_streams_nothing(self):
+        async def scenario():
+            service = await start_sharded(racks=2)
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    result = await c.fleet_add_rack()
+                    hello = await c.hello()
+                return result, hello
+            finally:
+                await service.stop()
+
+        result, hello = asyncio.run(scenario())
+        assert result["keys_moved"] == 0 and result["epoch"] == 1
+        assert result["racks"] == [0, 1, 2]
+        assert hello["racks"] == 3 and hello["epoch"] == 1
+
+    def test_scan_is_duplicate_free_after_the_cutover(self):
+        async def scenario():
+            service = await start_sharded(racks=2)
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 150)
+                    await c.fleet_add_rack(batch_size=32)
+                    return acked, await scan_everything(c)
+            finally:
+                await service.stop()
+
+        acked, items = asyncio.run(scenario())
+        keys = [k for k, _ in items]
+        assert len(keys) == len(set(keys)), "scan returned duplicates"
+        assert dict(items) == acked
+
+
+class TestWriteDuringMigration:
+    def test_write_mid_stream_forwarding_wins(self):
+        async def scenario():
+            service = await start_sharded(racks=2)
+            fleet = service.router.fleet
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 150)
+                    # A slow stream (1 key per batch, wall pauses)
+                    # guarantees the window is open while we rewrite.
+                    admit = asyncio.ensure_future(
+                        service.router.admit_rack(batch_size=1,
+                                                  pause_s=0.005)
+                    )
+                    while not fleet.migrating:
+                        await asyncio.sleep(0)
+                    rewritten = {}
+                    i = 0
+                    while fleet.migrating and i < 150:
+                        key = f"k{i:05d}"
+                        moving = (
+                            fleet.plan is not None and
+                            fleet.plan.moving_range_for_key(key) is not None
+                        )
+                        await c.put(key, f"fresh-{i}")
+                        acked[key] = f"fresh-{i}"
+                        if moving:
+                            rewritten[key] = f"fresh-{i}"
+                        i += 1
+                    result = await admit
+                    reads = {k: await c.get(k) for k in acked}
+                    counters = dict(fleet.counters)
+                return result, acked, rewritten, reads, counters
+            finally:
+                await service.stop()
+
+        result, acked, rewritten, reads, counters = asyncio.run(scenario())
+        assert rewritten, "no key was rewritten inside the window"
+        assert counters["write_forwards"] >= len(rewritten)
+        # The dual-written value -- not the stream's older copy -- is
+        # what the new owner serves after the cutover.
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+        assert result["epoch"] == 1
+
+
+class TestDrainRack:
+    def test_drain_moves_every_key_to_the_survivors(self):
+        async def scenario():
+            service = await start_sharded(racks=3)
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 150)
+                    result = await c.fleet_drain_rack(1)
+                    reads = {k: await c.get(k) for k in acked}
+                    stats = await c.stats()
+                    items = await scan_everything(c)
+                return result, acked, reads, stats, items
+            finally:
+                await service.stop()
+
+        result, acked, reads, stats, items = asyncio.run(scenario())
+        assert result["kind"] == "drain" and result["rack"] == 1
+        assert result["racks"] == [0, 2] and result["epoch"] == 1
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+        assert schema.shard_ids(stats) == [0, 2]
+        assert {r["rack"] for r in reads.values()} <= {0, 2}
+        keys = [k for k, _ in items]
+        assert len(keys) == len(set(keys)) and dict(items) == acked
+
+    def test_drain_rejects_strangers_and_the_last_rack(self):
+        async def scenario():
+            service = await start_sharded(racks=2)
+            codes = []
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    try:
+                        await c.fleet_drain_rack(7)     # never a member
+                    except ServiceError as exc:
+                        codes.append(exc.code)
+                    await c.fleet_drain_rack(1)
+                    try:
+                        await c.fleet_drain_rack(0)     # last one standing
+                    except ServiceError as exc:
+                        codes.append(exc.code)
+                return codes
+            finally:
+                await service.stop()
+
+        codes = asyncio.run(scenario())
+        assert codes == [protocol.INTERNAL, protocol.INTERNAL]
+
+    @pytest.mark.chaos
+    @pytest.mark.slow
+    def test_drain_of_a_crashed_rack_retries_to_completion(self):
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(10.0 * MS, "server_crash", "server:0", rack=1),
+                FaultEvent(100.0 * MS, "server_recover", "server:0", rack=1),
+            ),
+            heartbeat_interval_us=3.0 * MS,
+            miss_threshold=3,
+        )
+
+        async def scenario():
+            service = await start_sharded(
+                racks=3, schedule=schedule, request_timeout_us=30.0 * MS,
+            )
+            try:
+                client = ServiceClient(
+                    "127.0.0.1", service.port,
+                    max_retries=8, retry_backoff_s=0.001,
+                )
+                async with client:
+                    acked = await seed_keys(client, 120)
+                    result = await client.fleet_drain_rack(
+                        1, max_attempts=8,
+                    )
+                    reads = {k: await client.get(k) for k in acked}
+                    stats = await client.stats()
+                return result, acked, reads, stats
+            finally:
+                await service.stop()
+
+        result, acked, reads, stats = asyncio.run(scenario())
+        assert result["kind"] == "drain" and result["racks"] == [0, 2]
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+        # The survivors' recovery invariants stay CLEAN: the drain lost
+        # no acked write even with the source mid-crash.
+        for shard_id, section in stats["shards"].items():
+            chaos = section.get("chaos")
+            if chaos is not None:
+                assert chaos["lost_acked_writes"] == 0.0, shard_id
+                assert chaos["invariant_violations"] == 0.0, shard_id
+
+
+class TestAbortAndRetry:
+    def test_failed_add_aborts_cleanly_and_retries_idempotently(self,
+                                                                monkeypatch):
+        state = flaky_migrate_puts(monkeypatch, fails=-1)
+
+        async def scenario():
+            service = await start_sharded(racks=2)
+            router = service.router
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 100)
+                    with pytest.raises(MembershipError):
+                        await router.admit_rack(max_attempts=2,
+                                                retry_backoff_s=0.0)
+                    aborted = (
+                        router.fleet.epoch, router.fleet.ring.nodes,
+                        router.fleet.migrating, len(router.shards),
+                        dict(router.fleet.counters),
+                    )
+                    mid_reads = {k: await c.get(k) for k in acked}
+                    # Heal the fault: the same change, retried from the
+                    # outside, lands on its first fresh attempt.
+                    state["left"] = 0
+                    result = await router.admit_rack()
+                    final_reads = {k: await c.get(k) for k in acked}
+                return acked, aborted, mid_reads, result, final_reads
+            finally:
+                await service.stop()
+
+        acked, aborted, mid_reads, result, final_reads = asyncio.run(
+            scenario())
+        epoch, nodes, migrating, shard_count, counters = aborted
+        # The abort restored the exact pre-change fleet...
+        assert epoch == 0 and nodes == [0, 1] and not migrating
+        assert shard_count == 2
+        assert counters["aborts"] == 2 and counters["racks_added"] == 0
+        # ...with zero lost acked writes...
+        for key, value in acked.items():
+            assert mid_reads[key]["found"] and \
+                mid_reads[key]["value"] == value, key
+        # ...and the retried change is a plain, clean add.
+        assert result["rack"] == 2 and result["epoch"] == 1
+        assert result["attempts"] == 1
+        for key, value in acked.items():
+            assert final_reads[key]["found"] and \
+                final_reads[key]["value"] == value, key
+
+    def test_mid_stream_failure_retries_tainted_within_the_call(self,
+                                                                monkeypatch):
+        flaky_migrate_puts(monkeypatch, fails=1)
+
+        async def scenario():
+            service = await start_sharded(racks=2)
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 100)
+                    result = await service.router.admit_rack(
+                        retry_backoff_s=0.0,
+                    )
+                    reads = {k: await c.get(k) for k in acked}
+                    counters = dict(service.router.fleet.counters)
+                return acked, result, reads, counters
+            finally:
+                await service.stop()
+
+        acked, result, reads, counters = asyncio.run(scenario())
+        assert result["attempts"] == 2, "first attempt must have failed"
+        assert counters["aborts"] == 1
+        assert result["epoch"] == 1
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+
+    def test_scan_after_aborted_drain_filters_shadows(self, monkeypatch):
+        # An aborted drain leaves half-streamed shadow copies on the
+        # survivors; the scan merge must keep only the authoritative
+        # owner's copy of every key.
+        state = flaky_migrate_puts(monkeypatch, fails=40)
+
+        async def scenario():
+            service = await start_sharded(racks=3)
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 120)
+                    with pytest.raises(MembershipError):
+                        await service.router.drain_rack(
+                            1, batch_size=4, max_attempts=1,
+                        )
+                    state["left"] = 0
+                    items = await scan_everything(c)
+                    reads = {k: await c.get(k) for k in acked}
+                return acked, items, reads
+            finally:
+                await service.stop()
+
+        acked, items, reads = asyncio.run(scenario())
+        keys = [k for k, _ in items]
+        assert len(keys) == len(set(keys)), "shadow copies leaked into scan"
+        assert dict(items) == acked
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+
+
+class TestEpochFencing:
+    def test_pinned_client_refreshes_transparently_after_cutover(self):
+        async def scenario():
+            service = await start_sharded(racks=2)
+            try:
+                pinned = ServiceClient("127.0.0.1", service.port, "pinned",
+                                       track_epoch=True)
+                admin = ServiceClient("127.0.0.1", service.port, "admin")
+                async with pinned, admin:
+                    await pinned.hello()
+                    await pinned.put("fence", "before")
+                    await admin.fleet_add_rack()
+                    # The pinned epoch (0) is now stale: the server
+                    # fences the op, the client re-hellos and retries.
+                    response = await pinned.get("fence")
+                    return (response, dict(pinned.counters),
+                            pinned.ring_epoch)
+            finally:
+                await service.stop()
+
+        response, counters, ring_epoch = asyncio.run(scenario())
+        assert response["found"] and response["value"] == "before"
+        assert counters["ring_refreshes"] == 1
+        assert ring_epoch == 1
+
+    def test_stale_epoch_is_a_typed_wrong_shard_error(self):
+        async def scenario():
+            service = await start_sharded(racks=2)
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    try:
+                        await c.request({"type": "get", "key": "x",
+                                         "epoch": 99})
+                    except ServiceError as exc:
+                        return exc
+            finally:
+                await service.stop()
+
+        exc = asyncio.run(scenario())
+        assert exc.code == protocol.WRONG_SHARD
+        assert "99" in exc.message

@@ -16,7 +16,12 @@ The load-bearing claims, each pinned here:
 import pytest
 
 from repro.errors import ConfigError
-from repro.service.shard import DEFAULT_RING_SEED, DEFAULT_VNODES, HashRing
+from repro.service.shard import (
+    DEFAULT_RING_SEED,
+    DEFAULT_VNODES,
+    RING_SPACE,
+    HashRing,
+)
 
 KEYS = [f"pair:{i}" for i in range(1000)] + [f"key:k{i:08d}" for i in range(1000)]
 
@@ -74,6 +79,11 @@ class TestBalance:
 
 
 class TestRebalance:
+    """The rebalance property, pinned twice: once by brute-force key
+    ownership diffing, once through :meth:`HashRing.ranges_moving` --
+    the helper the live-migration planner trusts.  Both views must
+    agree exactly, or the fleet would stream the wrong keys."""
+
     @pytest.mark.parametrize("racks", [2, 3, 4, 7])
     def test_adding_a_rack_moves_about_one_share(self, racks):
         ring = HashRing(range(racks))
@@ -106,6 +116,72 @@ class TestRebalance:
         ring.add_node(3)
         ring.remove_node(3)
         assert ownership(ring) == before
+
+    @pytest.mark.parametrize("racks", [2, 3, 4, 7])
+    def test_ranges_moving_agrees_with_brute_force_on_add(self, racks):
+        old = HashRing(range(racks))
+        new = old.with_node(racks)
+        ranges = HashRing.ranges_moving(old, new)
+        # A key moved iff its ring point falls inside a returned range,
+        # and the (src, dst) pair matches the ownership diff.
+        in_range = {}
+        for label in KEYS:
+            point = old.point_for(label)
+            hits = [rng for rng in ranges if rng.contains(point)]
+            assert len(hits) <= 1, (label, hits)
+            in_range[label] = hits[0] if hits else None
+        for label in KEYS:
+            rng = in_range[label]
+            if old.node_for(label) != new.node_for(label):
+                assert rng is not None, label
+                assert rng.src == old.node_for(label)
+                assert rng.dst == new.node_for(label) == racks
+            else:
+                assert rng is None, label
+
+    def test_ranges_moving_agrees_with_brute_force_on_remove(self):
+        old = HashRing(range(4))
+        new = old.without_node(2)
+        ranges = HashRing.ranges_moving(old, new)
+        assert all(rng.src == 2 for rng in ranges)
+        for label in KEYS:
+            point = old.point_for(label)
+            hits = [rng for rng in ranges if rng.contains(point)]
+            if old.node_for(label) == 2:
+                assert len(hits) == 1 and hits[0].dst == new.node_for(label)
+            else:
+                assert not hits, label
+
+    @pytest.mark.parametrize("racks", [2, 3, 4, 7])
+    def test_moved_span_is_about_one_share(self, racks):
+        old = HashRing(range(racks))
+        ranges = HashRing.ranges_moving(old, old.with_node(racks))
+        fraction = sum(rng.span for rng in ranges) / RING_SPACE
+        assert 0 < fraction <= 1.8 / (racks + 1), fraction
+
+    def test_ranges_are_disjoint_sorted_and_coalesced(self):
+        old = HashRing(range(3))
+        ranges = HashRing.ranges_moving(old, old.with_node(3))
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.end <= right.start
+            if left.end == right.start:
+                # Adjacent pieces with identical (src, dst) must have
+                # been merged into one.
+                assert (left.src, left.dst) != (right.src, right.dst)
+
+    def test_mismatched_rings_rejected(self):
+        with pytest.raises(ConfigError):
+            HashRing.ranges_moving(HashRing(range(2), seed=1),
+                                   HashRing(range(3), seed=2))
+        with pytest.raises(ConfigError):
+            HashRing.ranges_moving(HashRing(range(2), vnodes=8),
+                                   HashRing(range(3), vnodes=16))
+        with pytest.raises(ConfigError):
+            HashRing.ranges_moving(HashRing(), HashRing(range(2)))
+
+    def test_identical_rings_move_nothing(self):
+        ring = HashRing(range(3))
+        assert HashRing.ranges_moving(ring, ring.copy()) == []
 
 
 class TestPreference:

@@ -89,6 +89,20 @@ class TestValidate:
         with pytest.raises(schema.StatsSchemaError):
             schema.validate_stats(payload)
 
+    def test_migration_section_is_optional_but_typed(self):
+        # Sharded payloads may carry the fleet's migration counters;
+        # when present the section is validated like any other.
+        payload = sharded_payload()
+        schema.validate_stats(payload)        # absent: fine
+        payload["migration"] = {f: 0.0 for f in schema.MIGRATION_FIELDS}
+        schema.validate_stats(payload)        # present and complete: fine
+        del payload["migration"]["epoch"]
+        with pytest.raises(schema.StatsSchemaError, match="epoch"):
+            schema.validate_stats(payload)
+        payload["migration"]["epoch"] = "1"
+        with pytest.raises(schema.StatsSchemaError, match="epoch"):
+            schema.validate_stats(payload)
+
     def test_non_decimal_shard_key_rejected(self):
         payload = sharded_payload()
         payload["shards"]["rack-0"] = payload["shards"].pop("0")

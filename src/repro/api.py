@@ -20,6 +20,9 @@ The surface, by layer:
 * **Sharded serving** -- :class:`HashRing`, :class:`RackShard`,
   :class:`ShardRouter`, :class:`ShardedRackService`,
   :class:`ShardProxy`, :func:`build_shard_configs`;
+* **Load-aware read routing** -- :class:`ReplicaSelector`,
+  :class:`RoutingTrace`, :class:`FakeLoadView`, :class:`Decision`,
+  :class:`ZipfSampler`;
 * **Elastic fleet** -- :class:`FleetController`, :class:`MigrationPlan`,
   :class:`MigrationStream`, :class:`KeyRange`, :class:`MembershipError`,
   :class:`MembershipBusy`, :class:`MigrationStreamError`;
@@ -32,7 +35,7 @@ from repro.cluster.config import RackConfig, SystemType
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.runner import RackResult
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.loadgen import LoadgenReport, ZipfSampler, run_loadgen
 from repro.service.membership import (
     FleetController,
     MembershipBusy,
@@ -48,6 +51,12 @@ from repro.service.router import (
     build_shard_configs,
 )
 from repro.service.schema import StatsSchemaError, validate_stats
+from repro.service.selector import (
+    Decision,
+    FakeLoadView,
+    ReplicaSelector,
+    RoutingTrace,
+)
 from repro.service.server import RackService
 from repro.service.shard import HashRing, KeyRange, RackShard
 
@@ -79,6 +88,12 @@ __all__ = [
     "ShardedRackService",
     "ShardProxy",
     "build_shard_configs",
+    # load-aware read routing
+    "ReplicaSelector",
+    "RoutingTrace",
+    "FakeLoadView",
+    "Decision",
+    "ZipfSampler",
     # elastic fleet
     "FleetController",
     "MigrationPlan",

@@ -109,6 +109,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="number of independent rack shards behind "
                               "one consistent-hash front-end (1 = the "
                               "plain single-rack service)")
+    serve_p.add_argument("--read-policy", default="hash",
+                         choices=["hash", "p2c"],
+                         help="raw-read replica placement: hash pins "
+                              "every read to its ring owner (the "
+                              "default, byte-identical to older "
+                              "servers); p2c races the two preference-"
+                              "list replicas on queue depth x latency "
+                              "EWMA and picks the cheaper (needs "
+                              "--racks >= 2)")
     serve_p.add_argument("--shard-mode", default="inproc",
                          choices=["inproc", "process"],
                          help="inproc: all racks on one event loop "
@@ -173,6 +182,15 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--pairs", type=int, default=2,
                            help="pair indices to target (match the server)")
     loadgen_p.add_argument("--keyspace", type=int, default=1024)
+    loadgen_p.add_argument("--key-dist", default="uniform",
+                           choices=["uniform", "zipf"],
+                           help="key/pair popularity: uniform (default) "
+                                "or seeded zipfian skew (rank-1 key "
+                                "hottest)")
+    loadgen_p.add_argument("--zipf-s", type=float, default=1.1,
+                           help="zipfian skew exponent s > 0; larger "
+                                "concentrates more load on the hottest "
+                                "keys (default 1.1)")
     loadgen_p.add_argument("--seed", type=int, default=42)
     loadgen_p.add_argument("--retries", type=int, default=0,
                            help="re-send a request up to N times on "
@@ -382,6 +400,9 @@ def _cmd_serve(args) -> int:
     _require(args.request_timeout_us is None or args.request_timeout_us > 0,
              "--request-timeout-us must be > 0, "
              f"got {args.request_timeout_us}")
+    _require(args.read_policy == "hash" or args.racks >= 2,
+             "--read-policy p2c needs --racks >= 2 (one rack has no "
+             "second replica to race)")
     fault_schedule = None
     if args.fault_schedule is not None:
         from repro.chaos.schedule import FaultSchedule
@@ -430,6 +451,7 @@ def _cmd_serve(args) -> int:
             bridge_kwargs["request_timeout_us"] = args.request_timeout_us
         router = ShardRouter.from_config(
             config, args.racks,
+            read_policy=args.read_policy,
             queue_depth=args.queue_depth,
             client_rate_per_sec=args.client_rate,
             client_burst=args.client_burst,
@@ -437,6 +459,8 @@ def _cmd_serve(args) -> int:
         )
         service = ShardedRackService(router, host=args.host, port=args.port)
         label = f"{args.system} rack x{args.racks}"
+        if args.read_policy != "hash":
+            label += f" [{args.read_policy} reads]"
 
     async def serve() -> None:
         import signal
@@ -499,10 +523,14 @@ def _serve_proxy(args) -> int:
             args.racks, backend_args, seed=args.seed
         )
         proxy = ShardProxy(endpoints, host=args.host, port=args.port,
-                           pairs_per_rack=args.pairs)
+                           pairs_per_rack=args.pairs,
+                           read_policy=args.read_policy)
         try:
             await proxy.start()
-            print(f"serving {args.system} rack x{args.racks} "
+            label = f"{args.system} rack x{args.racks}"
+            if args.read_policy != "hash":
+                label += f" [{args.read_policy} reads]"
+            print(f"serving {label} "
                   f"({args.pairs} pairs / {args.servers} servers, "
                   f"process shards) "
                   f"on {proxy.host}:{proxy.port}", flush=True)
@@ -620,6 +648,8 @@ def _cmd_loadgen(args) -> int:
              f"--pipeline must be >= 1, got {args.pipeline}")
     _require(args.retries >= 0,
              f"--retries must be >= 0, got {args.retries}")
+    _require(args.zipf_s > 0,
+             f"--zipf-s must be > 0, got {args.zipf_s}")
     try:
         report = asyncio.run(run_loadgen(
             args.host, args.port,
@@ -628,6 +658,7 @@ def _cmd_loadgen(args) -> int:
             pipeline=args.pipeline,
             rate_rps=args.rate, write_ratio=args.write_ratio,
             kind=args.kind, pairs=args.pairs, keyspace=args.keyspace,
+            key_dist=args.key_dist, zipf_s=args.zipf_s,
             seed=args.seed, retries=args.retries,
             wire_protocol=args.protocol,
         ))

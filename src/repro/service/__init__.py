@@ -19,6 +19,8 @@ GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
 * :mod:`repro.service.server` -- the TCP service with graceful drain;
 * :mod:`repro.service.shard` / :mod:`repro.service.router` -- the
   consistent-hash ring and the multi-rack front-ends built on it;
+* :mod:`repro.service.selector` -- load-aware replica read routing
+  (power-of-two-choices) plus its deterministic test harness;
 * :mod:`repro.service.membership` / :mod:`repro.service.migration` --
   the elastic-fleet control plane: online rack add/drain with live key
   migration behind an epoch-stamped ring;
@@ -29,7 +31,20 @@ GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
 from repro.service.admission import AdmissionController, WallClockTokenBucket
 from repro.service.bridge import BridgeStats, SimTimeBridge
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.loadgen import (
+    LoadgenReport,
+    ZipfSampler,
+    make_key_sampler,
+    run_loadgen,
+)
+from repro.service.selector import (
+    READ_POLICIES,
+    Decision,
+    FakeLoadView,
+    ReplicaSelector,
+    ReplicaStats,
+    RoutingTrace,
+)
 from repro.service.membership import (
     FleetController,
     MembershipBusy,
@@ -83,6 +98,14 @@ __all__ = [
     "ServiceError",
     "LoadgenReport",
     "run_loadgen",
+    "ZipfSampler",
+    "make_key_sampler",
+    "READ_POLICIES",
+    "Decision",
+    "FakeLoadView",
+    "ReplicaSelector",
+    "ReplicaStats",
+    "RoutingTrace",
     "BIN_CODEC",
     "BIN_MAGIC",
     "DEFAULT_MAX_FRAME_BYTES",

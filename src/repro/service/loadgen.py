@@ -14,6 +14,7 @@ shed rate rather than a meaningless blend.
 """
 
 import asyncio
+import bisect
 import itertools
 import random
 import time
@@ -40,6 +41,8 @@ class LoadgenReport:
     retried: int = 0
     #: The framing the run actually used after negotiation ("json"/"bin").
     protocol: str = "json"
+    #: Key/pair popularity shape the run drew from ("uniform"/"zipf").
+    key_dist: str = "uniform"
     #: Wall seconds the generator spent encoding requests + decoding
     #: responses (closed loop only) -- the loadgen runs one event loop,
     #: so ``codec_s / wall_s`` is the codec's share of generator time.
@@ -79,6 +82,8 @@ class LoadgenReport:
             + (f"  retried {self.retried}" if self.retried else ""),
             f"  throughput {self.throughput_rps:,.0f} req/s (admitted)",
             f"  protocol {self.protocol}"
+            + (f"  key-dist {self.key_dist}"
+               if self.key_dist != "uniform" else "")
             + (f"  codec {self.codec_s:.2f}s "
                f"({self.codec_share:.1%} of wall)"
                if self.codec_s > 0 else ""),
@@ -99,6 +104,14 @@ class LoadgenReport:
                 f"completed {bridge.get('completed', 0):.0f}  "
                 f"shed {admission.get('shed_queue_full', 0):.0f}"
             )
+            routing = self.server_stats.get("routing", {})
+            if routing:
+                lines.append(
+                    f"  routing: p2c_picks "
+                    f"{routing.get('p2c_picks', 0):.0f}  "
+                    f"diverted {routing.get('p2c_diverted', 0):.0f}  "
+                    f"fallbacks {routing.get('fallbacks', 0):.0f}"
+                )
             migration = self.server_stats.get("migration", {})
             if migration.get("cutovers", 0) or migration.get("active", 0) \
                     or migration.get("aborts", 0):
@@ -116,14 +129,67 @@ class LoadgenReport:
         return "\n".join(lines)
 
 
+class ZipfSampler:
+    """A seeded zipfian rank sampler over ``[0, n)``.
+
+    Rank ``r`` (0-based) is drawn with probability proportional to
+    ``1 / (r + 1) ** s`` -- rank 0 is the hottest -- via one uniform
+    draw and a bisect over the precomputed cumulative weights, so
+    sampling is O(log n) and fully determined by the caller's ``rng``.
+    The identity rank->index mapping is deliberate: key ``k00000000``
+    (or pair 0) is always the hot spot, which makes skew tests and the
+    routing benchmark easy to reason about.
+    """
+
+    def __init__(self, n: int, s: float, rng: "random.Random") -> None:
+        if n < 1:
+            raise ConfigError(f"zipf population must be >= 1, got {n}")
+        if s <= 0:
+            raise ConfigError(f"zipf exponent s must be > 0, got {s}")
+        self.n = int(n)
+        self.s = float(s)
+        self._rng = rng
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(self.n):
+            total += 1.0 / float(rank + 1) ** self.s
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def probability(self, rank: int) -> float:
+        """The exact probability of drawing ``rank`` (for shape tests)."""
+        return (1.0 / float(rank + 1) ** self.s) / self._total
+
+    def sample(self) -> int:
+        return bisect.bisect_right(
+            self._cumulative, self._rng.random() * self._total
+        )
+
+
+def make_key_sampler(key_dist: str, zipf_s: float, n: int,
+                     rng: "random.Random") -> Optional[ZipfSampler]:
+    """``None`` for uniform (the rng's own randrange stays the source --
+    byte-identical to older generators); a :class:`ZipfSampler` for zipf."""
+    if key_dist == "uniform":
+        return None
+    if key_dist == "zipf":
+        return ZipfSampler(n, zipf_s, rng)
+    raise ConfigError(
+        f"key_dist must be uniform/zipf, got {key_dist!r}"
+    )
+
+
 def _make_op(rng: "random.Random", write_ratio: float, kind: str,
-             pairs: int, keyspace: int) -> Dict:
+             pairs: int, keyspace: int,
+             sampler: Optional[ZipfSampler] = None) -> Dict:
     if kind == "kv":
-        key = f"k{rng.randrange(keyspace):08d}"
+        index = sampler.sample() if sampler else rng.randrange(keyspace)
+        key = f"k{index:08d}"
         if rng.random() < write_ratio:
             return {"type": "put", "key": key, "value": f"v{key}"}
         return {"type": "get", "key": key}
-    pair = rng.randrange(pairs)
+    pair = sampler.sample() if sampler else rng.randrange(pairs)
     lpn = rng.randrange(keyspace)
     if rng.random() < write_ratio:
         return {"type": "write", "pair": pair, "lpn": lpn}
@@ -144,7 +210,8 @@ class _ClosedLoopConnection(asyncio.Protocol):
     def __init__(self, index: int, quota: int, pipeline: int,
                  report: LoadgenReport, write_ratio: float, kind: str,
                  pairs: int, keyspace: int, seed: int,
-                 retries: int = 0, wire_protocol: str = "json") -> None:
+                 retries: int = 0, wire_protocol: str = "json",
+                 key_dist: str = "uniform", zipf_s: float = 1.1) -> None:
         self.report = report
         self.quota = quota
         self.pipeline = pipeline
@@ -158,6 +225,9 @@ class _ClosedLoopConnection(asyncio.Protocol):
         self._negotiating = False
         self.client_name = f"loadgen-{index}"
         self.rng = random.Random(seed * 1_000_003 + index)
+        self.sampler = make_key_sampler(
+            key_dist, zipf_s, keyspace if kind == "kv" else pairs, self.rng,
+        )
         self.decoder = protocol.FrameDecoder()
         self.sent = 0
         self.deadline: Optional[float] = None
@@ -272,7 +342,7 @@ class _ClosedLoopConnection(asyncio.Protocol):
 
     def _next_request(self) -> bytes:
         op = _make_op(self.rng, self.write_ratio, self.kind, self.pairs,
-                      self.keyspace)
+                      self.keyspace, self.sampler)
         self.sent += 1
         self.report.sent += 1
         return self._encode(op, 0)
@@ -333,6 +403,8 @@ async def run_loadgen(
     kind: str = "raw",
     pairs: int = 4,
     keyspace: int = 1024,
+    key_dist: str = "uniform",
+    zipf_s: float = 1.1,
     seed: int = 42,
     retries: int = 0,
     wire_protocol: str = "auto",
@@ -360,6 +432,13 @@ async def run_loadgen(
     stays on v1 JSON (no hello -- byte-identical to older generators),
     ``"bin"`` demands binary and fails when unavailable.  The framing
     the run actually used lands in ``report.protocol``.
+
+    ``key_dist`` shapes popularity: ``"uniform"`` (default, the exact
+    randrange stream older generators drew) or ``"zipf"`` with exponent
+    ``zipf_s`` -- raw ops skew which *pair* is hit, kv ops which *key*,
+    with rank 0 (pair 0 / ``k00000000``) always the hottest.  Each
+    closed-loop connection samples from its own seeded stream, so a run
+    is reproducible for any client count.
     """
     if mode not in ("closed", "open"):
         raise ConfigError(f"mode must be closed/open, got {mode!r}")
@@ -377,12 +456,20 @@ async def run_loadgen(
         raise ConfigError(
             f"wire_protocol must be json/bin/auto, got {wire_protocol!r}"
         )
-    report = LoadgenReport(mode=mode, clients=clients, wall_s=0.0)
+    if key_dist not in ("uniform", "zipf"):
+        raise ConfigError(
+            f"key_dist must be uniform/zipf, got {key_dist!r}"
+        )
+    if key_dist == "zipf" and zipf_s <= 0:
+        raise ConfigError(f"zipf_s must be > 0, got {zipf_s}")
+    report = LoadgenReport(mode=mode, clients=clients, wall_s=0.0,
+                           key_dist=key_dist)
     if mode == "closed":
         await _closed_loop(host, port, report, clients,
                            requests_per_client, duration_s, write_ratio,
                            kind, pairs, keyspace, seed, pipeline,
-                           connect_retries, retries, wire_protocol)
+                           connect_retries, retries, wire_protocol,
+                           key_dist, zipf_s)
     else:
         pool: List[ServiceClient] = []
         for i in range(clients):
@@ -403,7 +490,8 @@ async def run_loadgen(
         t_start = time.monotonic()
         try:
             await _open_loop(pool, report, duration_s, rate_rps,
-                             write_ratio, kind, pairs, keyspace, seed)
+                             write_ratio, kind, pairs, keyspace, seed,
+                             key_dist, zipf_s)
             report.wall_s = time.monotonic() - t_start
         finally:
             for client in pool:
@@ -428,14 +516,16 @@ async def _closed_loop(host: str, port: int, report: LoadgenReport,
                        pairs: int, keyspace: int, seed: int,
                        pipeline: int, connect_retries: int,
                        retries: int = 0,
-                       wire_protocol: str = "json") -> None:
+                       wire_protocol: str = "json",
+                       key_dist: str = "uniform",
+                       zipf_s: float = 1.1) -> None:
     loop = asyncio.get_running_loop()
     connections: List[_ClosedLoopConnection] = []
     for i in range(clients):
         conn = _ClosedLoopConnection(i, requests_per_client, pipeline,
                                      report, write_ratio, kind, pairs,
                                      keyspace, seed, retries,
-                                     wire_protocol)
+                                     wire_protocol, key_dist, zipf_s)
         for attempt in range(connect_retries):
             try:
                 await loop.create_connection(lambda c=conn: c, host, port)
@@ -457,10 +547,14 @@ async def _closed_loop(host: str, port: int, report: LoadgenReport,
 
 async def _open_loop(pool: List[ServiceClient], report: LoadgenReport,
                      duration_s: float, rate_rps: float, write_ratio: float,
-                     kind: str, pairs: int, keyspace: int, seed: int) -> None:
+                     kind: str, pairs: int, keyspace: int, seed: int,
+                     key_dist: str = "uniform",
+                     zipf_s: float = 1.1) -> None:
     if rate_rps <= 0:
         raise ConfigError(f"open-loop rate must be positive, got {rate_rps}")
     rng = random.Random(seed)
+    sampler = make_key_sampler(key_dist, zipf_s,
+                               keyspace if kind == "kv" else pairs, rng)
     deadline = time.monotonic() + duration_s
     outstanding: List["asyncio.Task"] = []
     loop = asyncio.get_running_loop()
@@ -472,7 +566,7 @@ async def _open_loop(pool: List[ServiceClient], report: LoadgenReport,
             break
         if now < next_at:
             await asyncio.sleep(next_at - now)
-        op = _make_op(rng, write_ratio, kind, pairs, keyspace)
+        op = _make_op(rng, write_ratio, kind, pairs, keyspace, sampler)
         client = pool[i % len(pool)]
         i += 1
         outstanding.append(loop.create_task(_issue(client, op, report)))

@@ -33,13 +33,22 @@ Routing rules (both shapes):
   target pair are collecting, a raw read falls back to the next distinct
   ring node -- the serving-layer form of
   :meth:`MultiRackFabric.process_read`, with the same staleness caveat:
-  the view refreshes only every ``gc_sync_s`` seconds.
+  the view refreshes only every ``gc_sync_s`` seconds;
+* under ``--read-policy p2c`` raw reads instead go through the
+  :class:`~repro.service.selector.ReplicaSelector`: power-of-two-choices
+  over the pair's preference list, scored by live queue depth times a
+  latency EWMA (both shapes), with the GC view folded in as a score
+  penalty (in-process only) and strict-hash fallback whenever the load
+  view is stale or a membership change is in flight.  Key-value ops are
+  *not* replicated across racks, so they always route to their
+  authoritative owner regardless of policy.
 """
 
 import asyncio
 import dataclasses
 import json
 import re
+import time
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.config import RackConfig
@@ -54,6 +63,16 @@ from repro.service.membership import (
     MembershipError,
 )
 from repro.service.migration import MigrationStream, MigrationStreamError
+from repro.service.selector import (
+    DEFAULT_EWMA_ALPHA,
+    DEFAULT_STALE_AFTER_S,
+    POLICY_HASH,
+    POLICY_P2C,
+    READ_POLICIES,
+    ReplicaSelector,
+    ReplicaStats,
+    RoutingTrace,
+)
 from repro.service.server import RackService
 from repro.service.shard import (
     DEFAULT_RING_SEED,
@@ -67,6 +86,12 @@ from repro.service.shard import (
 #: inter-switch delay; a live front-end polls, and this is its window
 #: of allowed staleness.
 DEFAULT_GC_SYNC_S = 0.005
+
+#: Score penalty (sim us) the selector adds to a replica whose target
+#: pair the GC view says is both-copies-collecting -- large enough to
+#: lose any realistic depth*latency race, so p2c mode keeps the hash
+#: router's GC avoidance without a separate redirect path.
+GC_SCORE_PENALTY_US = 1e6
 
 
 def build_shard_configs(config: RackConfig, racks: int) -> List[RackConfig]:
@@ -93,6 +118,64 @@ def build_shard_configs(config: RackConfig, racks: int) -> List[RackConfig]:
     return out
 
 
+class RouterLoadView:
+    """The in-process router's live load view, one signal per layer.
+
+    Queue depth reads straight off each shard (``shard.inflight`` is
+    exact at decision time); the latency EWMA updates on every read
+    completion the router observes (sim microseconds -- durations, so
+    comparable across shards despite independent sim clocks); and the
+    freshness stamp rides the GC sync loop, i.e. the same periodically-
+    synced switch-table view the GC fallback trusts.  A cold EWMA seeds
+    from the shard's own cumulative ``read_avg_us`` at the next sync --
+    the INT/switch-view stage-latency bootstrap -- and until either
+    source has spoken the replica reads as stale, which the selector
+    answers with strict hash order.
+    """
+
+    def __init__(self, router: "ShardRouter", *,
+                 ewma_alpha: float = DEFAULT_EWMA_ALPHA) -> None:
+        self._router = router
+        self.ewma_alpha = float(ewma_alpha)
+        self._ewma: Dict[int, float] = {}
+        self._synced: Dict[int, float] = {}
+
+    def observe(self, node: int, latency_us: float) -> None:
+        prev = self._ewma.get(node, 0.0)
+        if prev <= 0.0:
+            self._ewma[node] = float(latency_us)
+        else:
+            alpha = self.ewma_alpha
+            self._ewma[node] = (1.0 - alpha) * prev + alpha * float(latency_us)
+        self._synced[node] = time.monotonic()
+
+    def sync(self) -> None:
+        """Refresh freshness stamps; seed cold EWMAs from shard metrics."""
+        now = time.monotonic()
+        for shard in self._router.shards:
+            if self._ewma.get(shard.index, 0.0) <= 0.0:
+                avg = shard.bridge.metrics.summary().get("read_avg_us")
+                if avg:
+                    self._ewma[shard.index] = float(avg)
+            self._synced[shard.index] = now
+
+    def replica(self, node: int) -> ReplicaStats:
+        shard = self._router._by_index.get(node)
+        if shard is None:  # deregistered = epoch-retired: dead to us
+            return ReplicaStats(live=False, age_s=float("inf"))
+        synced = self._synced.get(node)
+        age = float("inf") if synced is None else time.monotonic() - synced
+        plan = self._router.fleet.plan
+        return ReplicaStats(
+            depth=float(shard.inflight),
+            ewma_us=self._ewma.get(node, 0.0),
+            age_s=age,
+            live=True,
+            draining=(plan is not None and plan.kind == "drain"
+                      and plan.node == node),
+        )
+
+
 class ShardRouter:
     """Owns N :class:`RackShard`s and routes requests onto them.
 
@@ -105,11 +188,19 @@ class ShardRouter:
     def __init__(self, shards: Sequence[RackShard], *,
                  vnodes: int = DEFAULT_VNODES,
                  ring_seed: int = DEFAULT_RING_SEED,
-                 gc_sync_s: float = DEFAULT_GC_SYNC_S) -> None:
+                 gc_sync_s: float = DEFAULT_GC_SYNC_S,
+                 read_policy: str = POLICY_HASH,
+                 stale_after_s: float = DEFAULT_STALE_AFTER_S,
+                 routing_trace: Optional[RoutingTrace] = None) -> None:
         if not shards:
             raise ConfigError("a router needs at least one shard")
         if gc_sync_s < 0:
             raise ConfigError(f"gc_sync_s must be >= 0, got {gc_sync_s}")
+        if read_policy not in READ_POLICIES:
+            raise ConfigError(
+                f"read_policy must be one of {READ_POLICIES}, "
+                f"got {read_policy!r}"
+            )
         self.shards: List[RackShard] = list(shards)
         self._by_index = {shard.index: shard for shard in self.shards}
         if len(self._by_index) != len(self.shards):
@@ -142,6 +233,18 @@ class ShardRouter:
         self.scatter_scans = 0
         self.unroutable = 0
         self.gc_view_commits = 0
+        #: Load-aware read placement (RackSched-style p2c).  Under the
+        #: default ``"hash"`` policy neither object exists and every
+        #: code path is byte-identical to the plain router.
+        self.read_policy = read_policy
+        self.load_view: Optional[RouterLoadView] = None
+        self.selector: Optional[ReplicaSelector] = None
+        if read_policy == POLICY_P2C:
+            self.load_view = RouterLoadView(self)
+            self.selector = ReplicaSelector(
+                self.load_view, policy=read_policy,
+                stale_after_s=stale_after_s, trace=routing_trace,
+            )
         self._after_chunk: Optional[Any] = None
         self._gc_task: Optional["asyncio.Task"] = None
         self._running = False
@@ -224,6 +327,8 @@ class ShardRouter:
         for shard in self.shards:
             self._gc_views[shard.index] = shard.gc_busy_pairs()
         self.gc_view_commits += 1
+        if self.load_view is not None:
+            self.load_view.sync()
 
     # -------------------------------------------------------------- routing
 
@@ -262,6 +367,44 @@ class ShardRouter:
                     fallback = self._by_index[nodes[1]]
                     return fallback, self._local_pair(fallback, global_pair), True
         return owner, local, False
+
+    def _route_read_p2c(self, global_pair: int) -> Tuple[RackShard, int, bool]:
+        """(shard, local pair, diverted?) under the p2c policy.
+
+        Candidates are the first two distinct ring nodes for the pair in
+        strict hash order -- under 2+1 placement the cross-rack replica
+        the GC fallback already reads from -- restricted to registered
+        shards.  The GC view feeds in as a score penalty instead of a
+        separate redirect, so a both-copies-collecting owner loses the
+        race the same way an overloaded one does.  Every fallback inside
+        the selector resolves to hash order, so degraded p2c and plain
+        hash place reads identically.
+        """
+        assert self.selector is not None
+        owner = self._owner_of_pair(global_pair)  # also range-checks
+        nodes = [
+            node
+            for node in self.ring.preference(f"pair:{global_pair}", count=2)
+            if node in self._by_index
+        ]
+        if not nodes:
+            return owner, self._local_pair(owner, global_pair), False
+        penalties: Dict[int, float] = {}
+        for node in nodes:
+            shard = self._by_index[node]
+            view = self._gc_views.get(node, ())
+            local = self._local_pair(shard, global_pair)
+            if local < len(view) and view[local]:
+                penalties[node] = GC_SCORE_PENALTY_US
+        plan = self.fleet.plan
+        decision = self.selector.choose(
+            f"pair:{global_pair}", nodes,
+            migrating_node=plan.node if plan is not None else None,
+            epoch=self.fleet.epoch, penalties=penalties,
+        )
+        chosen = self._by_index[decision.chosen]
+        return chosen, self._local_pair(chosen, global_pair), \
+            decision.diverted
 
     def shard_for_key(self, key: str) -> RackShard:
         """The shard holding the *authoritative* copy of ``key`` right
@@ -330,6 +473,8 @@ class ShardRouter:
                     kind, latency, at=shard.bridge.rack.sim.now,
                     storage_us=payload.get("storage_us"),
                 )
+                if kind == "read" and self.load_view is not None:
+                    self.load_view.observe(shard.index, float(latency))
             outer.set_result(payload)
 
         def _cancelled(out: "asyncio.Future") -> None:
@@ -343,13 +488,19 @@ class ShardRouter:
     def submit_read(self, pair_index: int, lpn: int,
                     client: str = "live", replica: bool = False,
                     ) -> "asyncio.Future":
-        shard, local, redirected = self._route_read(int(pair_index))
+        extra: Dict[str, Any] = {}
+        if self.selector is not None:
+            shard, local, diverted = self._route_read_p2c(int(pair_index))
+            if diverted:
+                shard.redirected_in += 1
+        else:
+            shard, local, redirected = self._route_read(int(pair_index))
+            if redirected:
+                self.cross_rack_redirects += 1
+                shard.redirected_in += 1
+                extra["cross_rack"] = True
         self.routed += 1
-        extra: Dict[str, Any] = {"rack": shard.index}
-        if redirected:
-            self.cross_rack_redirects += 1
-            shard.redirected_in += 1
-            extra["cross_rack"] = True
+        extra["rack"] = shard.index
         future = shard.bridge.submit_read(local, lpn, client, replica=replica)
         return self._finish(shard, "read", future, extra)
 
@@ -558,6 +709,25 @@ class ShardRouter:
             "gc_view_commits": float(self.gc_view_commits),
         }
 
+    def routing_section(self) -> Dict[str, Any]:
+        """The ``routing`` stats section: selector counters plus the
+        live per-replica load view (absent entirely under hash policy,
+        keeping that mode's payload byte-identical)."""
+        assert self.selector is not None and self.load_view is not None
+        out: Dict[str, Any] = self.selector.stats_section()
+        replicas: Dict[str, Dict[str, float]] = {}
+        for shard in self.shards:
+            stats = self.load_view.replica(shard.index)
+            replicas[str(shard.index)] = {
+                "depth": float(stats.depth),
+                "ewma_us": float(stats.ewma_us),
+                # never-synced reads as -1 (inf is not valid JSON)
+                "age_s": (-1.0 if stats.age_s == float("inf")
+                          else float(stats.age_s)),
+            }
+        out[schema.FIELD_ROUTING_REPLICAS] = replicas
+        return out
+
     def stats_payload(self) -> Dict[str, Any]:
         """The sharded stats body: aggregate sections + per-shard slices
         (see :mod:`repro.service.schema`)."""
@@ -569,6 +739,8 @@ class ShardRouter:
         out[schema.SECTION_ROUTER] = self.router_section()
         out[schema.SECTION_MIGRATION] = self.fleet.stats_section()
         out[schema.SECTION_SHARDS] = sections
+        if self.selector is not None:
+            out[schema.SECTION_ROUTING] = self.routing_section()
         return out
 
     # ------------------------------------------------------------ membership
@@ -747,6 +919,9 @@ class ShardRouter:
                     vnodes: int = DEFAULT_VNODES,
                     ring_seed: int = DEFAULT_RING_SEED,
                     gc_sync_s: float = DEFAULT_GC_SYNC_S,
+                    read_policy: str = POLICY_HASH,
+                    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+                    routing_trace: Optional[RoutingTrace] = None,
                     queue_depth: int = 256,
                     client_rate_per_sec: float = 0.0,
                     client_burst: float = 64.0,
@@ -767,7 +942,9 @@ class ShardRouter:
             shards.append(RackShard(index, bridge,
                                     AdmissionController(**admission_kwargs)))
         router = cls(shards, vnodes=vnodes, ring_seed=ring_seed,
-                     gc_sync_s=gc_sync_s)
+                     gc_sync_s=gc_sync_s, read_policy=read_policy,
+                     stale_after_s=stale_after_s,
+                     routing_trace=routing_trace)
         # Remember the recipe so ``admit_rack`` can build rack N+1 the
         # same way this fleet was built.
         router._base_config = config
@@ -797,6 +974,9 @@ class ShardedRackService(RackService):
     def _hello_fields(self) -> Dict[str, Any]:
         fields = super()._hello_fields()
         fields["racks"] = len(self.router.shards)
+        # Advertised only when active: hash mode stays byte-identical.
+        if self.router.selector is not None:
+            fields["read_policy"] = self.router.read_policy
         return fields
 
     def _admit(self, client: str, request: Dict[str, Any]) -> bool:
@@ -836,6 +1016,61 @@ class ShardedRackService(RackService):
 _SERVING_RE = re.compile(r"\bon ([0-9.]+):(\d+)\s*$")
 
 
+class ProxyLoadView:
+    """The multi-process proxy's load view, measured at the relay.
+
+    The proxy has no sim-time or switch-state channel, so both signals
+    are wall-clock facts of its own links: depth counts frames forwarded
+    to a backend and not yet answered (summed across every client's
+    link), and the EWMA blends the turnaround of every matched response
+    -- reads and writes alike, since the relay never decodes response
+    bodies and both measure how backed-up a backend is.  A backend that
+    has answered nothing yet reads as stale, which the selector resolves
+    to strict hash order.
+    """
+
+    def __init__(self, proxy: "ShardProxy", *,
+                 ewma_alpha: float = DEFAULT_EWMA_ALPHA) -> None:
+        self._proxy = proxy
+        self.ewma_alpha = float(ewma_alpha)
+        self._depth: Dict[int, int] = {}
+        self._ewma: Dict[int, float] = {}
+        self._seen: Dict[int, float] = {}
+
+    def sent(self, node: int) -> None:
+        self._depth[node] = self._depth.get(node, 0) + 1
+
+    def done(self, node: int, latency_us: float) -> None:
+        self._depth[node] = max(0, self._depth.get(node, 0) - 1)
+        prev = self._ewma.get(node, 0.0)
+        if prev <= 0.0:
+            self._ewma[node] = float(latency_us)
+        else:
+            alpha = self.ewma_alpha
+            self._ewma[node] = (1.0 - alpha) * prev + alpha * float(latency_us)
+        self._seen[node] = time.monotonic()
+
+    def lost(self, node: int, count: int) -> None:
+        """A link died with ``count`` frames unanswered."""
+        self._depth[node] = max(0, self._depth.get(node, 0) - int(count))
+
+    def replica(self, node: int) -> ReplicaStats:
+        if not 0 <= node < len(self._proxy.backends) \
+                or node in self._proxy.drained:
+            return ReplicaStats(live=False, age_s=float("inf"))
+        seen = self._seen.get(node)
+        age = float("inf") if seen is None else time.monotonic() - seen
+        plan = self._proxy.fleet.plan
+        return ReplicaStats(
+            depth=float(self._depth.get(node, 0)),
+            ewma_us=self._ewma.get(node, 0.0),
+            age_s=age,
+            live=True,
+            draining=(plan is not None and plan.kind == "drain"
+                      and plan.node == node),
+        )
+
+
 class _BackendLink:
     """One client's pipe to one backend: forward frames, relay responses.
 
@@ -849,14 +1084,19 @@ class _BackendLink:
     """
 
     def __init__(self, node: int, client_writer: "asyncio.StreamWriter",
-                 max_frame_bytes: int) -> None:
+                 max_frame_bytes: int,
+                 observer: Optional["ProxyLoadView"] = None) -> None:
         self.node = node
         self.client_writer = client_writer
         self.max_frame_bytes = max_frame_bytes
+        self.observer = observer
         self.reader: Optional["asyncio.StreamReader"] = None
         self.writer: Optional["asyncio.StreamWriter"] = None
         self.relay_task: Optional["asyncio.Task"] = None
-        self.inflight: Set[Any] = set()
+        #: request id -> wall send time; the id's dual role: orphan
+        #: detection (as before) and, with an observer attached, the
+        #: per-backend depth/latency feed the p2c selector reads.
+        self.inflight: Dict[Any, float] = {}
         self.relayed = 0
         self.dead = False
 
@@ -870,9 +1110,12 @@ class _BackendLink:
                     request_ids: "List[Any]") -> None:
         """Forward a batch of already-encoded frames in one write."""
         assert self.writer is not None
+        now = time.monotonic()
         for request_id in request_ids:
             if request_id is not None:
-                self.inflight.add(request_id)
+                self.inflight[request_id] = now
+                if self.observer is not None:
+                    self.observer.sent(self.node)
         if not self.writer.is_closing():
             self.writer.writelines(frames)
 
@@ -894,7 +1137,12 @@ class _BackendLink:
                 for frame in splitter.feed(data):
                     response_id = self._response_id(frame)
                     if response_id is not None:
-                        self.inflight.discard(response_id)
+                        sent_at = self.inflight.pop(response_id, None)
+                        if sent_at is not None and self.observer is not None:
+                            self.observer.done(
+                                self.node,
+                                (time.monotonic() - sent_at) * 1e6,
+                            )
                     batch.append(frame)
                 if batch and not self.client_writer.is_closing():
                     self.client_writer.writelines(batch)
@@ -915,6 +1163,8 @@ class _BackendLink:
                             request_id,
                         )
                     ))
+            if self.observer is not None and self.inflight:
+                self.observer.lost(self.node, len(self.inflight))
             self.inflight.clear()
 
     async def close(self) -> None:
@@ -951,12 +1201,20 @@ class ShardProxy:
                  vnodes: int = DEFAULT_VNODES,
                  ring_seed: int = DEFAULT_RING_SEED,
                  max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+                 read_policy: str = POLICY_HASH,
+                 stale_after_s: float = DEFAULT_STALE_AFTER_S,
+                 routing_trace: Optional[RoutingTrace] = None,
                  ) -> None:
         if not backends:
             raise ConfigError("a proxy needs at least one backend")
         if pairs_per_rack < 1:
             raise ConfigError(
                 f"pairs_per_rack must be >= 1, got {pairs_per_rack}"
+            )
+        if read_policy not in READ_POLICIES:
+            raise ConfigError(
+                f"read_policy must be one of {READ_POLICIES}, "
+                f"got {read_policy!r}"
             )
         self.backends = list(backends)
         self.host = host
@@ -979,6 +1237,17 @@ class ShardProxy:
         self.routed = 0
         self.unroutable = 0
         self.write_dups = 0
+        #: Load-aware read placement; ``None`` under hash policy, which
+        #: keeps that mode's relay byte-identical to today.
+        self.read_policy = read_policy
+        self.load_view: Optional[ProxyLoadView] = None
+        self.selector: Optional[ReplicaSelector] = None
+        if read_policy == POLICY_P2C:
+            self.load_view = ProxyLoadView(self)
+            self.selector = ReplicaSelector(
+                self.load_view, policy=read_policy,
+                stale_after_s=stale_after_s, trace=routing_trace,
+            )
 
     @property
     def ring(self) -> HashRing:
@@ -1036,7 +1305,10 @@ class ShardProxy:
                     raise ConfigError(
                         f"pair index {global_pair} out of range [0, {total})"
                     )
-                return self.ring.node_for(f"pair:{global_pair}"), None
+                node = self.ring.node_for(f"pair:{global_pair}")
+                if rtype == "read" and self.selector is not None:
+                    node = self._choose_read_node(global_pair, node)
+                return node, None
             if rtype == "get":
                 return self.fleet.read_owner(str(request["key"])), None
             if rtype in ("put", "del"):
@@ -1047,6 +1319,29 @@ class ShardProxy:
         except (KeyError, TypeError, ValueError, ConfigError):
             return None, None
         return None, None
+
+    def _choose_read_node(self, global_pair: int, owner: int) -> int:
+        """p2c over the pair's preference list (raw reads only).
+
+        Every local pair index is ``global_pair % pairs_per_rack`` on
+        any backend, so the divert needs no extra rewrite; the selector
+        falls back to hash order -- ``owner`` -- whenever its view is
+        not trustworthy.
+        """
+        assert self.selector is not None
+        nodes = [
+            node
+            for node in self.ring.preference(f"pair:{global_pair}", count=2)
+            if 0 <= node < len(self.backends) and node not in self.drained
+        ]
+        if not nodes:
+            return owner
+        plan = self.fleet.plan
+        return self.selector.choose(
+            f"pair:{global_pair}", nodes,
+            migrating_node=plan.node if plan is not None else None,
+            epoch=self.fleet.epoch,
+        ).chosen
 
     # ---------------------------------------------------------- connections
 
@@ -1142,7 +1437,8 @@ class ShardProxy:
         if link is None or link.dead:
             if link is not None:
                 await link.close()
-            link = _BackendLink(node, writer, self.max_frame_bytes)
+            link = _BackendLink(node, writer, self.max_frame_bytes,
+                                observer=self.load_view)
             host, port = self.backends[node]
             try:
                 await link.open(host, port)
@@ -1212,6 +1508,8 @@ class ShardProxy:
                 ))
                 return
             node = self.ring.node_for(f"pair:{value}")
+            if self.selector is not None and frame[1] == protocol.OP_READ:
+                node = self._choose_read_node(value, node)
             out_frame: Any = protocol.rewrite_bin_pair(
                 frame, value % self.pairs_per_rack
             )
@@ -1251,11 +1549,16 @@ class ShardProxy:
             return
         rtype = request.get("type")
         if rtype == "hello":
+            hello_fields: Dict[str, Any] = dict(
+                racks=len(self.ring), epoch=self.fleet.epoch,
+            )
+            # Advertised only when active: hash mode stays byte-identical.
+            if self.selector is not None:
+                hello_fields["read_policy"] = self.read_policy
             reply(protocol.hello_response(
                 request_id,
                 capabilities=["raw", "kv", "sharded", "proxy", "bin"],
-                racks=len(self.ring),
-                epoch=self.fleet.epoch,
+                **hello_fields,
             ))
             return
         if rtype == "ping":
@@ -1593,6 +1896,21 @@ class ShardProxy:
         }
         out[schema.SECTION_MIGRATION] = self.fleet.stats_section()
         out[schema.SECTION_SHARDS] = sections
+        if self.selector is not None and self.load_view is not None:
+            routing: Dict[str, Any] = self.selector.stats_section()
+            replicas: Dict[str, Dict[str, float]] = {}
+            for node in range(len(self.backends)):
+                if node in self.drained:
+                    continue
+                stats = self.load_view.replica(node)
+                replicas[str(node)] = {
+                    "depth": float(stats.depth),
+                    "ewma_us": float(stats.ewma_us),
+                    "age_s": (-1.0 if stats.age_s == float("inf")
+                              else float(stats.age_s)),
+                }
+            routing[schema.FIELD_ROUTING_REPLICAS] = replicas
+            out[schema.SECTION_ROUTING] = routing
         out[schema.FIELD_CONNECTIONS] = float(self.connections_accepted)
         return out
 

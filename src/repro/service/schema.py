@@ -34,6 +34,9 @@ collector, since per-shard percentiles do not merge), plus::
                   cleanup_deletes, racks_added, racks_drained, epoch,
                   active},
     "shards": {"0": {bridge, metrics, kvstore, admission[, chaos]}, ...}
+    "routing": {policy_p2c, decisions, p2c_picks, ..., "replicas":
+                {"0": {depth, ewma_us, age_s}, ...}}
+                               # only under --read-policy p2c
 
 :meth:`ServiceClient.stats` adds one more section client-side::
 
@@ -62,7 +65,9 @@ SECTION_CLIENT = "client"
 SECTION_ROUTER = "router"
 SECTION_MIGRATION = "migration"
 SECTION_SHARDS = "shards"
+SECTION_ROUTING = "routing"
 FIELD_CONNECTIONS = "connections"
+FIELD_ROUTING_REPLICAS = "replicas"
 
 # ------------------------------------------------------------ section fields
 
@@ -90,6 +95,18 @@ MIGRATION_FIELDS = (
     "write_forwards", "aborts", "cutovers", "cleanup_deletes",
     "racks_added", "racks_drained", "epoch", "active",
 )
+#: Load-aware read-routing counters (:class:`ReplicaSelector`); present
+#: only when the fleet serves under ``--read-policy p2c`` -- the hash
+#: policy's payload stays byte-identical to a selector-less fleet.
+#: Alongside these scalars the section carries ``replicas``, a mapping
+#: of rack index to that replica's live load view
+#: (:data:`ROUTING_REPLICA_FIELDS`).
+ROUTING_FIELDS = (
+    "policy_p2c", "decisions", "p2c_picks", "p2c_diverted", "fallbacks",
+    "stale_fallbacks", "migrating_fallbacks", "single_candidate",
+    "no_live_fallbacks", "dead_skips",
+)
+ROUTING_REPLICA_FIELDS = ("depth", "ewma_us", "age_s")
 
 #: Sections every server payload must carry.
 REQUIRED_SECTIONS = (
@@ -253,6 +270,26 @@ def validate_stats(payload: Mapping, *, client: bool = False,
         )
     _validate_section(payload, SECTION_MIGRATION, MIGRATION_FIELDS, where,
                       required=False)
+    _validate_section(payload, SECTION_ROUTING, ROUTING_FIELDS, where,
+                      required=False)
+    routing = payload.get(SECTION_ROUTING)
+    if routing is not None:
+        replicas = routing.get(FIELD_ROUTING_REPLICAS)
+        if not isinstance(replicas, Mapping):
+            raise StatsSchemaError(
+                f"{where}: {SECTION_ROUTING!r} must carry a "
+                f"{FIELD_ROUTING_REPLICAS!r} mapping"
+            )
+        for node, view in replicas.items():
+            node_where = f"{where}.routing.replicas[{node!r}]"
+            if not str(node).isdigit():
+                raise StatsSchemaError(
+                    f"{node_where}: replica keys are decimal rack indices"
+                )
+            if not isinstance(view, Mapping):
+                raise StatsSchemaError(f"{node_where}: must be a mapping")
+            for field in ROUTING_REPLICA_FIELDS:
+                _require_number(view, SECTION_ROUTING, field, node_where)
     if router is not None:
         _validate_section(payload, SECTION_ROUTER, ROUTER_FIELDS, where)
         if not isinstance(shards, Mapping) or not shards:

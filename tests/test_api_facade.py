@@ -49,6 +49,11 @@ class TestFacadeSurface:
             "ShardedRackService": "repro.service.router",
             "ShardProxy": "repro.service.router",
             "build_shard_configs": "repro.service.router",
+            "ReplicaSelector": "repro.service.selector",
+            "RoutingTrace": "repro.service.selector",
+            "FakeLoadView": "repro.service.selector",
+            "Decision": "repro.service.selector",
+            "ZipfSampler": "repro.service.loadgen",
             "FleetController": "repro.service.membership",
             "MembershipBusy": "repro.service.membership",
             "MembershipError": "repro.service.membership",

@@ -16,7 +16,11 @@ The acceptance drills:
   (old ring keeps ruling, zero lost writes) and the same change retried
   later succeeds;
 * **epoch fencing** -- a client that pinned a routing epoch gets
-  ``WRONG_SHARD`` after the cutover and transparently refreshes.
+  ``WRONG_SHARD`` after the cutover and transparently refreshes;
+* **load-aware reads across the window** -- under ``--read-policy p2c``
+  a rack joins (and another drains) mid-load with zero failed or stale
+  reads, and the routing trace proves the selector never diverted onto
+  the migrating rack nor targeted the retiree after its cutover.
 """
 
 import asyncio
@@ -30,6 +34,7 @@ from repro.service.bridge import SimTimeBridge
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.membership import MembershipError
 from repro.service.router import ShardedRackService, ShardRouter
+from repro.service.selector import REASON_P2C, POLICY_P2C, RoutingTrace
 
 pytestmark = [pytest.mark.fleet, pytest.mark.shard]
 
@@ -470,3 +475,146 @@ class TestEpochFencing:
         exc = asyncio.run(scenario())
         assert exc.code == protocol.WRONG_SHARD
         assert "99" in exc.message
+
+
+class TestLoadAwareReadsAcrossMigration:
+    """``--read-policy p2c`` through a live membership change.
+
+    The selector adds a degree of freedom (reads may leave the hash
+    owner), so the migration drills re-run with it on: correctness must
+    be byte-for-byte what the hash fleet guarantees -- no failed op, no
+    stale value -- and the decision trace must show the policy kept its
+    hands off the racks the membership change owns.
+    """
+
+    pytestmark = [pytest.mark.routing]
+
+    @pytest.mark.slow
+    def test_add_under_p2c_load_loses_nothing(self):
+        trace = RoutingTrace(maxlen=100_000)
+        load_errors, stale_reads = [], []
+
+        async def scenario():
+            service = await start_sharded(racks=2, read_policy=POLICY_P2C,
+                                          routing_trace=trace)
+            try:
+                admin = ServiceClient("127.0.0.1", service.port, "admin")
+                worker = ServiceClient("127.0.0.1", service.port, "worker")
+                async with admin, worker:
+                    acked = await seed_keys(admin, 120)
+                    for pair in range(4):
+                        await admin.write(pair, lpn=0)
+                    stop = asyncio.Event()
+
+                    async def background_load():
+                        i = 0
+                        while not stop.is_set():
+                            try:
+                                if i % 2 == 0:
+                                    await worker.read(i % 4, lpn=0)
+                                else:
+                                    key = f"k{i % 120:05d}"
+                                    got = await worker.get(key)
+                                    if got["value"] != acked[key]:
+                                        stale_reads.append((key, got))
+                            except ServiceError as exc:
+                                load_errors.append(exc.code)
+                            i += 1
+                            await asyncio.sleep(0)
+
+                    load = asyncio.ensure_future(background_load())
+                    result = await admin.fleet_add_rack(
+                        batch_size=8, pause_s=0.001,
+                    )
+                    stop.set()
+                    await load
+                    survived = {k: (await admin.get(k)) for k in acked}
+                    stats = await admin.stats()
+                return result, acked, survived, stats
+            finally:
+                await service.stop()
+
+        result, acked, survived, stats = asyncio.run(scenario())
+        assert load_errors == [] and stale_reads == []
+        assert result["kind"] == "add" and result["epoch"] == 1
+        for key, value in acked.items():
+            assert survived[key]["found"] and \
+                survived[key]["value"] == value, key
+        # The joiner is invisible to the selector until the cutover:
+        # every pre-cutover decision raced the two incumbents only.
+        decisions = trace.decisions()
+        assert decisions, "p2c load left no routing trace"
+        for d in decisions:
+            if d.epoch == 0:
+                assert 2 not in d.candidates and d.chosen in (0, 1), d
+        # The policy actually engaged (this is not a fallback-only run).
+        assert any(d.reason == REASON_P2C for d in decisions)
+        assert stats["routing"]["decisions"] == float(len(decisions))
+
+    def test_drain_under_p2c_never_targets_the_retiree(self):
+        trace = RoutingTrace(maxlen=100_000)
+        load_errors = []
+
+        async def scenario():
+            service = await start_sharded(racks=3, read_policy=POLICY_P2C,
+                                          routing_trace=trace)
+            fleet = service.router.fleet
+            try:
+                admin = ServiceClient("127.0.0.1", service.port, "admin")
+                worker = ServiceClient("127.0.0.1", service.port, "worker")
+                async with admin, worker:
+                    acked = await seed_keys(admin, 100)
+                    # Pairs 0..3 stay in range after the fleet shrinks
+                    # to 2 racks x 2 pairs.
+                    for pair in range(4):
+                        await admin.write(pair, lpn=0)
+                    stop = asyncio.Event()
+
+                    async def background_load():
+                        i = 0
+                        while not stop.is_set():
+                            try:
+                                await worker.read(i % 4, lpn=0)
+                            except ServiceError as exc:
+                                load_errors.append(exc.code)
+                            i += 1
+                            await asyncio.sleep(0)
+
+                    load = asyncio.ensure_future(background_load())
+                    drain = asyncio.ensure_future(
+                        service.router.drain_rack(1, batch_size=1,
+                                                  pause_s=0.005)
+                    )
+                    while not fleet.migrating:
+                        await asyncio.sleep(0)
+                    # Only window-and-later decisions carry the
+                    # invariant; pre-drain picks of rack 1 were fine.
+                    trace.clear()
+                    result = await drain
+                    stop.set()
+                    await load
+                    post = [await worker.read(pair % 4, lpn=0)
+                            for pair in range(20)]
+                    reads = {k: await worker.get(k) for k in acked}
+                return result, acked, reads, post
+            finally:
+                await service.stop()
+
+        result, acked, reads, post = asyncio.run(scenario())
+        assert load_errors == []
+        assert result["kind"] == "drain" and result["racks"] == [0, 2]
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+        # After the cutover no read lands on the retiree...
+        assert all(r["rack"] in (0, 2) for r in post)
+        decisions = trace.decisions()
+        assert decisions, "the drain window saw no routed reads"
+        for d in decisions:
+            # ...and from the moment the drain began, the selector
+            # never *diverted* onto rack 1 (hash-order fallbacks may
+            # still land there while it remains authoritative), and
+            # post-cutover decisions do not even list it.
+            if d.reason == REASON_P2C:
+                assert d.chosen != 1, d
+            if d.epoch >= 1:
+                assert 1 not in d.candidates and d.chosen != 1, d

@@ -1,0 +1,291 @@
+"""Multi-tenant QoS isolation perf-smoke: the PR-10 acceptance artifact.
+
+Three tenant classes against one live sharded server --
+
+* ``gold``   -- weight 4, tight SLO, double cache share;
+* ``silver`` -- weight 2;
+* ``flood``  -- weight 1, rate-metered, driven at **2x its contracted
+  rate** by an open-loop loadgen while the compliant tenants run their
+  closed-loop mixes.
+
+Two gates land in ``BENCH_qos.json`` (path override: ``BENCH_QOS_OUT``):
+
+* **isolation** -- each compliant tenant's p99 under the flood stays
+  within ``ISOLATION_FLOOR``x of its solo-run p99 (same load shape, no
+  flood);
+* **cache** -- a zipf(s=1.3) read-hot run clears a
+  ``CACHE_HIT_FLOOR`` DRAM hit rate at the server.
+
+Both are **core-count gated** (the flood, the compliant lanes, and the
+server all need their own cores for the numbers to mean anything); the
+artifact records whether they were enforced.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.environ.get(
+    "BENCH_QOS_OUT", os.path.join(_REPO_ROOT, "BENCH_qos.json"))
+
+CORES = os.cpu_count() or 1
+GATE_CORES = 8
+#: Compliant tenants' contended p99 must stay within this factor of solo.
+ISOLATION_FLOOR = 1.5
+#: Minimum DRAM hit rate for the zipf(s=1.3) read-hot row.
+CACHE_HIT_FLOOR = 0.60
+
+#: The flood tenant's contracted rate; the bench drives it at 2x this.
+FLOOD_RATE = 1000.0
+FLOOD_DURATION_S = 8.0
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 300
+PIPELINE = 4
+KEYSPACE = 256
+ZIPF_S = 1.3
+
+TENANT_SPEC = json.dumps({
+    "tenants": [
+        {"name": "gold", "weight": 4, "slo_ms": 20, "cache_share": 2},
+        {"name": "silver", "weight": 2, "slo_ms": 50},
+        {"name": "flood", "weight": 1, "rate_per_sec": FLOOD_RATE,
+         "burst": 64},
+    ],
+    "cache_capacity": 4096,
+})
+
+SERVE_ARGS = ["--racks", "2", "--servers", "2", "--pairs", "4",
+              "--queue-depth", "512", "--chunk-us", "8000", "--seed", "42",
+              "--tenants", TENANT_SPEC]
+
+_results = {}
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+    return env
+
+
+def _spawn_serve():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         *SERVE_ARGS],
+        cwd=_REPO_ROOT, env=_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"on 127\.0\.0\.1:(\d+)", line)
+    assert match, f"server did not announce a port: {line!r}"
+    assert "[qos]" in line, f"server came up without QoS: {line!r}"
+    return proc, int(match.group(1))
+
+
+def _stop_serve(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+
+
+def _lane_cmd(port, tenant):
+    """One compliant tenant's closed-loop mix (identical solo and
+    contended, so the p99 comparison is apples to apples)."""
+    return [sys.executable, "-m", "repro.cli", "loadgen",
+            "--port", str(port), "--tenants", tenant,
+            "--kind", "kv", "--clients", str(CLIENTS),
+            "--requests", str(REQUESTS_PER_CLIENT),
+            "--pipeline", str(PIPELINE),
+            "--write-ratio", "0.1", "--keyspace", str(KEYSPACE),
+            "--key-dist", "zipf", "--zipf-s", str(ZIPF_S),
+            "--pairs", "4", "--seed", "7"]
+
+
+def _flood_cmd(port):
+    return [sys.executable, "-m", "repro.cli", "loadgen",
+            "--port", str(port), "--tenants", "flood",
+            "--kind", "kv", "--mode", "open",
+            "--rate", str(2.0 * FLOOD_RATE),
+            "--duration", str(FLOOD_DURATION_S),
+            "--clients", str(CLIENTS),
+            "--write-ratio", "0.1", "--keyspace", str(KEYSPACE),
+            "--pairs", "4", "--seed", "13", "--retries", "0"]
+
+
+def _lane_p99(out, tenant):
+    match = re.search(rf"tenant {tenant}: .* p99 ([\d.]+)ms", out)
+    assert match, f"no p99 lane for {tenant}:\n{out}"
+    return float(match.group(1))
+
+
+def _run_lane(port, tenant):
+    proc = subprocess.run(_lane_cmd(port, tenant), cwd=_REPO_ROOT,
+                          env=_env(), stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True, timeout=300)
+    out = proc.stdout
+    assert proc.returncode == 0, f"{tenant} lane failed:\n{out}"
+    assert "errors 0" in out, f"{tenant} lane saw errors:\n{out}"
+    assert "busy 0" in out, f"a compliant tenant was shed:\n{out}"
+    return _lane_p99(out, tenant)
+
+
+def _server_stats(port):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def fetch():
+        async with ServiceClient("127.0.0.1", port, "bench-stats") as c:
+            return await c.stats()
+
+    return asyncio.run(fetch())
+
+
+def test_solo_baselines(benchmark):
+    proc, port = _spawn_serve()
+    try:
+        def run():
+            return {t: _run_lane(port, t) for t in ("gold", "silver")}
+
+        _results["solo_p99_ms"] = benchmark.pedantic(
+            run, rounds=1, iterations=1)
+    finally:
+        _stop_serve(proc)
+    print(f"\nsolo p99: {_results['solo_p99_ms']}")
+
+
+def test_contended_under_flood(benchmark):
+    proc, port = _spawn_serve()
+    flood = None
+    try:
+        def run():
+            nonlocal flood
+            flood = subprocess.Popen(_flood_cmd(port), cwd=_REPO_ROOT,
+                                     env=_env(), stdout=subprocess.PIPE,
+                                     stderr=subprocess.STDOUT, text=True)
+            time.sleep(1.0)  # let the flood saturate its rate gate
+            return {t: _run_lane(port, t) for t in ("gold", "silver")}
+
+        _results["contended_p99_ms"] = benchmark.pedantic(
+            run, rounds=1, iterations=1)
+        out, _ = flood.communicate(timeout=60)
+        assert flood.returncode == 0, f"flood lane failed:\n{out}"
+        match = re.search(r"tenant flood: sent (\d+)\s+ok (\d+)\s+busy (\d+)",
+                          out)
+        assert match, f"no flood lane:\n{out}"
+        sent, ok, busy = (int(g) for g in match.groups())
+        _results["flood"] = {"sent": sent, "ok": ok, "busy": busy}
+    finally:
+        if flood is not None and flood.poll() is None:
+            flood.kill()
+        _stop_serve(proc)
+    # Driven at 2x its contracted rate, the flood must actually have
+    # been shed -- otherwise the contended row proved nothing.
+    assert busy > 0, "the flood was never rate-limited"
+    print(f"\ncontended p99: {_results['contended_p99_ms']}  "
+          f"flood shed {busy}/{sent}")
+
+
+def test_cache_hit_rate(benchmark):
+    proc, port = _spawn_serve()
+    try:
+        def _pass(write_ratio, key_dist):
+            cmd = _lane_cmd(port, "gold")
+            cmd[cmd.index("--write-ratio") + 1] = write_ratio
+            cmd[cmd.index("--key-dist") + 1] = key_dist
+            lane = subprocess.run(cmd, cwd=_REPO_ROOT, env=_env(),
+                                  stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True,
+                                  timeout=300)
+            assert lane.returncode == 0, lane.stdout
+
+        def run():
+            # Seed every key (misses to absent keys are, by design,
+            # never cached -- an unseeded keyspace cannot hit), warm
+            # the cache with one zipf read pass, then measure the
+            # steady-state pass on its own.
+            _pass("1.0", "uniform")
+            _pass("0.0", "zipf")
+            before = _server_stats(port)["readcache"]
+            _pass("0.0", "zipf")
+            after = _server_stats(port)["readcache"]
+            return before, after
+
+        before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        _stop_serve(proc)
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    _results["cache"] = {
+        "steady_hits": hits, "steady_misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4),
+        "cumulative_hit_rate": round(after["hit_rate"], 4),
+        "entries": after["entries"],
+        "zipf_s": ZIPF_S, "keyspace": KEYSPACE,
+    }
+    print(f"\nsteady-state cache hit rate: "
+          f"{_results['cache']['hit_rate']:.1%} "
+          f"({hits:.0f} hits / {misses:.0f} misses; "
+          f"cumulative {after['hit_rate']:.1%})")
+
+
+def test_emit_artifact_and_gate():
+    assert {"solo_p99_ms", "contended_p99_ms", "flood",
+            "cache"} <= set(_results), (
+        f"rows missing (ran out of order?): {sorted(_results)}")
+    gated = CORES >= GATE_CORES
+    ratios = {
+        t: round(_results["contended_p99_ms"][t]
+                 / _results["solo_p99_ms"][t], 3)
+        for t in ("gold", "silver")
+    }
+    hit_rate = _results["cache"]["hit_rate"]
+    artifact = {
+        "bench": "qos-isolation",
+        "cores": CORES,
+        "tenants": json.loads(TENANT_SPEC)["tenants"],
+        "flood_rate_contracted": FLOOD_RATE,
+        "flood_rate_driven": 2.0 * FLOOD_RATE,
+        "flood": _results["flood"],
+        "solo_p99_ms": _results["solo_p99_ms"],
+        "contended_p99_ms": _results["contended_p99_ms"],
+        "p99_ratio_contended_vs_solo": ratios,
+        "cache": _results["cache"],
+        "gate": {
+            "isolation_floor": ISOLATION_FLOOR,
+            "cache_hit_floor": CACHE_HIT_FLOOR,
+            "enforced": gated,
+            "reason": (None if gated else
+                       f"host has {CORES} cores < {GATE_CORES}"),
+        },
+    }
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {_OUT_PATH}")
+    print(json.dumps({"p99_ratio": ratios, "hit_rate": hit_rate},
+                     indent=2, sort_keys=True))
+    if gated:
+        for tenant, ratio in ratios.items():
+            assert ratio <= ISOLATION_FLOOR, (
+                f"{tenant}'s p99 degraded {ratio:.2f}x under a 2x-rate "
+                f"flood -- QoS isolation must hold it within "
+                f"{ISOLATION_FLOOR}x of solo")
+        assert hit_rate >= CACHE_HIT_FLOOR, (
+            f"zipf(s={ZIPF_S}) hit rate {hit_rate:.1%} is below the "
+            f"{CACHE_HIT_FLOOR:.0%} floor")
+    else:
+        print(f"gates waived: {CORES} cores < {GATE_CORES} "
+              f"(artifact still written)")

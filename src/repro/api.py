@@ -9,24 +9,30 @@ deprecation-shim test (``tests/test_api_facade.py``) holds stable.
 
 The surface, by layer:
 
-* **Configuration** -- :class:`RackConfig`, :class:`SystemType`;
-* **Batch experiments** -- :class:`RunSpec`, :class:`ParallelRunner`,
-  :class:`RackResult`;
-* **Chaos** -- :class:`FaultEvent`, :class:`FaultSchedule`,
-  :func:`run_chaos_experiment`, :class:`ChaosReport`;
-* **Serving** -- :class:`RackService`, :class:`ServiceClient`,
-  :class:`ServiceError`, :func:`run_loadgen`, :data:`PROTOCOL_VERSION`,
-  :data:`SUPPORTED_VERSIONS`;
-* **Sharded serving** -- :class:`HashRing`, :class:`RackShard`,
-  :class:`ShardRouter`, :class:`ShardedRackService`,
-  :class:`ShardProxy`, :func:`build_shard_configs`;
-* **Load-aware read routing** -- :class:`ReplicaSelector`,
-  :class:`RoutingTrace`, :class:`FakeLoadView`, :class:`Decision`,
-  :class:`ZipfSampler`;
-* **Elastic fleet** -- :class:`FleetController`, :class:`MigrationPlan`,
-  :class:`MigrationStream`, :class:`KeyRange`, :class:`MembershipError`,
-  :class:`MembershipBusy`, :class:`MigrationStreamError`;
-* **Stats schema** -- :func:`validate_stats`, :class:`StatsSchemaError`.
+* **sim** (configuration for the discrete-event rack simulator) --
+  :class:`RackConfig`, :class:`SystemType`;
+* **experiments** (batch runs over the simulator) -- :class:`RunSpec`,
+  :class:`ParallelRunner`, :class:`RackResult`;
+* **service** (the live serving stack) -- :class:`RackService`,
+  :class:`ServiceClient`, :class:`ClientConfig`, :class:`ServiceError`,
+  :func:`run_loadgen`, :data:`PROTOCOL_VERSION`,
+  :data:`SUPPORTED_VERSIONS`; sharding (:class:`HashRing`,
+  :class:`RackShard`, :class:`ShardRouter`,
+  :class:`ShardedRackService`, :class:`ShardProxy`,
+  :func:`build_shard_configs`); load-aware read routing
+  (:class:`ReplicaSelector`, :class:`RoutingTrace`,
+  :class:`FakeLoadView`, :class:`Decision`, :class:`ZipfSampler`);
+  the elastic fleet (:class:`FleetController`, :class:`MigrationPlan`,
+  :class:`MigrationStream`, :class:`KeyRange`,
+  :class:`MembershipError`, :class:`MembershipBusy`,
+  :class:`MigrationStreamError`); multi-tenant QoS
+  (:class:`TenantSpec`, :class:`TenantSpecError`,
+  :func:`load_tenant_specs`, :class:`QosScheduler`,
+  :class:`ReadCache`); the stats schema (:func:`validate_stats`,
+  :class:`StatsSchemaError`);
+* **chaos** (fault injection) -- :class:`FaultEvent`,
+  :class:`FaultSchedule`, :func:`run_chaos_experiment`,
+  :class:`ChaosReport`.
 """
 
 from repro.chaos.runner import ChaosReport, run_chaos_experiment
@@ -34,7 +40,7 @@ from repro.chaos.schedule import FaultEvent, FaultSchedule
 from repro.cluster.config import RackConfig, SystemType
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.experiments.runner import RackResult
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ClientConfig, ServiceClient, ServiceError
 from repro.service.loadgen import LoadgenReport, ZipfSampler, run_loadgen
 from repro.service.membership import (
     FleetController,
@@ -44,6 +50,13 @@ from repro.service.membership import (
 )
 from repro.service.migration import MigrationStream, MigrationStreamError
 from repro.service.protocol import PROTOCOL_VERSION, SUPPORTED_VERSIONS
+from repro.service.qos import (
+    QosScheduler,
+    TenantSpec,
+    TenantSpecError,
+    load_tenant_specs,
+)
+from repro.service.readcache import ReadCache
 from repro.service.router import (
     ShardedRackService,
     ShardProxy,
@@ -61,40 +74,36 @@ from repro.service.server import RackService
 from repro.service.shard import HashRing, KeyRange, RackShard
 
 __all__ = [
-    # configuration
+    # sim: simulator configuration
     "RackConfig",
     "SystemType",
-    # batch experiments
+    # experiments: batch runs over the simulator
     "RunSpec",
     "ParallelRunner",
     "RackResult",
-    # chaos
-    "FaultEvent",
-    "FaultSchedule",
-    "run_chaos_experiment",
-    "ChaosReport",
-    # serving
+    # service: single-rack serving and the client
     "RackService",
     "ServiceClient",
+    "ClientConfig",
     "ServiceError",
     "LoadgenReport",
     "run_loadgen",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
-    # sharded serving
+    # service: sharded serving
     "HashRing",
     "RackShard",
     "ShardRouter",
     "ShardedRackService",
     "ShardProxy",
     "build_shard_configs",
-    # load-aware read routing
+    # service: load-aware read routing
     "ReplicaSelector",
     "RoutingTrace",
     "FakeLoadView",
     "Decision",
     "ZipfSampler",
-    # elastic fleet
+    # service: elastic fleet
     "FleetController",
     "MigrationPlan",
     "MigrationStream",
@@ -102,7 +111,18 @@ __all__ = [
     "MembershipError",
     "MembershipBusy",
     "MigrationStreamError",
-    # stats schema
+    # service: multi-tenant QoS and the read cache
+    "TenantSpec",
+    "TenantSpecError",
+    "load_tenant_specs",
+    "QosScheduler",
+    "ReadCache",
+    # service: stats schema
     "validate_stats",
     "StatsSchemaError",
+    # chaos: fault injection
+    "FaultEvent",
+    "FaultSchedule",
+    "run_chaos_experiment",
+    "ChaosReport",
 ]

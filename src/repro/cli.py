@@ -141,6 +141,23 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(0 disables per-client metering)")
     serve_p.add_argument("--client-burst", type=float, default=64.0,
                          help="per-client token-bucket burst size")
+    serve_p.add_argument("--tenants", metavar="SPEC", default=None,
+                         help="multi-tenant QoS: a tenant spec as a JSON "
+                              "file path or inline JSON (enables the "
+                              "weighted-fair scheduler and the DRAM "
+                              "read cache; see docs/serving.md)")
+    serve_p.add_argument("--admission-queue-depth", type=int,
+                         dest="queue_depth", default=argparse.SUPPRESS,
+                         metavar="N",
+                         help="(deprecated alias for --queue-depth)")
+    serve_p.add_argument("--admission-client-rate", type=float,
+                         dest="client_rate", default=argparse.SUPPRESS,
+                         metavar="RPS",
+                         help="(deprecated alias for --client-rate)")
+    serve_p.add_argument("--admission-client-burst", type=float,
+                         dest="client_burst", default=argparse.SUPPRESS,
+                         metavar="N",
+                         help="(deprecated alias for --client-burst)")
     serve_p.add_argument("--pace", type=float, default=0.0,
                          help="sim-time speed vs wall-clock (1.0 = real "
                               "time; 0 = free-running, the default)")
@@ -201,6 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "and uses binary iff the server offers "
                                 "it; json forces v1; bin fails if the "
                                 "server cannot speak binary")
+    loadgen_p.add_argument("--tenants", metavar="SPEC", default=None,
+                           help="bind connections round-robin to these "
+                                "tenants: comma-separated names, or the "
+                                "same JSON spec (file path or inline) "
+                                "the server's --tenants takes")
 
     fleet_p = sub.add_parser(
         "fleet", help="online fleet membership: add/drain racks, status"
@@ -362,6 +384,32 @@ def _report_traces(args, traces) -> None:
               f"to {args.trace_out}")
 
 
+def _load_qos(args):
+    """Build the (QosScheduler, ReadCache) pair from ``--tenants``.
+
+    Returns ``(None, None)`` when no spec was given -- the served stack
+    then runs exactly the pre-tenancy code paths.  A malformed spec is
+    a usage error: it fails at startup, not at request time.
+    """
+    if getattr(args, "tenants", None) is None:
+        return None, None
+    from repro.service.qos import (
+        QosScheduler,
+        TenantSpecError,
+        load_tenant_specs,
+    )
+    from repro.service.readcache import ReadCache
+
+    try:
+        spec = load_tenant_specs(args.tenants)
+    except TenantSpecError as exc:
+        raise UsageError(f"bad --tenants spec: {exc}")
+    qos = QosScheduler(spec.tenants, max_queue_depth=args.queue_depth)
+    cache = ReadCache(spec.cache_capacity, shares=qos.cache_shares(),
+                      segments=spec.cache_segments)
+    return qos, cache
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import socket
@@ -428,6 +476,7 @@ def _cmd_serve(args) -> int:
     if args.workers > 1:
         return _serve_percore(args)
 
+    qos, read_cache = _load_qos(args)
     if args.racks == 1:
         # The single-rack special case: exactly the unsharded service.
         service = RackService(
@@ -441,6 +490,8 @@ def _cmd_serve(args) -> int:
             chunk_us=args.chunk_us,
             request_timeout_us=args.request_timeout_us,
             reuse_port=args.reuseport,
+            qos=qos,
+            read_cache=read_cache,
         )
         label = f"{args.system} rack"
     else:
@@ -457,10 +508,13 @@ def _cmd_serve(args) -> int:
             client_burst=args.client_burst,
             **bridge_kwargs,
         )
-        service = ShardedRackService(router, host=args.host, port=args.port)
+        service = ShardedRackService(router, host=args.host, port=args.port,
+                                     qos=qos, read_cache=read_cache)
         label = f"{args.system} rack x{args.racks}"
         if args.read_policy != "hash":
             label += f" [{args.read_policy} reads]"
+    if qos is not None:
+        label += " [qos]"
 
     async def serve() -> None:
         import signal
@@ -516,6 +570,11 @@ def _serve_proxy(args) -> int:
     if args.request_timeout_us is not None:
         backend_args += ["--request-timeout-us", str(args.request_timeout_us)]
 
+    # Tenancy lives at the proxy front-end: the relay schedules and
+    # caches per tenant while the backend racks keep plain admission
+    # (a backend never sees --tenants).
+    qos, read_cache = _load_qos(args)
+
     async def serve() -> None:
         import signal
 
@@ -524,12 +583,15 @@ def _serve_proxy(args) -> int:
         )
         proxy = ShardProxy(endpoints, host=args.host, port=args.port,
                            pairs_per_rack=args.pairs,
-                           read_policy=args.read_policy)
+                           read_policy=args.read_policy,
+                           qos=qos, read_cache=read_cache)
         try:
             await proxy.start()
             label = f"{args.system} rack x{args.racks}"
             if args.read_policy != "hash":
                 label += f" [{args.read_policy} reads]"
+            if qos is not None:
+                label += " [qos]"
             print(f"serving {label} "
                   f"({args.pairs} pairs / {args.servers} servers, "
                   f"process shards) "
@@ -587,6 +649,11 @@ def _serve_percore(args) -> int:
     ]
     if args.request_timeout_us is not None:
         worker_args += ["--request-timeout-us", str(args.request_timeout_us)]
+    if args.tenants is not None:
+        # Validate up front (exit 2 here, not in N children), then let
+        # each worker build its own scheduler/cache from the same spec.
+        _load_qos(args)
+        worker_args += ["--tenants", args.tenants]
 
     async def serve() -> None:
         import signal
@@ -628,6 +695,29 @@ def _serve_percore(args) -> int:
     return 0
 
 
+def _loadgen_tenants(source: str) -> List[str]:
+    """``--tenants`` for loadgen: names, or the server's spec format.
+
+    Inline JSON / an existing file goes through the real spec parser
+    (so the same file can configure both ends); anything else is a
+    comma-separated name list.
+    """
+    import os
+
+    from repro.service.qos import TenantSpecError, load_tenant_specs
+
+    if source.lstrip().startswith(("{", "[")) or os.path.exists(source):
+        try:
+            spec = load_tenant_specs(source)
+        except TenantSpecError as exc:
+            raise UsageError(f"bad --tenants spec: {exc}")
+        _require(bool(spec.tenants), "--tenants spec declares no tenants")
+        return list(spec.tenants)
+    names = [name.strip() for name in source.split(",")]
+    _require(all(names), f"--tenants has an empty name in {source!r}")
+    return names
+
+
 def _cmd_loadgen(args) -> int:
     import asyncio
 
@@ -650,6 +740,7 @@ def _cmd_loadgen(args) -> int:
              f"--retries must be >= 0, got {args.retries}")
     _require(args.zipf_s > 0,
              f"--zipf-s must be > 0, got {args.zipf_s}")
+    tenants = _loadgen_tenants(args.tenants) if args.tenants else None
     try:
         report = asyncio.run(run_loadgen(
             args.host, args.port,
@@ -661,6 +752,7 @@ def _cmd_loadgen(args) -> int:
             key_dist=args.key_dist, zipf_s=args.zipf_s,
             seed=args.seed, retries=args.retries,
             wire_protocol=args.protocol,
+            tenants=tenants,
         ))
     except OSError as exc:
         print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",
@@ -674,7 +766,7 @@ def _cmd_fleet(args) -> int:
     import asyncio
     import json as json_mod
 
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import ClientConfig, ServiceClient, ServiceError
 
     _require(args.action != "drain-rack" or args.rack is not None,
              "drain-rack needs --rack")
@@ -694,8 +786,10 @@ def _cmd_fleet(args) -> int:
         options["max_attempts"] = args.attempts
 
     async def _go():
-        client = ServiceClient(args.host, args.port, "fleet-cli",
-                               request_timeout_s=args.timeout)
+        client = ServiceClient(
+            args.host, args.port, "fleet-cli",
+            config=ClientConfig(request_timeout_s=args.timeout),
+        )
         await client.connect()
         try:
             if args.action == "status":

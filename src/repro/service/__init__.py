@@ -24,13 +24,17 @@ GET/PUT/SCAN over a small length-prefixed JSON wire protocol:
 * :mod:`repro.service.membership` / :mod:`repro.service.migration` --
   the elastic-fleet control plane: online rack add/drain with live key
   migration behind an epoch-stamped ring;
+* :mod:`repro.service.qos` / :mod:`repro.service.readcache` -- the
+  multi-tenant layer: declared tenant specs, the weighted-fair QoS
+  scheduler with SLO-burn tracking, and the sharded DRAM read-through
+  cache with per-tenant capacity shares;
 * :mod:`repro.service.client` -- a pipelined async client;
 * :mod:`repro.service.loadgen` -- open/closed-loop load generation.
 """
 
 from repro.service.admission import AdmissionController, WallClockTokenBucket
 from repro.service.bridge import BridgeStats, SimTimeBridge
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ClientConfig, ServiceClient, ServiceError
 from repro.service.loadgen import (
     LoadgenReport,
     ZipfSampler,
@@ -79,6 +83,15 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+from repro.service.qos import (
+    DEFAULT_TENANT,
+    QosScheduler,
+    QosSpec,
+    TenantSpec,
+    TenantSpecError,
+    load_tenant_specs,
+)
+from repro.service.readcache import ReadCache
 from repro.service.router import (
     ShardedRackService,
     ShardProxy,
@@ -95,6 +108,7 @@ __all__ = [
     "BridgeStats",
     "SimTimeBridge",
     "ServiceClient",
+    "ClientConfig",
     "ServiceError",
     "LoadgenReport",
     "run_loadgen",
@@ -142,6 +156,13 @@ __all__ = [
     "MigrationStream",
     "MigrationStreamError",
     "StreamReport",
+    "DEFAULT_TENANT",
+    "TenantSpec",
+    "TenantSpecError",
+    "QosSpec",
+    "QosScheduler",
+    "load_tenant_specs",
+    "ReadCache",
     "StatsSchemaError",
     "validate_stats",
 ]

@@ -7,6 +7,9 @@ to their futures, so ``await client.get(...)`` from many tasks at once
 just works (and is exactly how the closed-loop load generator drives a
 connection at depth > 1).
 
+Behaviour is configured with one :class:`ClientConfig` object
+(``ServiceClient(host, port, name, config=ClientConfig(...))``); the
+pre-config individual kwargs still work behind a deprecation shim.
 Resilience is opt-in and off by default (``max_retries=0`` keeps the
 historical fail-fast behaviour):
 
@@ -36,11 +39,83 @@ capability.  Either way the first bytes on the wire are a JSON
 """
 
 import asyncio
+import dataclasses
 import itertools
 import time
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.service import protocol
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientConfig:
+    """Connection behaviour for :class:`ServiceClient`, as one object.
+
+    Replaces the client's historical sprawl of constructor kwargs;
+    ``ServiceClient(host, port, name, config=ClientConfig(...))`` is the
+    supported spelling, the old kwargs still work through a deprecation
+    shim.  All fields default to the historical fail-fast behaviour.
+
+    ``tenant`` names the QoS tenant this connection serves (declared in
+    the server's tenant spec); it is announced in the ``hello`` exchange
+    and every request on the connection is scheduled and metered under
+    that tenant.  ``None`` rides the implicit ``default`` tenant.
+    """
+
+    max_retries: int = 0
+    retry_backoff_s: float = 0.02
+    retry_backoff_max_s: float = 0.5
+    request_timeout_s: Optional[float] = None
+    hedge_reads: bool = False
+    hedge_delay_s: Optional[float] = None
+    hedge_delay_floor_s: float = 0.002
+    wire_protocol: str = "json"
+    track_epoch: bool = False
+    tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.wire_protocol not in ("json", "auto", "bin"):
+            raise ValueError(
+                f"wire_protocol must be 'json', 'auto', or 'bin', "
+                f"got {self.wire_protocol!r}"
+            )
+        if self.tenant is not None and (
+                not isinstance(self.tenant, str) or not self.tenant):
+            raise ValueError(
+                f"tenant must be a non-empty string, got {self.tenant!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+
+#: Constructor kwargs the pre-``ClientConfig`` client accepted directly.
+_LEGACY_KWARGS = frozenset(
+    field.name for field in dataclasses.fields(ClientConfig)
+) - {"tenant"}
+
+_legacy_kwargs_warned = False
+
+
+def _config_from_legacy(kwargs: Dict[str, Any]) -> ClientConfig:
+    """Map deprecated ``ServiceClient`` kwargs onto a ClientConfig."""
+    global _legacy_kwargs_warned
+    unknown = set(kwargs) - _LEGACY_KWARGS
+    if unknown:
+        raise TypeError(
+            f"ServiceClient() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}; pass a ClientConfig via config=..."
+        )
+    if not _legacy_kwargs_warned:
+        _legacy_kwargs_warned = True
+        warnings.warn(
+            f"passing {sorted(kwargs)} directly to ServiceClient() is "
+            f"deprecated; pass config=ClientConfig(...) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+    return ClientConfig(**kwargs)
 
 
 class ServiceError(Exception):
@@ -77,32 +152,33 @@ class ServiceClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7337,
                  client_name: Optional[str] = None, *,
-                 max_retries: int = 0,
-                 retry_backoff_s: float = 0.02,
-                 retry_backoff_max_s: float = 0.5,
-                 request_timeout_s: Optional[float] = None,
-                 hedge_reads: bool = False,
-                 hedge_delay_s: Optional[float] = None,
-                 hedge_delay_floor_s: float = 0.002,
-                 wire_protocol: str = "json",
-                 track_epoch: bool = False) -> None:
-        if wire_protocol not in ("json", "auto", "bin"):
-            raise ValueError(
-                f"wire_protocol must be 'json', 'auto', or 'bin', "
-                f"got {wire_protocol!r}"
-            )
+                 config: Optional[ClientConfig] = None,
+                 **legacy_kwargs: Any) -> None:
+        if legacy_kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=ClientConfig(...) or the "
+                    "deprecated individual kwargs, not both"
+                )
+            config = _config_from_legacy(legacy_kwargs)
+        if config is None:
+            config = ClientConfig()
+        #: The resolved :class:`ClientConfig`; the flat attributes below
+        #: mirror it for existing call sites that read them.
+        self.config = config
         self.host = host
         self.port = port
         self.client_name = client_name
-        self.wire_protocol = wire_protocol
+        self.wire_protocol = config.wire_protocol
         self._use_bin = False
-        self.max_retries = max_retries
-        self.retry_backoff_s = retry_backoff_s
-        self.retry_backoff_max_s = retry_backoff_max_s
-        self.request_timeout_s = request_timeout_s
-        self.hedge_reads = hedge_reads
-        self.hedge_delay_s = hedge_delay_s
-        self.hedge_delay_floor_s = hedge_delay_floor_s
+        self.max_retries = config.max_retries
+        self.retry_backoff_s = config.retry_backoff_s
+        self.retry_backoff_max_s = config.retry_backoff_max_s
+        self.request_timeout_s = config.request_timeout_s
+        self.hedge_reads = config.hedge_reads
+        self.hedge_delay_s = config.hedge_delay_s
+        self.hedge_delay_floor_s = config.hedge_delay_floor_s
+        self.tenant = config.tenant
         self.counters: Dict[str, int] = {
             "retries": 0, "hedged": 0, "hedged_wins": 0,
             "reconnects": 0, "timeouts": 0,
@@ -115,7 +191,7 @@ class ServiceClient:
         #: from the last ``hello``; a fleet membership cutover then
         #: answers ``WRONG_SHARD`` and the client refreshes its view and
         #: retries once (epoch-pinned requests ride the JSON wire).
-        self.track_epoch = track_epoch
+        self.track_epoch = config.track_epoch
         self.ring_epoch: Optional[int] = None
         self._reader: Optional["asyncio.StreamReader"] = None
         self._writer: Optional["asyncio.StreamWriter"] = None
@@ -138,7 +214,9 @@ class ServiceClient:
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
-        if self.wire_protocol != "json":
+        # A tenant-bound connection must announce itself before any data
+        # op, so it hellos on connect even on the plain JSON wire.
+        if self.wire_protocol != "json" or self.tenant is not None:
             await self.hello()
         return self
 
@@ -383,9 +461,11 @@ class ServiceClient:
         ``"bin"`` offers binary framing).  The response is cached on
         :attr:`server_info`, and under ``wire_protocol="auto"``/``"bin"``
         it decides whether the hot ops switch to the binary codec."""
-        response = await self.request(
-            {"type": "hello", "v": protocol.PROTOCOL_VERSION}
-        )
+        request: Dict[str, Any] = {"type": "hello",
+                                   "v": protocol.PROTOCOL_VERSION}
+        if self.tenant is not None:
+            request["tenant"] = self.tenant
+        response = await self.request(request)
         self.server_info = response
         if "epoch" in response:
             self.ring_epoch = response["epoch"]

@@ -24,7 +24,23 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigError
 from repro.metrics.percentiles import percentile
 from repro.service import protocol
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ClientConfig, ServiceClient, ServiceError
+
+
+@dataclass
+class TenantReport:
+    """One tenant's slice of a multi-tenant run (client-side view)."""
+
+    sent: int = 0
+    ok: int = 0
+    busy: int = 0
+    errors: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def latency_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return percentile(self.latencies_ms, q)
 
 
 @dataclass
@@ -49,6 +65,14 @@ class LoadgenReport:
     codec_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     server_stats: Optional[Dict] = None
+    #: Per-tenant slices, present only when the run assigned tenants.
+    tenants: Dict[str, TenantReport] = field(default_factory=dict)
+
+    def tenant_lane(self, tenant: str) -> TenantReport:
+        lane = self.tenants.get(tenant)
+        if lane is None:
+            lane = self.tenants[tenant] = TenantReport()
+        return lane
 
     @property
     def codec_share(self) -> float:
@@ -94,6 +118,14 @@ class LoadgenReport:
                 f"p90 {self.latency_ms(90):.2f}  "
                 f"p99 {self.latency_ms(99):.2f}  "
                 f"max {max(self.latencies_ms):.2f}"
+            )
+        for name in sorted(self.tenants):
+            lane = self.tenants[name]
+            p99 = (f"  p99 {lane.latency_ms(99):.2f}ms"
+                   if lane.latencies_ms else "")
+            lines.append(
+                f"  tenant {name}: sent {lane.sent}  ok {lane.ok}  "
+                f"busy {lane.busy}  errors {lane.errors}{p99}"
             )
         if self.server_stats:
             bridge = self.server_stats.get("bridge", {})
@@ -211,8 +243,11 @@ class _ClosedLoopConnection(asyncio.Protocol):
                  report: LoadgenReport, write_ratio: float, kind: str,
                  pairs: int, keyspace: int, seed: int,
                  retries: int = 0, wire_protocol: str = "json",
-                 key_dist: str = "uniform", zipf_s: float = 1.1) -> None:
+                 key_dist: str = "uniform", zipf_s: float = 1.1,
+                 tenant: Optional[str] = None) -> None:
         self.report = report
+        self.tenant = tenant
+        self.lane = report.tenant_lane(tenant) if tenant else None
         self.quota = quota
         self.pipeline = pipeline
         self.write_ratio = write_ratio
@@ -250,14 +285,17 @@ class _ClosedLoopConnection(asyncio.Protocol):
 
         Under ``wire_protocol`` "auto"/"bin" a JSON ``hello`` goes out
         first and the window waits for its answer -- binary frames only
-        ever follow a successful negotiation.
+        ever follow a successful negotiation.  A tenant-bound connection
+        hellos too (declaring its tenant), even on the plain JSON wire.
         """
         self.deadline = deadline
-        if self.wire_protocol != "json":
+        if self.wire_protocol != "json" or self.tenant is not None:
             self._negotiating = True
-            self.transport.write(protocol.encode_frame(
-                {"type": "hello", "v": protocol.PROTOCOL_VERSION, "id": 0}
-            ))
+            hello = {"type": "hello", "v": protocol.PROTOCOL_VERSION,
+                     "id": 0}
+            if self.tenant is not None:
+                hello["tenant"] = self.tenant
+            self.transport.write(protocol.encode_frame(hello))
             return
         self._fire_window()
 
@@ -285,6 +323,16 @@ class _ClosedLoopConnection(asyncio.Protocol):
             if hello is not None:
                 responses = [r for r in responses if r.get("id") != 0]
                 self._negotiating = False
+                if not hello.get("ok"):
+                    # A rejected hello (e.g. unknown tenant) fails the
+                    # run loudly instead of silently riding "default".
+                    self.done.set_exception(ConfigError(
+                        f"hello rejected: {hello.get('message', hello)}"
+                    ))
+                    if (self.transport is not None
+                            and not self.transport.is_closing()):
+                        self.transport.close()
+                    return
                 capable = "bin" in (hello.get("capabilities") or [])
                 if not capable and self.wire_protocol == "bin":
                     self.done.set_exception(ConfigError(
@@ -294,8 +342,9 @@ class _ClosedLoopConnection(asyncio.Protocol):
                             and not self.transport.is_closing()):
                         self.transport.close()
                     return
-                self.use_bin = capable
-                self.report.protocol = "bin" if capable else "json"
+                if self.wire_protocol != "json":
+                    self.use_bin = capable
+                    self.report.protocol = "bin" if capable else "json"
                 self._fire_window()
         now = time.monotonic()
         burst = bytearray()
@@ -307,6 +356,9 @@ class _ClosedLoopConnection(asyncio.Protocol):
             if response.get("ok"):
                 self.report.ok += 1
                 self.report.latencies_ms.append((now - t0) * 1e3)
+                if self.lane is not None:
+                    self.lane.ok += 1
+                    self.lane.latencies_ms.append((now - t0) * 1e3)
             elif (response.get("error") in (protocol.BUSY, protocol.TIMEOUT)
                   and attempt < self.retries):
                 # Re-send the same logical op in this pipeline slot; it
@@ -316,8 +368,12 @@ class _ClosedLoopConnection(asyncio.Protocol):
                 continue
             elif response.get("error") == protocol.BUSY:
                 self.report.busy += 1
+                if self.lane is not None:
+                    self.lane.busy += 1
             else:
                 self.report.errors += 1
+                if self.lane is not None:
+                    self.lane.errors += 1
             if self._may_send():
                 burst += self._next_request()
         if burst:
@@ -330,6 +386,8 @@ class _ClosedLoopConnection(asyncio.Protocol):
             # Anything still unanswered when the server hangs up is an
             # error from the client's point of view.
             self.report.errors += len(self._inflight)
+            if self.lane is not None:
+                self.lane.errors += len(self._inflight)
             self._inflight.clear()
             self.done.set_result(None)
 
@@ -345,6 +403,8 @@ class _ClosedLoopConnection(asyncio.Protocol):
                       self.keyspace, self.sampler)
         self.sent += 1
         self.report.sent += 1
+        if self.lane is not None:
+            self.lane.sent += 1
         return self._encode(op, 0)
 
     def _encode(self, op: Dict, attempt: int) -> bytes:
@@ -366,6 +426,8 @@ class _ClosedLoopConnection(asyncio.Protocol):
 
     def _abort(self) -> None:
         self.report.errors += len(self._inflight)
+        if self.lane is not None:
+            self.lane.errors += len(self._inflight)
         self._inflight.clear()
         self._finish()
 
@@ -374,19 +436,32 @@ async def _issue(client: ServiceClient, op: Dict,
                  report: LoadgenReport) -> None:
     t0 = time.monotonic()
     report.sent += 1
+    lane = report.tenant_lane(client.tenant) if client.tenant else None
+    if lane is not None:
+        lane.sent += 1
     try:
         await client.request(op)
     except ServiceError as exc:
         if exc.is_busy:
             report.busy += 1
+            if lane is not None:
+                lane.busy += 1
         else:
             report.errors += 1
+            if lane is not None:
+                lane.errors += 1
         return
     except (ConnectionError, asyncio.CancelledError):
         report.errors += 1
+        if lane is not None:
+            lane.errors += 1
         return
-    report.latencies_ms.append((time.monotonic() - t0) * 1e3)
+    latency_ms = (time.monotonic() - t0) * 1e3
+    report.latencies_ms.append(latency_ms)
     report.ok += 1
+    if lane is not None:
+        lane.ok += 1
+        lane.latencies_ms.append(latency_ms)
 
 
 async def run_loadgen(
@@ -410,6 +485,7 @@ async def run_loadgen(
     wire_protocol: str = "auto",
     fetch_stats: bool = True,
     connect_retries: int = 25,
+    tenants: Optional[List[str]] = None,
 ) -> LoadgenReport:
     """Drive the service and return the client-side report.
 
@@ -439,6 +515,14 @@ async def run_loadgen(
     with rank 0 (pair 0 / ``k00000000``) always the hottest.  Each
     closed-loop connection samples from its own seeded stream, so a run
     is reproducible for any client count.
+
+    ``tenants`` assigns connections to QoS tenant names round-robin
+    (connection ``i`` serves ``tenants[i % len(tenants)]``), so e.g.
+    ``["gold", "silver", "bronze"]`` across 12 clients drives a
+    3-tenant-class mix at 4 connections per class.  Tenant-bound
+    connections declare themselves via ``hello`` and the report grows
+    per-tenant lanes (``report.tenants``) with their own latency
+    distributions.
     """
     if mode not in ("closed", "open"):
         raise ConfigError(f"mode must be closed/open, got {mode!r}")
@@ -462,6 +546,13 @@ async def run_loadgen(
         )
     if key_dist == "zipf" and zipf_s <= 0:
         raise ConfigError(f"zipf_s must be > 0, got {zipf_s}")
+    if tenants is not None:
+        if not tenants or not all(
+                isinstance(t, str) and t for t in tenants):
+            raise ConfigError(
+                f"tenants must be a non-empty list of non-empty tenant "
+                f"names, got {tenants!r}"
+            )
     report = LoadgenReport(mode=mode, clients=clients, wall_s=0.0,
                            key_dist=key_dist)
     if mode == "closed":
@@ -469,14 +560,18 @@ async def run_loadgen(
                            requests_per_client, duration_s, write_ratio,
                            kind, pairs, keyspace, seed, pipeline,
                            connect_retries, retries, wire_protocol,
-                           key_dist, zipf_s)
+                           key_dist, zipf_s, tenants)
     else:
         pool: List[ServiceClient] = []
         for i in range(clients):
             client = ServiceClient(host, port, client_name=f"loadgen-{i}",
-                                   max_retries=retries,
-                                   retry_backoff_s=0.005,
-                                   wire_protocol=wire_protocol)
+                                   config=ClientConfig(
+                                       max_retries=retries,
+                                       retry_backoff_s=0.005,
+                                       wire_protocol=wire_protocol,
+                                       tenant=(tenants[i % len(tenants)]
+                                               if tenants else None),
+                                   ))
             for attempt in range(connect_retries):
                 try:
                     await client.connect()
@@ -518,14 +613,17 @@ async def _closed_loop(host: str, port: int, report: LoadgenReport,
                        retries: int = 0,
                        wire_protocol: str = "json",
                        key_dist: str = "uniform",
-                       zipf_s: float = 1.1) -> None:
+                       zipf_s: float = 1.1,
+                       tenants: Optional[List[str]] = None) -> None:
     loop = asyncio.get_running_loop()
     connections: List[_ClosedLoopConnection] = []
     for i in range(clients):
         conn = _ClosedLoopConnection(i, requests_per_client, pipeline,
                                      report, write_ratio, kind, pairs,
                                      keyspace, seed, retries,
-                                     wire_protocol, key_dist, zipf_s)
+                                     wire_protocol, key_dist, zipf_s,
+                                     tenant=(tenants[i % len(tenants)]
+                                             if tenants else None))
         for attempt in range(connect_retries):
             try:
                 await loop.create_connection(lambda c=conn: c, host, port)

@@ -63,6 +63,8 @@ from repro.service.membership import (
     MembershipError,
 )
 from repro.service.migration import MigrationStream, MigrationStreamError
+from repro.service.qos import DEFAULT_TENANT, QosScheduler
+from repro.service.readcache import ReadCache
 from repro.service.selector import (
     DEFAULT_EWMA_ALPHA,
     DEFAULT_STALE_AFTER_S,
@@ -73,7 +75,7 @@ from repro.service.selector import (
     ReplicaStats,
     RoutingTrace,
 )
-from repro.service.server import RackService
+from repro.service.server import CACHE_HIT_LATENCY_US, RackService
 from repro.service.shard import (
     DEFAULT_RING_SEED,
     DEFAULT_VNODES,
@@ -245,6 +247,11 @@ class ShardRouter:
                 self.load_view, policy=read_policy,
                 stale_after_s=stale_after_s, trace=routing_trace,
             )
+        #: Front-end read cache, attached by :class:`ShardedRackService`
+        #: when caching is on.  The router's duty is correctness only:
+        #: invalidate on migration-stream writes (they bypass the
+        #: server's submit path) and fence at every epoch commit.
+        self.read_cache: Optional[ReadCache] = None
         self._after_chunk: Optional[Any] = None
         self._gc_task: Optional["asyncio.Task"] = None
         self._running = False
@@ -757,10 +764,14 @@ class ShardRouter:
 
         async def put(dst: int, key: str, value: str) -> None:
             await self._by_index[dst].bridge.submit_put(key, value, "migrate")
+            if self.read_cache is not None:
+                self.read_cache.invalidate(key)
 
         async def delete(src: int, key: str) -> None:
             if src in self._by_index:
                 await self._by_index[src].bridge.submit_delete(key, "migrate")
+            if self.read_cache is not None:
+                self.read_cache.invalidate(key)
 
         return scan, put, delete
 
@@ -857,6 +868,8 @@ class ShardRouter:
                 f"attempt(s): {exc}"
             ) from exc
         epoch = self.fleet.commit()
+        if self.read_cache is not None:
+            self.read_cache.fence(epoch)
         await stream.cleanup(report)
         return {
             "rack": index, "epoch": epoch, "kind": "add",
@@ -900,6 +913,8 @@ class ShardRouter:
                 f"attempt(s): {exc}"
             ) from exc
         epoch = self.fleet.commit()
+        if self.read_cache is not None:
+            self.read_cache.fence(epoch)
         self._deregister_shard(shard)
         await shard.stop(drain=True, drain_timeout_s=drain_timeout_s)
         return {
@@ -960,13 +975,18 @@ class ShardedRackService(RackService):
     def __init__(self, router: ShardRouter, host: str = "127.0.0.1",
                  port: int = 0, *,
                  max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+                 qos: Optional[QosScheduler] = None,
+                 read_cache: Optional[ReadCache] = None,
                  ) -> None:
         super().__init__(
             router.shards[0].bridge.rack.config, host, port,
             bridge=router,  # the router speaks the bridge surface
             max_frame_bytes=max_frame_bytes,
+            qos=qos, read_cache=read_cache,
         )
         self.router = router
+        # The router invalidates on stream writes and fences at commits.
+        router.read_cache = read_cache
 
     def _capabilities(self) -> List[str]:
         return super()._capabilities() + ["sharded"]
@@ -1005,6 +1025,10 @@ class ShardedRackService(RackService):
 
     def _stats_payload(self) -> Dict[str, Any]:
         out = self.router.stats_payload()
+        if self.qos is not None:
+            out[schema.SECTION_TENANTS] = self.qos.stats_section()
+        if self.read_cache is not None:
+            out[schema.SECTION_READCACHE] = self.read_cache.stats_section()
         out[schema.FIELD_CONNECTIONS] = float(self.connections_accepted)
         return out
 
@@ -1014,6 +1038,16 @@ class ShardedRackService(RackService):
 # --------------------------------------------------------------------------
 
 _SERVING_RE = re.compile(r"\bon ([0-9.]+):(\d+)\s*$")
+
+#: Request types the proxy meters against a tenant's QoS budget --
+#: everything that reaches a backend's simulated data path.
+_QOS_DATA_TYPES = frozenset(("read", "write", "get", "put", "del", "scan"))
+
+#: Binary opcode -> request type, for the relay's QoS/cache bookkeeping.
+_BIN_RTYPE = {
+    protocol.OP_READ: "read", protocol.OP_WRITE: "write",
+    protocol.OP_GET: "get", protocol.OP_PUT: "put",
+}
 
 
 class ProxyLoadView:
@@ -1085,11 +1119,15 @@ class _BackendLink:
 
     def __init__(self, node: int, client_writer: "asyncio.StreamWriter",
                  max_frame_bytes: int,
-                 observer: Optional["ProxyLoadView"] = None) -> None:
+                 observer: Optional["ProxyLoadView"] = None,
+                 on_response: Optional[Any] = None) -> None:
         self.node = node
         self.client_writer = client_writer
         self.max_frame_bytes = max_frame_bytes
         self.observer = observer
+        #: QoS/cache completion hook (``(request_id, frame, latency_us)``,
+        #: frame/latency ``None`` for orphans); ``None`` on plain relays.
+        self.on_response = on_response
         self.reader: Optional["asyncio.StreamReader"] = None
         self.writer: Optional["asyncio.StreamWriter"] = None
         self.relay_task: Optional["asyncio.Task"] = None
@@ -1138,11 +1176,13 @@ class _BackendLink:
                     response_id = self._response_id(frame)
                     if response_id is not None:
                         sent_at = self.inflight.pop(response_id, None)
-                        if sent_at is not None and self.observer is not None:
-                            self.observer.done(
-                                self.node,
-                                (time.monotonic() - sent_at) * 1e6,
-                            )
+                        if sent_at is not None:
+                            latency_us = (time.monotonic() - sent_at) * 1e6
+                            if self.observer is not None:
+                                self.observer.done(self.node, latency_us)
+                            if self.on_response is not None:
+                                self.on_response(response_id, frame,
+                                                 latency_us)
                     batch.append(frame)
                 if batch and not self.client_writer.is_closing():
                     self.client_writer.writelines(batch)
@@ -1165,6 +1205,9 @@ class _BackendLink:
                     ))
             if self.observer is not None and self.inflight:
                 self.observer.lost(self.node, len(self.inflight))
+            if self.on_response is not None:
+                for request_id in list(self.inflight):
+                    self.on_response(request_id, None, None)
             self.inflight.clear()
 
     async def close(self) -> None:
@@ -1204,6 +1247,8 @@ class ShardProxy:
                  read_policy: str = POLICY_HASH,
                  stale_after_s: float = DEFAULT_STALE_AFTER_S,
                  routing_trace: Optional[RoutingTrace] = None,
+                 qos: Optional[QosScheduler] = None,
+                 read_cache: Optional[ReadCache] = None,
                  ) -> None:
         if not backends:
             raise ConfigError("a proxy needs at least one backend")
@@ -1239,6 +1284,14 @@ class ShardProxy:
         self.write_dups = 0
         #: Load-aware read placement; ``None`` under hash policy, which
         #: keeps that mode's relay byte-identical to today.
+        #: Multi-tenant QoS + DRAM read cache, proxy flavour: admission
+        #: and cache hits happen here at the front-end (the backends
+        #: keep their own per-client admission), and completions are
+        #: measured at the relay -- wall-clock turnaround, the only
+        #: latency the proxy can see.  Both default off, keeping the
+        #: plain relay byte-identical.
+        self.qos = qos
+        self.read_cache = read_cache
         self.read_policy = read_policy
         self.load_view: Optional[ProxyLoadView] = None
         self.selector: Optional[ReplicaSelector] = None
@@ -1352,6 +1405,12 @@ class ShardProxy:
             self._connections.add(task)
         self.connections_accepted += 1
         links: Dict[int, _BackendLink] = {}
+        # Per-connection tenancy: the hello-declared tenant plus the
+        # response-time actions (QoS completion, cache fill/invalidate)
+        # keyed by request id.  ``hook`` is None on a plain relay, which
+        # keeps that path byte-identical.
+        conn: Dict[str, Any] = {"tenant": DEFAULT_TENANT, "pending": {}}
+        conn["hook"] = self._make_response_hook(conn)
         splitter = protocol.FrameSplitter(self.max_frame_bytes)
         try:
             while True:
@@ -1367,11 +1426,11 @@ class ShardProxy:
                     for frame in frames:
                         if protocol.frame_is_binary(frame):
                             await self._begin_binary(frame, writer, links,
-                                                     batches)
+                                                     batches, conn)
                         else:
                             await self._begin(
                                 self._parse_json_frame(frame), writer,
-                                links, batches,
+                                links, batches, conn,
                             )
                 except protocol.FrameError as exc:
                     writer.write(protocol.encode_frame(
@@ -1430,7 +1489,9 @@ class ShardProxy:
 
     async def _link_for(self, node: int, writer: "asyncio.StreamWriter",
                         links: Dict[int, _BackendLink], request_id: Any,
-                        binary: bool) -> Optional[_BackendLink]:
+                        binary: bool,
+                        conn: Optional[Dict[str, Any]] = None,
+                        ) -> Optional[_BackendLink]:
         """The live link to ``node``, dialing on first use; ``None`` (with
         the error already sent, in the request's codec) if unreachable."""
         link = links.get(node)
@@ -1438,7 +1499,8 @@ class ShardProxy:
             if link is not None:
                 await link.close()
             link = _BackendLink(node, writer, self.max_frame_bytes,
-                                observer=self.load_view)
+                                observer=self.load_view,
+                                on_response=(conn or {}).get("hook"))
             host, port = self.backends[node]
             try:
                 await link.open(host, port)
@@ -1454,10 +1516,110 @@ class ShardProxy:
             links[node] = link
         return link
 
+    # -------------------------------------------------------- tenancy hooks
+
+    def _decode_response(self, frame: Any) -> Optional[Dict[str, Any]]:
+        """Decode one complete response frame (either codec); None if bad."""
+        try:
+            messages = protocol.FrameDecoder(self.max_frame_bytes).feed(
+                bytes(frame)
+            )
+        except protocol.FrameError:
+            return None
+        return messages[0] if messages else None
+
+    def _make_response_hook(self, conn: Dict[str, Any]) -> Optional[Any]:
+        """The relay's completion hook for one client connection.
+
+        ``None`` when the proxy runs without QoS and cache, so the plain
+        relay never decodes a response body.  With either on, tracked
+        responses pay one decode: the QoS ledger needs the ok bit and
+        cache fills need the value.  Dup-written frames carry the same
+        id on two links; the pending entry pops on the first response
+        and the second is a no-op, matching the client's own first-
+        response-wins dedup.
+        """
+        if self.qos is None and self.read_cache is None:
+            return None
+
+        def hook(request_id: Any, frame: Any,
+                 latency_us: Optional[float]) -> None:
+            entry = conn["pending"].pop(request_id, None)
+            if entry is None:
+                return
+            action, key, token, tenant = entry
+            response = (self._decode_response(frame)
+                        if frame is not None else None)
+            ok = bool(response is not None and response.get("ok"))
+            if self.qos is not None:
+                latency_ms = (None if latency_us is None
+                              else latency_us / 1000.0)
+                self.qos.on_complete(tenant, latency_ms, ok=ok)
+            if self.read_cache is None:
+                return
+            if action == "write" and key is not None:
+                # Unconditional on completion -- invalidating on an
+                # errored write is harmless, serving stale is not.
+                self.read_cache.invalidate(key)
+            elif (action == "get" and ok and key is not None
+                    and token is not None and response.get("found")):
+                self.read_cache.fill(key, response.get("value"), tenant,
+                                     token)
+
+        return hook
+
+    def _track(self, conn: Optional[Dict[str, Any]], request_id: Any,
+               rtype: str, key: Optional[str], token: Any,
+               tenant: str) -> None:
+        """Register the response-time QoS/cache actions for one frame."""
+        if conn is None or conn.get("hook") is None or request_id is None:
+            return
+        if self.qos is not None:
+            self.qos.on_submit(tenant)
+        if rtype in ("put", "del"):
+            action = "write"
+        elif rtype == "get":
+            action = "get"
+        else:
+            action = "other"
+        conn["pending"][request_id] = (action, key, token, tenant)
+
+    def _qos_shed(self, tenant: str, reply: Any, request_id: Any) -> bool:
+        """Weighted-fair gate; True (with BUSY sent) when shed."""
+        if self.qos is None or self.qos.try_admit(tenant):
+            return False
+        reply(protocol.error_response(
+            protocol.BUSY,
+            f"tenant {tenant!r} is over its QoS budget", request_id,
+        ))
+        return True
+
+    def _cache_hit(self, key: str, tenant: str, reply: Any,
+                   request_id: Any) -> Tuple[bool, Any]:
+        """Probe the front-end cache for a ``get``.
+
+        Returns ``(served, fill_token)``; a hit is answered here (in
+        the request's codec, via ``reply``) and still feeds the
+        tenant's SLO window as a near-zero-latency success.
+        """
+        assert self.read_cache is not None
+        hit, value, token = self.read_cache.lookup(key, tenant)
+        if not hit:
+            return False, token
+        if self.qos is not None:
+            self.qos.on_submit(tenant)
+            self.qos.on_complete(tenant, CACHE_HIT_LATENCY_US / 1000.0)
+        reply(protocol.ok_response(
+            request_id, value=value, found=True,
+            latency_us=CACHE_HIT_LATENCY_US,
+        ))
+        return True, None
+
     async def _begin_binary(self, frame: Any,
                             writer: "asyncio.StreamWriter",
                             links: Dict[int, _BackendLink],
                             batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]],
+                            conn: Optional[Dict[str, Any]] = None,
                             ) -> None:
         """Route one binary frame without decoding it.
 
@@ -1496,6 +1658,19 @@ class ShardProxy:
             ))
             return
         kind, value = route
+        tenant = conn["tenant"] if conn is not None else DEFAULT_TENANT
+        if self._qos_shed(tenant, reply, request_id):
+            return
+        fill_token: Any = None
+        cache_key: Optional[str] = None
+        if kind == "key":
+            cache_key = str(value)
+            if self.read_cache is not None and frame[1] == protocol.OP_GET:
+                served, fill_token = self._cache_hit(
+                    cache_key, tenant, reply, request_id
+                )
+                if served:
+                    return
         forward_node: Optional[int] = None
         if kind == "pair":
             total = self.pairs_per_rack * len(self.ring)
@@ -1519,19 +1694,24 @@ class ShardProxy:
         else:
             node = self.fleet.read_owner(str(value))
             out_frame = frame
-        link = await self._link_for(node, writer, links, request_id, True)
+        link = await self._link_for(node, writer, links, request_id, True,
+                                    conn)
         if link is None:
             return
         self.routed += 1
         self._enqueue(batches, link, out_frame, request_id)
+        self._track(conn, request_id, _BIN_RTYPE.get(frame[1], "other"),
+                    cache_key, fill_token, tenant)
         if forward_node is not None:
             await self._dup_write(str(value), out_frame, forward_node,
-                                  writer, links, batches, request_id, True)
+                                  writer, links, batches, request_id, True,
+                                  conn)
 
     async def _begin(self, request: Dict[str, Any],
                      writer: "asyncio.StreamWriter",
                      links: Dict[int, _BackendLink],
                      batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]],
+                     conn: Optional[Dict[str, Any]] = None,
                      ) -> None:
         request_id = request.get("id")
 
@@ -1555,10 +1735,30 @@ class ShardProxy:
             # Advertised only when active: hash mode stays byte-identical.
             if self.selector is not None:
                 hello_fields["read_policy"] = self.read_policy
+            declared = request.get("tenant")
+            if declared is not None:
+                if not isinstance(declared, str) or not declared:
+                    reply(protocol.error_response(
+                        protocol.BAD_REQUEST,
+                        f"tenant must be a non-empty string, "
+                        f"got {declared!r}", request_id,
+                    ))
+                    return
+                if self.qos is not None and not self.qos.knows(declared):
+                    reply(protocol.error_response(
+                        protocol.BAD_REQUEST,
+                        f"unknown tenant {declared!r}; declared tenants: "
+                        f"{self.qos.tenant_names}", request_id,
+                    ))
+                    return
+                if conn is not None:
+                    conn["tenant"] = declared
+                hello_fields["tenant"] = declared
+            capabilities = ["raw", "kv", "sharded", "proxy", "bin"]
+            if self.qos is not None:
+                capabilities.append("qos")
             reply(protocol.hello_response(
-                request_id,
-                capabilities=["raw", "kv", "sharded", "proxy", "bin"],
-                **hello_fields,
+                request_id, capabilities=capabilities, **hello_fields,
             ))
             return
         if rtype == "ping":
@@ -1591,6 +1791,19 @@ class ShardProxy:
                 protocol.SHUTTING_DOWN, "proxy is draining", request_id
             ))
             return
+        tenant = conn["tenant"] if conn is not None else DEFAULT_TENANT
+        if rtype in _QOS_DATA_TYPES and self._qos_shed(tenant, reply,
+                                                       request_id):
+            return
+        fill_token: Any = None
+        cache_key = request.get("key") \
+            if isinstance(request.get("key"), str) else None
+        if (rtype == "get" and self.read_cache is not None
+                and cache_key is not None):
+            served, fill_token = self._cache_hit(cache_key, tenant, reply,
+                                                 request_id)
+            if served:
+                return
         node, forward_node = self._route(request)
         if node is None:
             self.unroutable += 1
@@ -1605,16 +1818,19 @@ class ShardProxy:
         out_request.pop("epoch", None)
         if rtype in ("read", "write"):
             out_request["pair"] = int(request["pair"]) % self.pairs_per_rack
-        link = await self._link_for(node, writer, links, request_id, False)
+        link = await self._link_for(node, writer, links, request_id, False,
+                                    conn)
         if link is None:
             return
         self.routed += 1
         frame = protocol.encode_frame(out_request)
         self._enqueue(batches, link, frame, request_id)
+        self._track(conn, request_id, str(rtype), cache_key, fill_token,
+                    tenant)
         if forward_node is not None:
             await self._dup_write(str(request.get("key", "")), frame,
                                   forward_node, writer, links, batches,
-                                  request_id, False)
+                                  request_id, False, conn)
 
     # ----------------------------------------------------------- membership
 
@@ -1622,7 +1838,8 @@ class ShardProxy:
                          writer: "asyncio.StreamWriter",
                          links: Dict[int, _BackendLink],
                          batches: Dict[_BackendLink, Tuple[List[Any], List[Any]]],
-                         request_id: Any, binary: bool) -> None:
+                         request_id: Any, binary: bool,
+                         conn: Optional[Dict[str, Any]] = None) -> None:
         """Duplicate a migrating key's write to its future owner.
 
         The proxy relays frames without matching responses, so it cannot
@@ -1643,7 +1860,8 @@ class ShardProxy:
         await self.fleet.await_stream_put(key)
         # Dial errors reply with id ``None`` (clients ignore them): the
         # primary leg is already queued and must own the id's response.
-        link = await self._link_for(forward_node, writer, links, None, binary)
+        link = await self._link_for(forward_node, writer, links, None, binary,
+                                    conn)
         if link is not None:
             self._enqueue(batches, link, frame, request_id)
 
@@ -1753,10 +1971,14 @@ class ShardProxy:
 
         async def put(dst: int, key: str, value: str) -> None:
             await (await client_for(dst)).put(key, value)
+            if self.read_cache is not None:
+                self.read_cache.invalidate(key)
 
         async def delete(src: int, key: str) -> None:
             if 0 <= src < len(self.backends) and src not in self.drained:
                 await (await client_for(src)).delete(key)
+            if self.read_cache is not None:
+                self.read_cache.invalidate(key)
 
         async def close() -> None:
             for client in clients.values():
@@ -1812,6 +2034,8 @@ class ShardProxy:
                 f"attempt(s): {exc}"
             ) from exc
         epoch = self.fleet.commit()
+        if self.read_cache is not None:
+            self.read_cache.fence(epoch)
         try:
             await stream.cleanup(report)
         finally:
@@ -1841,6 +2065,8 @@ class ShardProxy:
                 f"attempt(s): {exc}"
             ) from exc
         epoch = self.fleet.commit()
+        if self.read_cache is not None:
+            self.read_cache.fence(epoch)
         await close()
         # The slot stays (indices must remain stable); the backend just
         # left the ring.  The operator stops the process at leisure.
@@ -1911,6 +2137,10 @@ class ShardProxy:
                 }
             routing[schema.FIELD_ROUTING_REPLICAS] = replicas
             out[schema.SECTION_ROUTING] = routing
+        if self.qos is not None:
+            out[schema.SECTION_TENANTS] = self.qos.stats_section()
+        if self.read_cache is not None:
+            out[schema.SECTION_READCACHE] = self.read_cache.stats_section()
         out[schema.FIELD_CONNECTIONS] = float(self.connections_accepted)
         return out
 

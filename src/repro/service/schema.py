@@ -29,6 +29,12 @@ collector, since per-shard percentiles do not merge), plus::
 
     "router": {racks, virtual_nodes, routed, cross_rack_redirects,
                scatter_scans, unroutable, gc_view_commits, epoch},
+    "tenants": {"gold": {weight, slo_target_ms, share, admitted, ...},
+                ...}           # when a tenant spec is configured
+                               # (single-rack payloads may carry it too)
+    "readcache": {capacity, segments, entries, hits, misses, hit_rate,
+                  fills, fill_races, invalidations, evictions, epoch}
+                               # when the DRAM read cache is on
     "migration": {keys_moved, bytes_streamed, batches,
                   dual_read_fallbacks, write_forwards, aborts, cutovers,
                   cleanup_deletes, racks_added, racks_drained, epoch,
@@ -66,6 +72,8 @@ SECTION_ROUTER = "router"
 SECTION_MIGRATION = "migration"
 SECTION_SHARDS = "shards"
 SECTION_ROUTING = "routing"
+SECTION_TENANTS = "tenants"
+SECTION_READCACHE = "readcache"
 FIELD_CONNECTIONS = "connections"
 FIELD_ROUTING_REPLICAS = "replicas"
 
@@ -107,6 +115,20 @@ ROUTING_FIELDS = (
     "no_live_fallbacks", "dead_skips",
 )
 ROUTING_REPLICA_FIELDS = ("depth", "ewma_us", "age_s")
+#: Per-tenant QoS counters (:meth:`QosScheduler.stats_section`); the
+#: section maps tenant name to one numeric map each, present only when
+#: a tenant spec is configured on the front-end.
+TENANT_FIELDS = (
+    "weight", "slo_target_ms", "share", "admitted", "shed_rate_limited",
+    "shed_over_share", "inflight", "completed", "slo_violations",
+    "slo_burn",
+)
+#: DRAM read-cache counters (:meth:`ReadCache.stats_section`); present
+#: only when the read-cache tier is enabled.
+READCACHE_FIELDS = (
+    "capacity", "segments", "entries", "hits", "misses", "hit_rate",
+    "fills", "fill_races", "invalidations", "evictions", "epoch",
+)
 
 #: Sections every server payload must carry.
 REQUIRED_SECTIONS = (
@@ -120,6 +142,12 @@ _ADMISSION_SUM_FIELDS = (
     "admitted", "shed_queue_full", "shed_rate_limited", "max_queue_depth",
     "clients",
 )
+#: Tenant fields that take the worst/declared value when sections merge
+#: (everything else is an additive counter).
+_TENANT_MAX_FIELDS = ("weight", "slo_target_ms", "slo_burn")
+#: Read-cache fields that take the max when sections merge; ``hit_rate``
+#: is recomputed from the merged hits/misses instead.
+_READCACHE_MAX_FIELDS = ("segments", "epoch")
 
 
 class StatsSchemaError(ReproError):
@@ -133,16 +161,23 @@ def assemble_server_stats(
     bridge_payload: Dict[str, Any],
     admission_stats: Dict[str, float],
     connections: int,
+    tenants: Optional[Dict[str, Dict[str, float]]] = None,
+    readcache: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
     """The canonical server-side ``stats`` response body.
 
     ``bridge_payload`` is ``SimTimeBridge.stats_payload()`` (bridge +
     metrics + kvstore + optional chaos/traces); this adds the admission
-    and connection sections every server flavour owes its clients.
+    and connection sections every server flavour owes its clients, plus
+    the optional QoS sections when a tenant spec / read cache is live.
     """
     out = dict(bridge_payload)
     out[SECTION_ADMISSION] = dict(admission_stats)
     out[FIELD_CONNECTIONS] = float(connections)
+    if tenants is not None:
+        out[SECTION_TENANTS] = tenants
+    if readcache is not None:
+        out[SECTION_READCACHE] = readcache
     return out
 
 
@@ -174,6 +209,35 @@ def aggregate_sections(shard_sections: "list[Dict[str, Any]]",
                     dst[field] = max(dst[field], value)
                 else:
                     dst[field] += value
+        # QoS sections appear only where a front-end carries them (e.g.
+        # per-core workers each own a scheduler + cache): fold when
+        # present, never synthesize an empty section.
+        cache = section.get(SECTION_READCACHE)
+        if isinstance(cache, Mapping):
+            dst = agg.setdefault(
+                SECTION_READCACHE, {f: 0.0 for f in READCACHE_FIELDS})
+            for field in READCACHE_FIELDS:
+                value = float(cache.get(field, 0.0))
+                if field in _READCACHE_MAX_FIELDS:
+                    dst[field] = max(dst[field], value)
+                elif field != "hit_rate":
+                    dst[field] += value
+        tenants = section.get(SECTION_TENANTS)
+        if isinstance(tenants, Mapping):
+            dst = agg.setdefault(SECTION_TENANTS, {})
+            for tenant, body in tenants.items():
+                tdst = dst.setdefault(
+                    tenant, {f: 0.0 for f in TENANT_FIELDS})
+                for field in TENANT_FIELDS:
+                    value = float(body.get(field, 0.0))
+                    if field in _TENANT_MAX_FIELDS:
+                        tdst[field] = max(tdst[field], value)
+                    else:
+                        tdst[field] += value
+    cache = agg.get(SECTION_READCACHE)
+    if cache is not None:
+        total = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / total if total else 0.0
     return agg
 
 
@@ -272,6 +336,25 @@ def validate_stats(payload: Mapping, *, client: bool = False,
                       required=False)
     _validate_section(payload, SECTION_ROUTING, ROUTING_FIELDS, where,
                       required=False)
+    _validate_section(payload, SECTION_READCACHE, READCACHE_FIELDS, where,
+                      required=False)
+    tenants = payload.get(SECTION_TENANTS)
+    if tenants is not None:
+        if not isinstance(tenants, Mapping) or not tenants:
+            raise StatsSchemaError(
+                f"{where}: {SECTION_TENANTS!r} must be a non-empty mapping "
+                f"of tenant name to counters"
+            )
+        for tenant, body in tenants.items():
+            tenant_where = f"{where}.tenants[{tenant!r}]"
+            if not isinstance(tenant, str) or not tenant:
+                raise StatsSchemaError(
+                    f"{tenant_where}: tenant keys are non-empty names"
+                )
+            if not isinstance(body, Mapping):
+                raise StatsSchemaError(f"{tenant_where}: must be a mapping")
+            for field in TENANT_FIELDS:
+                _require_number(body, SECTION_TENANTS, field, tenant_where)
     routing = payload.get(SECTION_ROUTING)
     if routing is not None:
         replicas = routing.get(FIELD_ROUTING_REPLICAS)

@@ -25,6 +25,17 @@ from repro.service import protocol, schema
 from repro.service.admission import AdmissionController
 from repro.service.bridge import SimTimeBridge
 from repro.service.membership import MembershipBusy, MembershipError
+from repro.service.qos import DEFAULT_TENANT, QosScheduler
+from repro.service.readcache import ReadCache
+
+#: Request types that consume simulated rack capacity and therefore
+#: pass through tenant QoS admission (everything else -- hello, ping,
+#: stats, admin -- is control plane).
+_DATA_TYPES = frozenset(("read", "write", "get", "put", "del", "scan"))
+
+#: Simulated latency reported for a DRAM cache hit: the request never
+#: touches the rack simulator, so the charge is a nominal DRAM fetch.
+CACHE_HIT_LATENCY_US = 1.0
 
 
 class RackService:
@@ -43,9 +54,17 @@ class RackService:
         chunk_us: float = 1000.0,
         request_timeout_us: Optional[float] = None,
         reuse_port: bool = False,
+        qos: Optional[QosScheduler] = None,
+        read_cache: Optional[ReadCache] = None,
     ) -> None:
         self.host = host
         self.port = port
+        #: Optional multi-tenant QoS scheduler; when set, connections
+        #: may declare a tenant in ``hello`` and every data op passes
+        #: weighted-fair tenant admission before per-client admission.
+        self.qos = qos
+        #: Optional DRAM read-through cache for KV ``get``\ s.
+        self.read_cache = read_cache
         #: Bind with ``SO_REUSEPORT`` so several per-core acceptor
         #: processes can share one listening port (``serve --workers``).
         self.reuse_port = reuse_port
@@ -122,6 +141,10 @@ class RackService:
         default_client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
         outstanding: Set["asyncio.Future"] = set()
         decoder = protocol.FrameDecoder(self.max_frame_bytes)
+        # Per-connection identity: the tenant is declared once in the
+        # hello exchange (the binary codec has no per-request field for
+        # it) and sticks for the connection's lifetime.
+        conn = {"tenant": DEFAULT_TENANT}
         try:
             while True:
                 data = await reader.read(65536)
@@ -136,7 +159,7 @@ class RackService:
                     break  # framing is lost; drop the connection
                 for request, binary in requests:
                     self._begin_request(request, default_client, writer,
-                                        outstanding, binary)
+                                        outstanding, binary, conn)
                 # Push out whatever the batch produced synchronously
                 # (rejections, pings); completions flush per sim chunk.
                 self._flush_writes()
@@ -205,7 +228,10 @@ class RackService:
 
     def _capabilities(self) -> list:
         """What this server advertises in the ``hello`` exchange."""
-        return ["raw", "kv", "bin"]
+        caps = ["raw", "kv", "bin"]
+        if self.qos is not None:
+            caps.append("qos")
+        return caps
 
     def _hello_fields(self) -> Dict[str, Any]:
         """Extra fields for the ``hello`` response."""
@@ -269,6 +295,10 @@ class RackService:
         return schema.assemble_server_stats(
             self.bridge.stats_payload(), self.admission.stats(),
             self.connections_accepted,
+            tenants=(self.qos.stats_section()
+                     if self.qos is not None else None),
+            readcache=(self.read_cache.stats_section()
+                       if self.read_cache is not None else None),
         )
 
     # ----------------------------------------------------------------- admin
@@ -349,12 +379,14 @@ class RackService:
     def _begin_request(self, request: Dict[str, Any], default_client: str,
                        writer: "asyncio.StreamWriter",
                        outstanding: Set["asyncio.Future"],
-                       binary: bool = False) -> None:
+                       binary: bool = False,
+                       conn: Optional[Dict[str, str]] = None) -> None:
         """Admit and dispatch one request; responses are written either
         immediately (rejections, ping/stats) or from the sim future's
         done-callback when the simulated request completes.  ``binary``
         tags how the request arrived; every response to it answers in
-        the same codec."""
+        the same codec.  ``conn`` carries per-connection state (the
+        hello-declared tenant)."""
         request_id = request.get("id")
         bad_version = protocol.check_version(request)
         if bad_version is not None:
@@ -367,9 +399,29 @@ class RackService:
         rtype = request.get("type")
         # Cheap, non-simulated request types bypass admission entirely.
         if rtype == "hello":
+            declared = request.get("tenant")
+            extra: Dict[str, Any] = {}
+            if declared is not None:
+                if not isinstance(declared, str) or not declared:
+                    self._send_batched(writer, protocol.error_response(
+                        protocol.BAD_REQUEST,
+                        f"tenant must be a non-empty string, "
+                        f"got {declared!r}", request_id,
+                    ), binary)
+                    return
+                if self.qos is not None and not self.qos.knows(declared):
+                    self._send_batched(writer, protocol.error_response(
+                        protocol.BAD_REQUEST,
+                        f"unknown tenant {declared!r}; declared tenants: "
+                        f"{self.qos.tenant_names}", request_id,
+                    ), binary)
+                    return
+                if conn is not None:
+                    conn["tenant"] = declared
+                extra["tenant"] = declared
             self._send_batched(writer, protocol.hello_response(
                 request_id, capabilities=self._capabilities(),
-                **self._hello_fields(),
+                **self._hello_fields(), **extra,
             ), binary)
             return
         if rtype == "ping":
@@ -401,6 +453,32 @@ class RackService:
             ), binary)
             return
         client = str(request.get("client") or default_client)
+        tenant = conn.get("tenant", DEFAULT_TENANT) if conn else DEFAULT_TENANT
+        qos = self.qos if rtype in _DATA_TYPES else None
+        if qos is not None and not qos.try_admit(tenant):
+            self._send_batched(writer, protocol.error_response(
+                protocol.BUSY,
+                f"tenant {tenant!r} is over its QoS budget", request_id,
+            ), binary)
+            return
+        cache = self.read_cache
+        key = request.get("key") if isinstance(request.get("key"), str) \
+            else None
+        fill_token = None
+        if cache is not None and rtype == "get" and key is not None:
+            hit, value, fill_token = cache.lookup(key, tenant)
+            if hit:
+                # Served straight from front-end DRAM: no admission, no
+                # simulated work, and the hit still counts toward the
+                # tenant's SLO window (a near-zero-latency success).
+                if qos is not None:
+                    qos.on_submit(tenant)
+                    qos.on_complete(tenant, CACHE_HIT_LATENCY_US / 1000.0)
+                self._send_batched(writer, protocol.ok_response(
+                    request_id, value=value, found=True,
+                    latency_us=CACHE_HIT_LATENCY_US,
+                ), binary)
+                return
         if not self._admit(client, request):
             self._send_batched(writer, protocol.error_response(
                 protocol.BUSY, "admission control shed this request",
@@ -416,10 +494,21 @@ class RackService:
             ), binary)
             return
         outstanding.add(future)
+        if qos is not None:
+            qos.on_submit(tenant)
+
+        def _qos_done(result: Optional[Dict[str, Any]], ok: bool) -> None:
+            if qos is None:
+                return
+            latency_us = (result or {}).get("latency_us")
+            latency_ms = (float(latency_us) / 1000.0
+                          if isinstance(latency_us, (int, float)) else None)
+            qos.on_complete(tenant, latency_ms, ok=ok)
 
         def _respond(fut: "asyncio.Future") -> None:
             outstanding.discard(fut)
             if fut.cancelled():
+                _qos_done(None, False)
                 self._send_batched(writer, protocol.error_response(
                     protocol.SHUTTING_DOWN, "request cancelled at shutdown",
                     request_id,
@@ -427,21 +516,36 @@ class RackService:
                 return
             exc = fut.exception()
             if exc is None:
+                result = fut.result()
+                _qos_done(result, True)
+                if cache is not None and key is not None:
+                    if rtype in ("put", "del"):
+                        # Write-through invalidation at completion time:
+                        # the store now holds the new value, so purge the
+                        # key and fence any fill racing this write.
+                        cache.invalidate(key)
+                    elif (rtype == "get" and fill_token is not None
+                          and result.get("found")):
+                        cache.fill(key, result.get("value"), tenant,
+                                   fill_token)
                 self._send_batched(
-                    writer, protocol.ok_response(request_id, **fut.result()),
+                    writer, protocol.ok_response(request_id, **result),
                     binary,
                 )
             elif isinstance(exc, asyncio.TimeoutError):
+                _qos_done(None, False)
                 self._send_batched(writer, protocol.error_response(
                     protocol.TIMEOUT, str(exc), request_id
                 ), binary)
             elif isinstance(exc, (KeyError, TypeError, ValueError,
                                   ConfigError)):
+                _qos_done(None, False)
                 self._send_batched(writer, protocol.error_response(
                     protocol.BAD_REQUEST, f"{type(exc).__name__}: {exc}",
                     request_id,
                 ), binary)
             else:
+                _qos_done(None, False)
                 self._send_batched(writer, protocol.error_response(
                     protocol.INTERNAL, f"{type(exc).__name__}: {exc}",
                     request_id,

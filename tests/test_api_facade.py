@@ -37,6 +37,7 @@ class TestFacadeSurface:
             "ChaosReport": "repro.chaos.runner",
             "RackService": "repro.service.server",
             "ServiceClient": "repro.service.client",
+            "ClientConfig": "repro.service.client",
             "ServiceError": "repro.service.client",
             "LoadgenReport": "repro.service.loadgen",
             "run_loadgen": "repro.service.loadgen",
@@ -60,6 +61,11 @@ class TestFacadeSurface:
             "MigrationPlan": "repro.service.membership",
             "MigrationStream": "repro.service.migration",
             "MigrationStreamError": "repro.service.migration",
+            "TenantSpec": "repro.service.qos",
+            "TenantSpecError": "repro.service.qos",
+            "load_tenant_specs": "repro.service.qos",
+            "QosScheduler": "repro.service.qos",
+            "ReadCache": "repro.service.readcache",
             "validate_stats": "repro.service.schema",
             "StatsSchemaError": "repro.service.schema",
         }
@@ -80,11 +86,14 @@ class TestOldPathsStillWork:
         # The pre-facade import style: everything through repro.service.
         from repro.service import (  # noqa: F401
             AdmissionController,
+            QosScheduler,
             RackService,
+            ReadCache,
             ServiceClient,
             ShardedRackService,
             ShardRouter,
             SimTimeBridge,
+            TenantSpec,
             run_loadgen,
         )
 

@@ -618,3 +618,62 @@ class TestLoadAwareReadsAcrossMigration:
                 assert d.chosen != 1, d
             if d.epoch >= 1:
                 assert 1 not in d.candidates and d.chosen != 1, d
+
+
+class TestReadCacheAcrossMigration:
+    """The DRAM read cache across membership changes: a moved key must
+    never serve a pre-migration value.  Two mechanisms are on trial --
+    write-through invalidation (every completed write drops the cached
+    copy) and the epoch fence (the cutover drops the *whole* cache)."""
+
+    @pytest.mark.qos
+    def test_moved_key_never_serves_stale_value(self):
+        from repro.service.qos import QosScheduler
+        from repro.service.readcache import ReadCache
+        from repro.service.server import CACHE_HIT_LATENCY_US
+
+        async def scenario():
+            router = ShardRouter.from_config(base_config(), 2,
+                                             precondition=False,
+                                             chunk_us=2000.0)
+            qos = QosScheduler(None)
+            cache = ReadCache(1024, shares=qos.cache_shares())
+            service = ShardedRackService(router, port=0, qos=qos,
+                                         read_cache=cache)
+            await service.start()
+            try:
+                async with ServiceClient("127.0.0.1", service.port) as c:
+                    acked = await seed_keys(c, 120)
+                    for key in acked:          # miss + fill
+                        await c.get(key)
+                    warm = {k: await c.get(k) for k in acked}
+                    await c.fleet_add_rack(batch_size=16)
+                    fenced = {k: await c.get(k) for k in acked}
+                    # Rewrite, then read back: a cached pre-migration
+                    # value surviving the fence or an invalidation
+                    # would surface right here.
+                    for key in list(acked):
+                        acked[key] += "-post"
+                        await c.put(key, acked[key])
+                    reads = {k: await c.get(k) for k in acked}
+                    stats = await c.stats()
+                return acked, warm, fenced, reads, stats
+
+            finally:
+                await service.stop()
+
+        acked, warm, fenced, reads, stats = asyncio.run(scenario())
+        hit = lambda r: r.get("latency_us") == CACHE_HIT_LATENCY_US  # noqa: E731
+        # The warm-up proves the cache was actually serving these keys
+        # before the cutover -- without it the drill would pass trivially.
+        assert all(hit(r) for r in warm.values())
+        # The epoch fence dropped everything: no read immediately after
+        # the cutover is served from DRAM, and none is stale.
+        assert not any(hit(r) for r in fenced.values())
+        for key in acked:
+            assert fenced[key]["value"] == acked[key].removesuffix("-post"), key
+        # Post-rewrite reads see the rewrite, never the cached original.
+        for key, value in acked.items():
+            assert reads[key]["found"] and reads[key]["value"] == value, key
+        schema.validate_stats(stats, client=True)
+        assert stats["readcache"]["invalidations"] >= 120

@@ -358,3 +358,145 @@ class TestRackServiceEndToEnd:
         data, eof = asyncio.run(scenario())
         assert b"BAD_REQUEST" in data
         assert eof == b""  # the server hung up after the framing error
+
+
+# ------------------------------------------------------- multi-tenant QoS
+
+
+@pytest.mark.qos
+class TestMultiTenantServingEndToEnd:
+    """The tenant-aware serving path over a real TCP connection: the
+    ``hello`` tenant field, the QoS gate, and the DRAM read cache."""
+
+    @staticmethod
+    async def _start_tenant_service():
+        from repro.service.qos import QosScheduler, TenantSpec
+        from repro.service.readcache import ReadCache
+
+        qos = QosScheduler([
+            TenantSpec("gold", weight=2, cache_share=2),
+            TenantSpec("metered", rate_per_sec=5, burst=1),
+        ])
+        cache = ReadCache(256, shares=qos.cache_shares())
+        return await _start_service(qos=qos, read_cache=cache)
+
+    def test_hello_binds_tenant_and_cache_serves_hot_reads(self):
+        from repro.service.client import ClientConfig
+        from repro.service.server import CACHE_HIT_LATENCY_US
+
+        async def scenario():
+            service = await self._start_tenant_service()
+            try:
+                c = ServiceClient("127.0.0.1", service.port, "t",
+                                  config=ClientConfig(tenant="gold"))
+                await c.connect()
+                try:
+                    hello = c.server_info
+                    await c.put("hot", "v1")
+                    first = await c.get("hot")     # miss + fill
+                    second = await c.get("hot")    # DRAM hit
+                    await c.put("hot", "v2")       # invalidates
+                    third = await c.get("hot")     # fresh, from the rack
+                    stats = await c.stats()
+                finally:
+                    await c.close()
+            finally:
+                await service.stop()
+            return hello, first, second, third, stats
+
+        hello, first, second, third, stats = asyncio.run(scenario())
+        assert hello["tenant"] == "gold"
+        assert "qos" in hello["capabilities"]
+        assert first["latency_us"] != CACHE_HIT_LATENCY_US
+        assert second["latency_us"] == CACHE_HIT_LATENCY_US
+        assert second["value"] == "v1"
+        assert third["value"] == "v2"              # never the cached v1
+        assert stats["readcache"]["hits"] >= 1.0
+        assert stats["tenants"]["gold"]["admitted"] >= 4.0
+        from repro.service import schema
+        schema.validate_stats(stats, client=True)
+
+    def test_undeclared_tenant_rejected_at_hello(self):
+        from repro.service.client import ClientConfig
+
+        async def scenario():
+            service = await self._start_tenant_service()
+            try:
+                c = ServiceClient("127.0.0.1", service.port, "t",
+                                  config=ClientConfig(tenant="nobody"))
+                with pytest.raises(ServiceError) as err:
+                    await c.connect()
+                await c.close()
+                return err.value
+            finally:
+                await service.stop()
+
+        exc = asyncio.run(scenario())
+        assert exc.code == "BAD_REQUEST"
+        assert "unknown tenant" in str(exc)
+
+    def test_metered_tenant_is_shed_busy(self):
+        from repro.service.client import ClientConfig
+
+        async def scenario():
+            service = await self._start_tenant_service()
+            try:
+                c = ServiceClient("127.0.0.1", service.port, "t",
+                                  config=ClientConfig(tenant="metered"))
+                await c.connect()
+                busy = 0
+                try:
+                    for i in range(10):
+                        try:
+                            await c.get(f"k{i}")
+                        except ServiceError as exc:
+                            assert exc.is_busy
+                            assert "QoS budget" in str(exc)
+                            busy += 1
+                finally:
+                    await c.close()
+                return busy
+            finally:
+                await service.stop()
+
+        busy = asyncio.run(scenario())
+        # burst 1 at 5/s: nearly everything past the first is shed.
+        assert busy >= 5
+
+
+class TestClientConfig:
+    def test_legacy_kwargs_map_and_warn_once(self, monkeypatch):
+        import warnings
+
+        from repro.service import client as client_mod
+
+        monkeypatch.setattr(client_mod, "_legacy_kwargs_warned", False)
+        with pytest.warns(DeprecationWarning, match="ClientConfig"):
+            c = ServiceClient("127.0.0.1", 1, max_retries=2, hedge_reads=True)
+        assert c.config.max_retries == 2
+        assert c.config.hedge_reads is True
+        assert c.max_retries == 2            # mirror attribute intact
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # the second use is silent
+            ServiceClient("127.0.0.1", 1, max_retries=1)
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        from repro.service.client import ClientConfig
+
+        with pytest.raises(TypeError, match="both"):
+            ServiceClient("127.0.0.1", 1, config=ClientConfig(),
+                          max_retries=1)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="frobnicate"):
+            ServiceClient("127.0.0.1", 1, frobnicate=True)
+
+    def test_config_validation(self):
+        from repro.service.client import ClientConfig
+
+        with pytest.raises(ValueError, match="wire_protocol"):
+            ClientConfig(wire_protocol="carrier-pigeon")
+        with pytest.raises(ValueError, match="tenant"):
+            ClientConfig(tenant="")
+        with pytest.raises(ValueError, match="max_retries"):
+            ClientConfig(max_retries=-1)

@@ -127,6 +127,65 @@ class TestValidate:
         assert schema.shard_ids(single_rack_payload()) == []
 
 
+def tenant_section(**overrides):
+    out = {field: 0.0 for field in schema.TENANT_FIELDS}
+    out.update(overrides)
+    return out
+
+
+def readcache_section(**overrides):
+    out = {field: 0.0 for field in schema.READCACHE_FIELDS}
+    out.update(overrides)
+    return out
+
+
+class TestTenancySections:
+    def test_tenants_and_readcache_validate(self):
+        payload = single_rack_payload()
+        payload["tenants"] = {"gold": tenant_section(weight=3.0)}
+        payload["readcache"] = readcache_section(capacity=1024.0)
+        schema.validate_stats(payload)
+
+    def test_readcache_missing_field_named(self):
+        payload = single_rack_payload()
+        payload["readcache"] = readcache_section()
+        del payload["readcache"]["hit_rate"]
+        with pytest.raises(schema.StatsSchemaError, match="hit_rate"):
+            schema.validate_stats(payload)
+
+    def test_tenants_must_be_a_non_empty_mapping(self):
+        payload = single_rack_payload()
+        payload["tenants"] = {}
+        with pytest.raises(schema.StatsSchemaError, match="non-empty"):
+            schema.validate_stats(payload)
+        payload["tenants"] = ["gold"]
+        with pytest.raises(schema.StatsSchemaError, match="mapping"):
+            schema.validate_stats(payload)
+
+    def test_broken_tenant_body_located(self):
+        payload = single_rack_payload()
+        payload["tenants"] = {"gold": tenant_section()}
+        payload["tenants"]["gold"]["slo_burn"] = "0.5"
+        with pytest.raises(schema.StatsSchemaError, match="slo_burn"):
+            schema.validate_stats(payload)
+
+    def test_assembled_with_tenancy_validates(self):
+        bridge = SimTimeBridge(
+            RackConfig(system=SystemType("rackblox"), num_servers=2,
+                       num_pairs=2, seed=11),
+            precondition=False,
+        )
+        payload = schema.assemble_server_stats(
+            bridge.stats_payload(), {f: 0.0 for f in schema.ADMISSION_FIELDS},
+            1,
+            tenants={"default": tenant_section(weight=1.0)},
+            readcache=readcache_section(capacity=4096.0, segments=8.0),
+        )
+        schema.validate_stats(payload)
+        assert payload["tenants"]["default"]["weight"] == 1.0
+        assert payload["readcache"]["capacity"] == 4096.0
+
+
 class TestAggregation:
     def test_counters_sum_and_clock_maxes(self):
         sections = [
@@ -153,6 +212,36 @@ class TestAggregation:
         assert merged["read_avg_us"] == pytest.approx(200.0)  # count-weighted
         assert merged["read_kiops"] == 3.0
         assert "write_count" not in merged  # nulls are skipped, not zeroed
+
+    def test_tenancy_sections_merge(self):
+        sections = [
+            {"bridge": bridge_section(),
+             "readcache": readcache_section(hits=6.0, misses=2.0,
+                                            segments=8.0, epoch=1.0),
+             "tenants": {"gold": tenant_section(weight=3.0, admitted=5.0,
+                                                slo_burn=0.2)}},
+            {"bridge": bridge_section(),
+             "readcache": readcache_section(hits=2.0, misses=2.0,
+                                            segments=8.0, epoch=3.0),
+             "tenants": {"gold": tenant_section(weight=3.0, admitted=7.0,
+                                                slo_burn=0.6),
+                         "bronze": tenant_section(admitted=1.0)}},
+        ]
+        agg = schema.aggregate_sections(sections)
+        cache = agg["readcache"]
+        assert cache["hits"] == 8.0 and cache["misses"] == 4.0
+        assert cache["hit_rate"] == pytest.approx(8.0 / 12.0)  # recomputed
+        assert cache["segments"] == 8.0 and cache["epoch"] == 3.0  # maxed
+        gold = agg["tenants"]["gold"]
+        assert gold["admitted"] == 12.0  # counters sum
+        assert gold["weight"] == 3.0 and gold["slo_burn"] == 0.6  # maxed
+        assert agg["tenants"]["bronze"]["admitted"] == 1.0  # union of names
+
+    def test_tenancy_sections_absent_stay_absent(self):
+        agg = schema.aggregate_sections([
+            {"bridge": bridge_section()}, {"bridge": bridge_section()},
+        ])
+        assert "tenants" not in agg and "readcache" not in agg
 
     def test_assemble_server_stats_validates(self):
         bridge = SimTimeBridge(
